@@ -1,0 +1,62 @@
+package faasm_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each wraps the corresponding experiment from internal/experiments in its
+// quick configuration; `cmd/faasm-bench` runs the full-sized sweeps and
+// EXPERIMENTS.md records the full results. Benchmarks report one run per
+// iteration, so ns/op approximates one complete experiment pass.
+
+import (
+	"io"
+	"testing"
+
+	"faasm.dev/faasm/internal/experiments"
+)
+
+var quick = experiments.Options{Quick: true}
+
+func benchReport(b *testing.B, run func(experiments.Options) *experiments.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := run(quick)
+		if len(r.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+		if i == 0 && testing.Verbose() {
+			r.Fprint(io.Discard)
+		}
+	}
+}
+
+// BenchmarkTable1Isolation regenerates Table 1 (isolation approaches).
+func BenchmarkTable1Isolation(b *testing.B) { benchReport(b, experiments.Table1) }
+
+// BenchmarkTable3ColdStart regenerates Table 3 (cold-start comparison).
+func BenchmarkTable3ColdStart(b *testing.B) { benchReport(b, experiments.Table3) }
+
+// BenchmarkTable3Python regenerates the §6.5 Python no-op comparison.
+func BenchmarkTable3Python(b *testing.B) { benchReport(b, experiments.Table3Python) }
+
+// BenchmarkFig6SGD regenerates Fig 6 (training time / transfers / memory).
+func BenchmarkFig6SGD(b *testing.B) { benchReport(b, experiments.Fig6) }
+
+// BenchmarkFig6Small regenerates the §6.2 reduced-dataset run.
+func BenchmarkFig6Small(b *testing.B) { benchReport(b, experiments.Fig6Small) }
+
+// BenchmarkFig7Inference regenerates Fig 7a (latency vs throughput).
+func BenchmarkFig7Inference(b *testing.B) { benchReport(b, experiments.Fig7) }
+
+// BenchmarkFig7LatencyCDF regenerates Fig 7b (latency CDF).
+func BenchmarkFig7LatencyCDF(b *testing.B) { benchReport(b, experiments.Fig7CDF) }
+
+// BenchmarkFig8Matmul regenerates Fig 8 (matmul duration / transfers).
+func BenchmarkFig8Matmul(b *testing.B) { benchReport(b, experiments.Fig8) }
+
+// BenchmarkFig9aPolybench regenerates Fig 9a (kernel overhead vs native).
+func BenchmarkFig9aPolybench(b *testing.B) { benchReport(b, experiments.Fig9a) }
+
+// BenchmarkFig9bPython regenerates Fig 9b (dynamic-language overhead).
+func BenchmarkFig9bPython(b *testing.B) { benchReport(b, experiments.Fig9b) }
+
+// BenchmarkFig10Churn regenerates Fig 10 (creation latency vs churn).
+func BenchmarkFig10Churn(b *testing.B) { benchReport(b, experiments.Fig10) }

@@ -1,0 +1,72 @@
+// Command faasm-bench regenerates the paper's tables and figures on this
+// machine. Each subcommand corresponds to one table or figure of the
+// evaluation (§6); see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	faasm-bench all            # every experiment (minutes)
+//	faasm-bench table1|table3|table3-python
+//	faasm-bench fig6|fig6-small|fig7|fig7b|fig8|fig9a|fig9b|fig10
+//	faasm-bench -quick <id>    # reduced sweeps for a fast pass
+//	faasm-bench -csv <id>      # raw CSV instead of the text table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faasm.dev/faasm/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps (seconds instead of minutes)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick}
+
+	table := map[string]func(experiments.Options) *experiments.Report{
+		"table1":        experiments.Table1,
+		"table3":        experiments.Table3,
+		"table3-python": experiments.Table3Python,
+		"fig6":          experiments.Fig6,
+		"fig6-small":    experiments.Fig6Small,
+		"fig7":          experiments.Fig7,
+		"fig7b":         experiments.Fig7CDF,
+		"fig8":          experiments.Fig8,
+		"fig9a":         experiments.Fig9a,
+		"fig9b":         experiments.Fig9b,
+		"fig10":         experiments.Fig10,
+	}
+	order := []string{"table1", "table3", "table3-python", "fig6", "fig6-small",
+		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10"}
+
+	ids := flag.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := table[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			usage()
+			os.Exit(2)
+		}
+		report := run(opts)
+		if *csv {
+			fmt.Print(report.CSV())
+		} else {
+			report.Fprint(os.Stdout)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: faasm-bench [-quick] [-csv] <experiment>...
+experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10`)
+}

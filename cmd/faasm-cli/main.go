@@ -1,0 +1,98 @@
+// Command faasm-cli talks to a faasmd instance: upload functions and
+// invoke them.
+//
+//	faasm-cli -d http://localhost:8090 upload hello hello.fc
+//	faasm-cli -d http://localhost:8090 invoke hello "input bytes"
+//	faasm-cli -d http://localhost:8090 status
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	daemon := flag.String("d", "http://localhost:8090", "faasmd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "upload":
+		if len(args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		src, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		lang := "wat"
+		if strings.HasSuffix(args[2], ".fc") {
+			lang = "fc"
+		}
+		req, err := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("%s/f/%s?lang=%s", *daemon, args[1], lang), bytes.NewReader(src))
+		if err != nil {
+			fatal(err)
+		}
+		do(req)
+	case "invoke":
+		if len(args) < 2 {
+			usage()
+			os.Exit(2)
+		}
+		var input []byte
+		if len(args) > 2 {
+			input = []byte(args[2])
+		}
+		req, err := http.NewRequest(http.MethodPost,
+			fmt.Sprintf("%s/invoke/%s", *daemon, args[1]), bytes.NewReader(input))
+		if err != nil {
+			fatal(err)
+		}
+		do(req)
+	case "status":
+		req, _ := http.NewRequest(http.MethodGet, *daemon+"/status", nil)
+		do(req)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func do(req *http.Request) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		fmt.Fprintf(os.Stderr, "%s: %s", resp.Status, body)
+		os.Exit(1)
+	}
+	if rc := resp.Header.Get("X-Faasm-Return-Code"); rc != "" {
+		fmt.Fprintf(os.Stderr, "return code: %s\n", rc)
+	}
+	os.Stdout.Write(body)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: faasm-cli [-d url] <command>
+  upload <name> <file.fc|file.wat>
+  invoke <name> [input]
+  status`)
+}

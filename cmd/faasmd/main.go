@@ -1,0 +1,106 @@
+// Command faasmd runs one FAASM runtime instance as an HTTP server: the
+// deployable unit of Fig 5. It serves function invocation, the upload
+// service (Fig 3's trusted code-generation phase), and status endpoints,
+// and optionally connects to a shared kvs global tier so multiple faasmd
+// processes form a cluster.
+//
+//	faasmd -listen :8090                      # standalone, in-process tier
+//	faasmd -listen :8090 -store 10.0.0.5:6500 # join a shared global tier
+//	faasmd -kvs :6500                         # also serve the global tier
+//
+// Endpoints:
+//
+//	PUT  /f/<name>?lang=fc|wat   upload source; codegen; deploy
+//	POST /invoke/<name>          body = input, response = output
+//	GET  /status                 runtime counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"faasm.dev/faasm/internal/frt"
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/objstore"
+	"faasm.dev/faasm/internal/upload"
+)
+
+func main() {
+	listen := flag.String("listen", ":8090", "HTTP listen address")
+	storeAddr := flag.String("store", "", "kvs global tier address (empty = in-process)")
+	kvsListen := flag.String("kvs", "", "also serve a kvs global tier on this address")
+	host := flag.String("host", "faasmd-0", "this instance's cluster name")
+	flag.Parse()
+
+	var store kvs.Store
+	if *kvsListen != "" {
+		engine := kvs.NewEngine()
+		srv, err := kvs.NewServer(engine, *kvsListen)
+		if err != nil {
+			log.Fatalf("kvs listen: %v", err)
+		}
+		log.Printf("global tier serving on %s", srv.Addr())
+		store = engine
+	} else if *storeAddr != "" {
+		store = kvs.NewClient(*storeAddr)
+	} else {
+		store = kvs.NewEngine()
+	}
+
+	objects := objstore.NewMemory()
+	up := upload.New(objects)
+	inst := frt.New(frt.Config{Host: *host, Store: store})
+
+	mux := http.NewServeMux()
+	mux.Handle("/f/", deployingUploader{up: up, inst: inst, objects: objects})
+	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/invoke/")
+		input, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, ret, err := inst.Call(name, input)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("call failed (ret=%d): %v", ret, err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Faasm-Return-Code", fmt.Sprintf("%d", ret))
+		w.Write(out)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "host: %s\nfunctions: %v\nfaaslets: %d\ncold: %d warm: %d proto: %d\nmedian exec: %v\n",
+			inst.Host(), inst.Functions(), inst.FaasletCount(),
+			inst.ColdStarts.Value(), inst.WarmStarts.Value(), inst.ProtoStarts.Value(),
+			inst.ExecLatency.Median())
+	})
+
+	log.Printf("faasmd %s listening on %s", *host, *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// deployingUploader wraps the upload service so a successful upload also
+// deploys the generated module to this instance.
+type deployingUploader struct {
+	up      *upload.Service
+	inst    *frt.Instance
+	objects *objstore.Store
+}
+
+func (d deployingUploader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.up.Handler().ServeHTTP(w, r)
+	if r.Method == http.MethodPut || r.Method == http.MethodPost {
+		name := strings.TrimPrefix(r.URL.Path, "/f/")
+		if mod, err := upload.LoadObject(d.objects, name); err == nil {
+			if err := d.inst.RegisterModule(name, mod); err != nil {
+				log.Printf("deploy %s: %v", name, err)
+			} else {
+				log.Printf("deployed %s", name)
+			}
+		}
+	}
+}

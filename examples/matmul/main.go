@@ -1,0 +1,189 @@
+// Matmul: the §6.4 distributed divide-and-conquer matrix multiplication —
+// chained multiplication and merge functions over matrices in two-tier
+// state, with chunked block reads.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"faasm.dev/faasm"
+)
+
+const (
+	n    = 64 // matrix dimension
+	grid = 4  // blocks per side → grid³ = 64 multiplication functions
+)
+
+func key(i, j, k int) string { return fmt.Sprintf("tmp/%d-%d-%d", i, j, k) }
+
+func main() {
+	rt := faasm.NewRuntime(faasm.Config{Host: "matmul"})
+	defer rt.Shutdown()
+
+	a := randomMatrix(1)
+	b := randomMatrix(2)
+	must(rt.SetState("A", a))
+	must(rt.SetState("B", b))
+	must(rt.SetState("C", make([]byte, n*n*8)))
+
+	s := n / grid
+	// Leaf multiply: tmp[i,j,k] = A(i,k) × B(k,j).
+	rt.RegisterGuest("mult", func(api faasm.API) (int32, error) {
+		in := api.Input()
+		bi, bj, bk := int(in[0]), int(in[1]), int(in[2])
+		A, err := readBlock(api, "A", bi, bk, s)
+		if err != nil {
+			return 1, err
+		}
+		B, err := readBlock(api, "B", bk, bj, s)
+		if err != nil {
+			return 2, err
+		}
+		C := make([]float64, s*s)
+		for i := 0; i < s; i++ {
+			for k := 0; k < s; k++ {
+				aik := A[i*s+k]
+				for j := 0; j < s; j++ {
+					C[i*s+j] += aik * B[k*s+j]
+				}
+			}
+		}
+		buf, err := api.StateView(key(bi, bj, bk), s*s*8)
+		if err != nil {
+			return 3, err
+		}
+		for i, v := range C {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		return 0, api.StatePush(key(bi, bj, bk))
+	})
+
+	// Merge: C(i,j) = Σ_k tmp[i,j,k].
+	rt.RegisterGuest("merge", func(api faasm.API) (int32, error) {
+		in := api.Input()
+		bi, bj := int(in[0]), int(in[1])
+		sum := make([]float64, s*s)
+		for k := 0; k < grid; k++ {
+			buf, err := api.StateViewChunk(key(bi, bj, k), 0, s*s*8)
+			if err != nil {
+				return 1, err
+			}
+			for i := range sum {
+				sum[i] += math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+		}
+		for i := 0; i < s; i++ {
+			off := ((bi*s+i)*n + bj*s) * 8
+			buf, err := api.StateViewChunk("C", off, s*8)
+			if err != nil {
+				return 2, err
+			}
+			for j := 0; j < s; j++ {
+				binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(sum[i*s+j]))
+			}
+			if err := api.StatePushChunk("C", off, s*8); err != nil {
+				return 3, err
+			}
+		}
+		return 0, nil
+	})
+
+	// Driver: fan out 64 multiplies, await, fan out 16 merges.
+	rt.RegisterGuest("main", func(api faasm.API) (int32, error) {
+		var ids []uint64
+		for i := 0; i < grid; i++ {
+			for j := 0; j < grid; j++ {
+				for k := 0; k < grid; k++ {
+					id, err := api.Chain("mult", []byte{byte(i), byte(j), byte(k)})
+					if err != nil {
+						return 1, err
+					}
+					ids = append(ids, id)
+				}
+			}
+		}
+		for _, id := range ids {
+			if ret, err := api.Await(id); err != nil || ret != 0 {
+				return 2, fmt.Errorf("mult failed: %d %v", ret, err)
+			}
+		}
+		ids = ids[:0]
+		for i := 0; i < grid; i++ {
+			for j := 0; j < grid; j++ {
+				id, err := api.Chain("merge", []byte{byte(i), byte(j)})
+				if err != nil {
+					return 3, err
+				}
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			if ret, err := api.Await(id); err != nil || ret != 0 {
+				return 4, fmt.Errorf("merge failed: %d %v", ret, err)
+			}
+		}
+		return 0, nil
+	})
+
+	if _, ret, err := rt.Call("main", nil); err != nil || ret != 0 {
+		log.Fatalf("multiply failed: ret=%d err=%v", ret, err)
+	}
+
+	cBytes, _ := rt.GetState("C")
+	maxErr := verify(a, b, cBytes)
+	fmt.Printf("%d×%d multiply via %d mult + %d merge functions\n", n, n, grid*grid*grid, grid*grid)
+	fmt.Printf("max error vs direct multiply: %.2e\n", maxErr)
+}
+
+func readBlock(api faasm.API, k string, bi, bj, s int) ([]float64, error) {
+	out := make([]float64, s*s)
+	for i := 0; i < s; i++ {
+		off := ((bi*s+i)*n + bj*s) * 8
+		buf, err := api.StateViewChunk(k, off, s*8)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < s; j++ {
+			out[i*s+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+	}
+	return out, nil
+}
+
+func randomMatrix(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n*n*8)
+	for i := 0; i < n*n; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(rng.Float64()))
+	}
+	return out
+}
+
+func verify(a, b, c []byte) float64 {
+	dec := func(buf []byte, i int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += dec(a, i*n+k) * dec(b, k*n+j)
+			}
+			if d := math.Abs(want - dec(c, i*n+j)); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	return maxErr
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// SGD: the paper's Listing 1 — distributed HOGWILD training with
+// distributed data objects. Workers share a weights vector through the
+// local tier, read disjoint ranges of a sparse training matrix with chunked
+// pulls, and push weights sporadically.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"faasm.dev/faasm"
+	"faasm.dev/faasm/ddo"
+)
+
+const (
+	examples  = 2048
+	features  = 1024
+	nnz       = 24
+	workers   = 8
+	epochs    = 4
+	learnRate = 0.1
+)
+
+func main() {
+	rt := faasm.NewRuntime(faasm.Config{Host: "sgd-example"})
+	defer rt.Shutdown()
+
+	truth := seedDataset(rt)
+
+	// weight_update: one worker's slice of an epoch (Listing 1).
+	rt.RegisterGuest("weight-update", func(api faasm.API) (int32, error) {
+		from := int(binary.LittleEndian.Uint32(api.Input()[0:]))
+		to := int(binary.LittleEndian.Uint32(api.Input()[4:]))
+		X, err := ddo.OpenSparseMatrix(api, "train-X", examples)
+		if err != nil {
+			return 1, err
+		}
+		cols, err := X.Columns(from, to)
+		if err != nil {
+			return 2, err
+		}
+		labels, err := api.StateViewChunk("train-y", from*8, (to-from)*8)
+		if err != nil {
+			return 3, err
+		}
+		w, err := ddo.OpenVector(api, "weights", features)
+		if err != nil {
+			return 4, err
+		}
+		for j := from; j < to; j++ {
+			y := math.Float64frombits(binary.LittleEndian.Uint64(labels[(j-from)*8:]))
+			var z float64
+			cols.Col(j, func(row int, val float64) { z += w.At(row) * val })
+			p := 1 / (1 + math.Exp(-z))
+			target := 0.0
+			if y > 0 {
+				target = 1
+			}
+			g := p - target
+			cols.Col(j, func(row int, val float64) { w.Add(row, -learnRate*g*val) })
+		}
+		return 0, w.Push() // VectorAsync.push
+	})
+
+	// sgd_main: chain workers per epoch, await all.
+	rt.RegisterGuest("sgd-main", func(api faasm.API) (int32, error) {
+		per := (examples + workers - 1) / workers
+		for e := 0; e < epochs; e++ {
+			var ids []uint64
+			for wk := 0; wk < workers; wk++ {
+				from, to := wk*per, (wk+1)*per
+				if to > examples {
+					to = examples
+				}
+				in := make([]byte, 8)
+				binary.LittleEndian.PutUint32(in[0:], uint32(from))
+				binary.LittleEndian.PutUint32(in[4:], uint32(to))
+				id, err := api.Chain("weight-update", in)
+				if err != nil {
+					return 1, err
+				}
+				ids = append(ids, id)
+			}
+			for _, id := range ids {
+				if ret, err := api.Await(id); err != nil || ret != 0 {
+					return 2, fmt.Errorf("worker failed: ret=%d err=%v", ret, err)
+				}
+			}
+		}
+		return 0, nil
+	})
+
+	if _, ret, err := rt.Call("sgd-main", nil); err != nil || ret != 0 {
+		log.Fatalf("training failed: ret=%d err=%v", ret, err)
+	}
+
+	wBytes, _ := rt.GetState("weights")
+	fmt.Printf("trained %d examples × %d features, %d workers × %d epochs\n",
+		examples, features, workers, epochs)
+	fmt.Printf("accuracy vs ground truth: %.1f%%\n", 100*accuracy(wBytes, truth))
+	stats := rt.Stats()
+	fmt.Printf("faaslets: %d (cold %d, warm %d)\n", stats.Faaslets, stats.ColdStarts, stats.WarmStarts)
+}
+
+// seedDataset generates a separable sparse dataset and loads it into the
+// global tier, returning the ground-truth hyperplane.
+func seedDataset(rt *faasm.Runtime) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	truth := make([]float64, features)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	entries := make([][]ddo.SparseEntry, examples)
+	labels := make([]byte, examples*8)
+	for j := 0; j < examples; j++ {
+		var dot float64
+		seen := map[int]bool{}
+		for k := 0; k < nnz; k++ {
+			row := rng.Intn(features)
+			if seen[row] {
+				continue
+			}
+			seen[row] = true
+			val := rng.Float64()
+			entries[j] = append(entries[j], ddo.SparseEntry{Row: row, Val: val})
+			dot += truth[row] * val
+		}
+		label := -1.0
+		if dot > 0 {
+			label = 1
+		}
+		binary.LittleEndian.PutUint64(labels[j*8:], math.Float64bits(label))
+	}
+	vals, rows, colptr := ddo.BuildSparseCSC(entries)
+	vk, rk, ck := ddo.SparseKeys("train-X")
+	must(rt.SetState(vk, vals))
+	must(rt.SetState(rk, rows))
+	must(rt.SetState(ck, colptr))
+	must(rt.SetState("train-y", labels))
+	must(rt.SetState("weights", make([]byte, features*8)))
+	return truth
+}
+
+func accuracy(wBytes []byte, truth []float64) float64 {
+	rng := rand.New(rand.NewSource(2))
+	correct, total := 0, 2000
+	for t := 0; t < total; t++ {
+		var zw, zt float64
+		for k := 0; k < nnz; k++ {
+			row := rng.Intn(features)
+			val := rng.Float64()
+			zt += truth[row] * val
+			zw += math.Float64frombits(binary.LittleEndian.Uint64(wBytes[row*8:])) * val
+		}
+		if (zw > 0) == (zt > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

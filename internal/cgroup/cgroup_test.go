@@ -1,0 +1,125 @@
+package cgroup
+
+import (
+	"testing"
+)
+
+func TestCreateChargeRemove(t *testing.T) {
+	c := NewController(nil)
+	g := c.Create("faaslet-1")
+	if g.Name() != "faaslet-1" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	c.Charge("faaslet-1", 100)
+	c.Charge("faaslet-1", 50)
+	if c.Charged("faaslet-1") != 150 {
+		t.Fatalf("charged = %d", c.Charged("faaslet-1"))
+	}
+	// Creating again returns the same group.
+	c.Create("faaslet-1")
+	if c.Charged("faaslet-1") != 150 {
+		t.Fatal("re-create reset accounting")
+	}
+	c.Remove("faaslet-1")
+	if c.Charged("faaslet-1") != 0 {
+		t.Fatal("removed group still charged")
+	}
+	// Charging a removed group is a no-op, not a crash.
+	c.Charge("faaslet-1", 5)
+	if c.TotalCharged() != 0 {
+		t.Fatal("ghost charge recorded")
+	}
+}
+
+func TestEqualShares(t *testing.T) {
+	c := NewController(nil)
+	c.Create("a")
+	c.Create("b")
+	c.Create("c")
+	if fs := c.FairShare("a"); fs < 0.33 || fs > 0.34 {
+		t.Fatalf("fair share of 3 equals = %v", fs)
+	}
+	if err := c.SetShares("a", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if fs := c.FairShare("a"); fs != 0.5 {
+		t.Fatalf("weighted share = %v", fs)
+	}
+	if err := c.SetShares("a", 0); err == nil {
+		t.Fatal("zero shares accepted")
+	}
+	if err := c.SetShares("ghost", 1); err == nil {
+		t.Fatal("shares on missing group accepted")
+	}
+}
+
+func TestOverFairShare(t *testing.T) {
+	c := NewController(nil)
+	c.Create("greedy")
+	c.Create("meek")
+	// A single consumer with no competition is never throttled.
+	c.Charge("greedy", 1000)
+	c.Charge("meek", 0)
+	if !c.OverFairShare("greedy") {
+		t.Fatal("greedy at 100% of consumption should be over its 50% share")
+	}
+	if c.OverFairShare("meek") {
+		t.Fatal("meek is under share")
+	}
+	// Once meek catches up, greedy is no longer over.
+	c.Charge("meek", 1000)
+	if c.OverFairShare("greedy") {
+		t.Fatal("balanced groups flagged")
+	}
+}
+
+func TestSingleGroupNeverThrottled(t *testing.T) {
+	c := NewController(nil)
+	c.Create("only")
+	c.Charge("only", 1 << 30)
+	if c.OverFairShare("only") {
+		t.Fatal("lone group throttled")
+	}
+	if w := c.Throttle("only"); w != 0 {
+		t.Fatalf("lone group waited %v", w)
+	}
+}
+
+func TestThrottleReleasesWhenFair(t *testing.T) {
+	c := NewController(nil)
+	c.Create("a")
+	c.Create("b")
+	c.Charge("a", 1000)
+	done := make(chan struct{})
+	go func() {
+		c.Throttle("a")
+		close(done)
+	}()
+	// Balance the books; the throttled group must come back.
+	c.Charge("b", 1000)
+	<-done
+}
+
+func TestResetWindow(t *testing.T) {
+	c := NewController(nil)
+	c.Create("a")
+	c.Create("b")
+	c.Charge("a", 500)
+	c.ResetWindow()
+	if c.TotalCharged() != 0 {
+		t.Fatal("window reset kept charges")
+	}
+	if c.OverFairShare("a") {
+		t.Fatal("over-share after reset")
+	}
+}
+
+func TestGroupsSorted(t *testing.T) {
+	c := NewController(nil)
+	c.Create("z")
+	c.Create("a")
+	g := c.Groups()
+	if len(g) != 2 || g[0] != "a" || g[1] != "z" {
+		t.Fatalf("groups = %v", g)
+	}
+}

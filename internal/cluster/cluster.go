@@ -1,0 +1,344 @@
+// Package cluster is the multi-host experiment harness standing in for the
+// paper's 20-node Kubernetes testbed (§6.1). It instantiates N hosts
+// running either the FAASM runtime (internal/frt) or the container baseline
+// (internal/baseline), wires them to one global tier through a simulated
+// 1 Gbps network, and drives them on a scaled clock so second-scale
+// phenomena (container cold starts, training epochs) reproduce in
+// milliseconds of wall time.
+//
+// Calls enter round-robin across hosts, exactly as §5.1 describes the
+// platform's ingress; FAASM's distributed scheduler then shares work with
+// warm hosts, while the baseline executes wherever the load balancer put
+// the call.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"faasm.dev/faasm/internal/baseline"
+	"faasm.dev/faasm/internal/frt"
+	"faasm.dev/faasm/internal/hostapi"
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/metrics"
+	"faasm.dev/faasm/internal/simnet"
+	"faasm.dev/faasm/internal/vtime"
+)
+
+// Mode selects the platform under test.
+type Mode int
+
+// Modes.
+const (
+	ModeFaasm Mode = iota
+	ModeBaseline
+)
+
+func (m Mode) String() string {
+	if m == ModeFaasm {
+		return "faasm"
+	}
+	return "knative"
+}
+
+// Config sizes a cluster.
+type Config struct {
+	Mode  Mode
+	Hosts int
+	// TimeScale speeds the experiment clock (default 100×).
+	TimeScale float64
+	// BandwidthBps per host link (default 1 Gbps); Latency per operation.
+	BandwidthBps int64
+	Latency      time.Duration
+	// UseProto enables Proto-Faaslet restores for cold starts (FAASM mode).
+	UseProto bool
+	// FaasmColdStart / ProtoColdStart are the injected initialisation
+	// costs; defaults follow Table 3 (5.2 ms / 0.5 ms).
+	FaasmColdStart time.Duration
+	ProtoColdStart time.Duration
+	// Baseline knobs; zero values use the paper's measured constants.
+	ContainerColdStart time.Duration
+	ContainerOverhead  int64
+	HostMemBytes       int64
+	// Capacity bounds concurrent executions per host (0 = unlimited).
+	Capacity int
+}
+
+// Cluster is a live experiment cluster.
+type Cluster struct {
+	cfg    Config
+	Clock  vtime.Clock
+	Net    *simnet.Network
+	Engine *kvs.Engine
+
+	faasm []*frt.Instance
+	base  []*baseline.Platform
+	rr    atomic.Uint64
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 1
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 100
+	}
+	if cfg.BandwidthBps == 0 {
+		cfg.BandwidthBps = simnet.Gigabit
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 500 * time.Microsecond
+	}
+	if cfg.FaasmColdStart == 0 {
+		cfg.FaasmColdStart = 5200 * time.Microsecond
+	}
+	if cfg.ProtoColdStart == 0 {
+		cfg.ProtoColdStart = 500 * time.Microsecond
+	}
+	c := &Cluster{cfg: cfg}
+	c.Clock = vtime.NewScaled(cfg.TimeScale)
+	c.Net = simnet.New(cfg.BandwidthBps, cfg.Latency, c.Clock)
+	c.Engine = kvs.NewEngine()
+
+	for h := 0; h < cfg.Hosts; h++ {
+		host := fmt.Sprintf("host-%d", h)
+		store := simnet.NewStore(c.Engine, c.Net, host)
+		switch cfg.Mode {
+		case ModeFaasm:
+			cold := cfg.FaasmColdStart
+			if cfg.UseProto {
+				cold = cfg.ProtoColdStart
+			}
+			inst := frt.New(frt.Config{
+				Host:           host,
+				Store:          store,
+				Clock:          c.Clock,
+				Capacity:       cfg.Capacity,
+				Transport:      (*faasmTransport)(c),
+				ColdStartDelay: cold,
+			})
+			c.faasm = append(c.faasm, inst)
+		case ModeBaseline:
+			p := baseline.New(baseline.Config{
+				Host:              host,
+				Store:             store,
+				Clock:             c.Clock,
+				Net:               c.Net,
+				Router:            (*baselineRouter)(c),
+				ColdStart:         cfg.ContainerColdStart,
+				ContainerOverhead: cfg.ContainerOverhead,
+				HostMemBytes:      cfg.HostMemBytes,
+				Capacity:          cfg.Capacity,
+			})
+			c.base = append(c.base, p)
+		}
+	}
+	return c
+}
+
+// Mode reports the platform under test.
+func (c *Cluster) Mode() Mode { return c.cfg.Mode }
+
+// Hosts reports the host count.
+func (c *Cluster) Hosts() int { return c.cfg.Hosts }
+
+// faasmTransport shares work between FAASM instances, paying network costs
+// for the call payloads.
+type faasmTransport Cluster
+
+// ExecuteOn implements frt.Transport.
+func (t *faasmTransport) ExecuteOn(host, fn string, input []byte) ([]byte, int32, error) {
+	c := (*Cluster)(t)
+	for _, inst := range c.faasm {
+		if inst.Host() == host {
+			c.Net.Transfer(host, int64(len(input))+64, 64)
+			out, ret, err := inst.ExecuteLocal(fn, input)
+			if err == nil {
+				c.Net.Transfer(host, 64, int64(len(out))+64)
+			}
+			return out, ret, err
+		}
+	}
+	return nil, -1, fmt.Errorf("cluster: unknown host %q", host)
+}
+
+// baselineRouter load-balances chained baseline calls round-robin, as the
+// platform front door does.
+type baselineRouter Cluster
+
+// Route implements baseline.Router.
+func (r *baselineRouter) Route(fn string, input []byte) ([]byte, int32, error) {
+	c := (*Cluster)(r)
+	idx := int(c.rr.Add(1)) % len(c.base)
+	return c.base[idx].Execute(fn, input)
+}
+
+// Register deploys a portable guest on every host. In FAASM mode with
+// UseProto, host 0 generates the function's Proto-Faaslet and the other
+// hosts restore it from the global tier (the cross-host restore path).
+func (c *Cluster) Register(fn string, g hostapi.Guest) error {
+	switch c.cfg.Mode {
+	case ModeFaasm:
+		for _, inst := range c.faasm {
+			inst.RegisterNative(fn, hostapi.WrapGuest(g))
+		}
+		if c.cfg.UseProto {
+			if err := c.faasm[0].GenerateProto(fn, nil); err != nil {
+				return err
+			}
+			for _, inst := range c.faasm[1:] {
+				if err := inst.FetchProto(fn); err != nil {
+					return err
+				}
+			}
+		}
+	case ModeBaseline:
+		for _, p := range c.base {
+			p.Register(fn, g)
+		}
+	}
+	return nil
+}
+
+// SetState seeds the global tier directly (experiment setup, not charged to
+// the network).
+func (c *Cluster) SetState(key string, val []byte) error {
+	return c.Engine.Set(key, val)
+}
+
+// GetState reads the global tier directly (verification, not charged).
+func (c *Cluster) GetState(key string) ([]byte, error) {
+	return c.Engine.Get(key)
+}
+
+// Call executes one function synchronously, entering round-robin.
+func (c *Cluster) Call(fn string, input []byte) ([]byte, int32, error) {
+	switch c.cfg.Mode {
+	case ModeFaasm:
+		idx := int(c.rr.Add(1)) % len(c.faasm)
+		return c.faasm[idx].Call(fn, input)
+	default:
+		idx := int(c.rr.Add(1)) % len(c.base)
+		return c.base[idx].Call(fn, input)
+	}
+}
+
+// Invoke starts an asynchronous call, returning an awaitable handle.
+func (c *Cluster) Invoke(fn string, input []byte) (*Call, error) {
+	switch c.cfg.Mode {
+	case ModeFaasm:
+		idx := int(c.rr.Add(1)) % len(c.faasm)
+		inst := c.faasm[idx]
+		id, err := inst.Invoke(fn, input)
+		if err != nil {
+			return nil, err
+		}
+		return &Call{
+			await:  func() (int32, error) { return inst.Await(id) },
+			output: func() ([]byte, error) { return inst.Output(id) },
+		}, nil
+	default:
+		idx := int(c.rr.Add(1)) % len(c.base)
+		p := c.base[idx]
+		id, err := p.Invoke(fn, input)
+		if err != nil {
+			return nil, err
+		}
+		return &Call{
+			await:  func() (int32, error) { return p.Await(id) },
+			output: func() ([]byte, error) { return p.Output(id) },
+		}, nil
+	}
+}
+
+// Call is an awaitable invocation handle.
+type Call struct {
+	await  func() (int32, error)
+	output func() ([]byte, error)
+}
+
+// Await blocks until completion, returning the guest return code.
+func (h *Call) Await() (int32, error) { return h.await() }
+
+// Output returns a completed call's output.
+func (h *Call) Output() ([]byte, error) { return h.output() }
+
+// Stats aggregates cluster metrics for one experiment window.
+type Stats struct {
+	NetworkBytes int64
+	GBSeconds    float64
+	ColdStarts   int64
+	WarmStarts   int64
+	OOMFailures  int64
+}
+
+// Stats snapshots the cluster's counters.
+func (c *Cluster) Stats() Stats {
+	var s Stats
+	s.NetworkBytes = c.Net.TotalBytes()
+	switch c.cfg.Mode {
+	case ModeFaasm:
+		for _, inst := range c.faasm {
+			s.GBSeconds += inst.Billable.GBSeconds()
+			s.ColdStarts += inst.ColdStarts.Value()
+			s.WarmStarts += inst.WarmStarts.Value()
+		}
+	default:
+		for _, p := range c.base {
+			s.GBSeconds += p.Billable.GBSeconds()
+			s.ColdStarts += p.ColdStarts.Value()
+			s.WarmStarts += p.WarmStarts.Value()
+			s.OOMFailures += p.OOMFailures.Value()
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes counters between experiment phases.
+func (c *Cluster) ResetStats() {
+	c.Net.Reset()
+	switch c.cfg.Mode {
+	case ModeFaasm:
+		for _, inst := range c.faasm {
+			inst.Billable.Reset()
+			inst.ColdStarts.Reset()
+			inst.WarmStarts.Reset()
+		}
+	default:
+		for _, p := range c.base {
+			p.Billable.Reset()
+			p.ColdStarts.Reset()
+			p.WarmStarts.Reset()
+			p.OOMFailures.Reset()
+		}
+	}
+}
+
+// ExecLatencies merges per-host execution latencies into one distribution.
+func (c *Cluster) ExecLatencies() *metrics.Latencies {
+	merged := &metrics.Latencies{}
+	switch c.cfg.Mode {
+	case ModeFaasm:
+		for _, inst := range c.faasm {
+			for _, p := range inst.ExecLatency.CDF(inst.ExecLatency.Count()) {
+				merged.Record(p.Latency)
+			}
+		}
+	default:
+		for _, p := range c.base {
+			for _, pt := range p.ExecLatency.CDF(p.ExecLatency.Count()) {
+				merged.Record(pt.Latency)
+			}
+		}
+	}
+	return merged
+}
+
+// Shutdown stops the cluster.
+func (c *Cluster) Shutdown() {
+	for _, inst := range c.faasm {
+		inst.Shutdown()
+	}
+}

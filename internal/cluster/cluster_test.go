@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"faasm.dev/faasm/internal/hostapi"
+)
+
+// incrGuest bumps a shared counter under the local lock and pushes it.
+func incrGuest(api hostapi.API) (int32, error) {
+	if err := api.LockLocal("n", true); err != nil {
+		return 1, err
+	}
+	buf, err := api.StateView("n", 8)
+	if err != nil {
+		api.UnlockLocal("n", true)
+		return 2, err
+	}
+	binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)+1)
+	api.UnlockLocal("n", true)
+	return 0, nil
+}
+
+func TestFaasmClusterBasics(t *testing.T) {
+	c := New(Config{Mode: ModeFaasm, Hosts: 2, TimeScale: 1000})
+	defer c.Shutdown()
+	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, ret, err := c.Call("echo", []byte("ping"))
+	if err != nil || ret != 0 || string(out) != "ping" {
+		t.Fatalf("call: %q %d %v", out, ret, err)
+	}
+}
+
+func TestBaselineClusterBasics(t *testing.T) {
+	c := New(Config{Mode: ModeBaseline, Hosts: 2, TimeScale: 1000, ContainerColdStart: 10 * time.Millisecond})
+	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, ret, err := c.Call("echo", []byte("ping"))
+	if err != nil || ret != 0 || string(out) != "ping" {
+		t.Fatalf("call: %q %d %v", out, ret, err)
+	}
+	if c.Stats().ColdStarts != 1 {
+		t.Fatalf("cold starts = %d", c.Stats().ColdStarts)
+	}
+}
+
+func TestSameGuestSameResultBothPlatforms(t *testing.T) {
+	// The paper's methodology: identical code on both platforms. Both must
+	// compute the same answer; only costs differ.
+	run := func(mode Mode) uint64 {
+		cfg := Config{Mode: mode, Hosts: 2, TimeScale: 2000, ContainerColdStart: 5 * time.Millisecond}
+		c := New(cfg)
+		defer c.Shutdown()
+		c.SetState("n", make([]byte, 8))
+		if err := c.Register("incr", incrGuest); err != nil {
+			t.Fatal(err)
+		}
+		// Drive sequentially so the baseline's copy-back semantics are
+		// well-defined: each call pushes after increment.
+		c.Register("incr-push", func(api hostapi.API) (int32, error) {
+			if err := api.LockGlobal("n", true); err != nil {
+				return 1, err
+			}
+			defer api.UnlockGlobal("n")
+			if err := api.StatePull("n"); err != nil {
+				return 2, err
+			}
+			buf, err := api.StateView("n", 8)
+			if err != nil {
+				return 3, err
+			}
+			binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)+1)
+			return 0, api.StatePush("n")
+		})
+		for i := 0; i < 6; i++ {
+			if _, ret, err := c.Call("incr-push", nil); err != nil || ret != 0 {
+				t.Fatalf("%v incr %d: %d %v", mode, i, ret, err)
+			}
+		}
+		g, _ := c.GetState("n")
+		return binary.LittleEndian.Uint64(g)
+	}
+	fa := run(ModeFaasm)
+	kn := run(ModeBaseline)
+	if fa != 6 || kn != 6 {
+		t.Fatalf("results differ: faasm=%d knative=%d", fa, kn)
+	}
+}
+
+func TestFaasmTransfersLessThanBaseline(t *testing.T) {
+	// Many calls reading a 256 KB value: FAASM replicates once per host,
+	// the baseline ships data into every container — the Fig 6b mechanic.
+	const valSize = 256 * 1024
+	const calls = 12
+	reader := func(api hostapi.API) (int32, error) {
+		buf, err := api.StateView("data", -1)
+		if err != nil {
+			return 1, err
+		}
+		if len(buf) != valSize {
+			return 2, nil
+		}
+		return 0, nil
+	}
+	measure := func(mode Mode) int64 {
+		c := New(Config{Mode: mode, Hosts: 2, TimeScale: 5000, ContainerColdStart: time.Millisecond})
+		defer c.Shutdown()
+		c.SetState("data", make([]byte, valSize))
+		c.Register("read", reader)
+		// Concurrent calls force multiple containers on the baseline.
+		var wg sync.WaitGroup
+		for i := 0; i < calls; i++ {
+			call, err := c.Invoke("read", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if ret, err := call.Await(); err != nil || ret != 0 {
+					t.Errorf("%v read: %d %v", mode, ret, err)
+				}
+			}()
+		}
+		wg.Wait()
+		return c.Stats().NetworkBytes
+	}
+	faasm := measure(ModeFaasm)
+	knative := measure(ModeBaseline)
+	if faasm >= knative {
+		t.Fatalf("faasm transferred %d >= knative %d", faasm, knative)
+	}
+	// FAASM needs roughly one replica per host; allow generous slack for
+	// scheduler metadata.
+	if faasm > 3*valSize {
+		t.Fatalf("faasm transferred %d for a %d-byte value on 2 hosts", faasm, valSize)
+	}
+}
+
+func TestColdStartGapBetweenPlatforms(t *testing.T) {
+	// Scaled-clock measurements carry sleep-granularity noise of a few
+	// hundred ms (virtual) at this scale, so this test asserts the
+	// orders-of-magnitude gap, not precise values — those come from the
+	// real-time micro-benchmarks behind Table 3.
+	measureFirstCall := func(mode Mode, useProto bool) time.Duration {
+		c := New(Config{
+			Mode: mode, Hosts: 1, TimeScale: 10, UseProto: useProto,
+		})
+		defer c.Shutdown()
+		c.Register("noop", func(api hostapi.API) (int32, error) { return 0, nil })
+		start := c.Clock.Now()
+		if _, ret, err := c.Call("noop", nil); err != nil || ret != 0 {
+			t.Fatalf("%v: %d %v", mode, ret, err)
+		}
+		return c.Clock.Now().Sub(start)
+	}
+	docker := measureFirstCall(ModeBaseline, false)
+	faaslet := measureFirstCall(ModeFaasm, false)
+	proto := measureFirstCall(ModeFaasm, true)
+	if docker < 2*time.Second {
+		t.Fatalf("docker cold start only %v, constant lost", docker)
+	}
+	if faaslet > 500*time.Millisecond {
+		t.Fatalf("faaslet first call %v, want ≪ docker's %v", faaslet, docker)
+	}
+	if proto > 500*time.Millisecond {
+		t.Fatalf("proto first call %v, want ≪ docker's %v", proto, docker)
+	}
+}
+
+func TestProtoCrossHostDistribution(t *testing.T) {
+	c := New(Config{Mode: ModeFaasm, Hosts: 3, TimeScale: 1000, UseProto: true})
+	defer c.Shutdown()
+	if err := c.Register("f", func(api hostapi.API) (int32, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// The proto must exist in the global tier for peers to restore.
+	blob, _ := c.Engine.Get("proto/f")
+	if blob == nil {
+		t.Fatal("proto not published to global tier")
+	}
+}
+
+func TestChainedFanOutAcrossCluster(t *testing.T) {
+	c := New(Config{Mode: ModeFaasm, Hosts: 3, TimeScale: 1000})
+	defer c.Shutdown()
+	c.Register("leaf", func(api hostapi.API) (int32, error) {
+		api.WriteOutput([]byte{api.Input()[0] + 1})
+		return 0, nil
+	})
+	c.Register("root", func(api hostapi.API) (int32, error) {
+		var ids []uint64
+		for i := byte(0); i < 10; i++ {
+			id, err := api.Chain("leaf", []byte{i})
+			if err != nil {
+				return 1, err
+			}
+			ids = append(ids, id)
+		}
+		var sum int
+		for _, id := range ids {
+			if _, err := api.Await(id); err != nil {
+				return 2, err
+			}
+			out, err := api.OutputOf(id)
+			if err != nil {
+				return 3, err
+			}
+			sum += int(out[0])
+		}
+		api.WriteOutput([]byte{byte(sum)})
+		return 0, nil
+	})
+	out, ret, err := c.Call("root", nil)
+	if err != nil || ret != 0 {
+		t.Fatalf("fan-out: %d %v", ret, err)
+	}
+	if out[0] != 55 { // 1+2+...+10
+		t.Fatalf("sum = %d", out[0])
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	c := New(Config{Mode: ModeFaasm, Hosts: 1, TimeScale: 1000})
+	defer c.Shutdown()
+	c.Register("f", func(api hostapi.API) (int32, error) {
+		api.StateAppend("log", []byte("x"))
+		return 0, nil
+	})
+	c.Call("f", nil)
+	s := c.Stats()
+	if s.NetworkBytes == 0 || s.ColdStarts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	c.ResetStats()
+	s = c.Stats()
+	if s.NetworkBytes != 0 || s.ColdStarts != 0 {
+		t.Fatalf("post-reset stats = %+v", s)
+	}
+}

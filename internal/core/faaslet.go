@@ -1,0 +1,541 @@
+// Package core implements the Faaslet (§3): the paper's lightweight
+// isolation abstraction. A Faaslet binds one function — a wavm module
+// (software-fault-isolated secure IR) or a native guest constrained to the
+// same host interface — to:
+//
+//   - a linear memory with private and shared regions (internal/wamem);
+//   - the minimal host interface of Table 2 (chained calls, two-tier state,
+//     a POSIX subset for memory, files, network, timing and randomness);
+//   - resource isolation: a CPU cgroup charged with executed work and a
+//     virtual network interface with namespace policy and traffic shaping;
+//   - a lifecycle with Proto-Faaslet snapshots (§5.2): ahead-of-time
+//     initialisation, sub-millisecond copy-on-write restores, and a reset
+//     after every call that provably discards all guest-visible residue.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"faasm.dev/faasm/internal/cgroup"
+	"faasm.dev/faasm/internal/netns"
+	"faasm.dev/faasm/internal/state"
+	"faasm.dev/faasm/internal/vfs"
+	"faasm.dev/faasm/internal/vtime"
+	"faasm.dev/faasm/internal/wamem"
+	"faasm.dev/faasm/internal/wavm"
+)
+
+// Chainer is the runtime surface Faaslets use for function chaining
+// (chain_call / await_call / get_call_output). The FAASM runtime implements
+// it; tests may supply fakes.
+type Chainer interface {
+	Chain(function string, input []byte) (uint64, error)
+	Await(id uint64) (int32, error)
+	Output(id uint64) ([]byte, error)
+}
+
+// NativeGuest is a function "compiled" to run inside a Faaslet without the
+// VM: it may only touch the outside world through the Ctx handle, which is
+// the same host interface the VM thunks expose. The returned int32 is the
+// function's return code.
+type NativeGuest func(ctx *Ctx) (int32, error)
+
+// FuncDef describes a deployable function.
+type FuncDef struct {
+	Name string
+	// Module is the validated wavm module (nil for native guests).
+	Module *wavm.Module
+	// Native is the native guest body (nil for wavm guests).
+	Native NativeGuest
+	// MemLimitPages is the per-function memory limit (§3.2); 0 means the
+	// default of 1024 pages (64 MiB).
+	MemLimitPages int
+	// InitialPages sizes fresh memories for native guests (wavm guests use
+	// the module's declaration).
+	InitialPages int
+	// Fuel bounds guest instructions per call, 0 = unmetered.
+	Fuel int64
+}
+
+// DefaultMemLimitPages bounds function memory when FuncDef doesn't.
+const DefaultMemLimitPages = 1024
+
+// Env carries the per-host substrates a Faaslet plugs into.
+type Env struct {
+	State  *state.LocalTier
+	Files  vfs.GlobalStore
+	CGroup *cgroup.Controller
+	Clock  vtime.Clock
+	Chain  Chainer
+	// NetPolicy configures each Faaslet's virtual interface.
+	NetPolicy netns.Policy
+	// NetDialer overrides host dialing (tests, simulator).
+	NetDialer netns.Dialer
+	// RandSeed seeds the per-Faaslet PRNG behind getrandom; 0 derives one
+	// from the Faaslet id, keeping runs reproducible.
+	RandSeed int64
+}
+
+func (e *Env) clock() vtime.Clock {
+	if e.Clock == nil {
+		return vtime.Real{}
+	}
+	return e.Clock
+}
+
+// ErrNoFunction is returned when a FuncDef has neither module nor native.
+var ErrNoFunction = errors.New("core: function has no body")
+
+var faasletIDs atomic.Uint64
+
+// Faaslet is one isolated function execution context.
+type Faaslet struct {
+	id   string
+	def  FuncDef
+	env  *Env
+	mem  *wamem.Memory
+	inst *wavm.Instance // nil for native guests
+	fs   *vfs.FS
+	net  *netns.Interface
+	rng  *rand.Rand
+
+	// birth anchors the per-user monotonic clock (gettime host call).
+	birth time.Time
+
+	// Call state.
+	input  []byte
+	output []byte
+
+	// mapped tracks state segments spliced into the linear address space:
+	// key → guest base offset.
+	mapped map[string]uint32
+
+	// globalLockTokens holds live global lock leases per key.
+	globalLockTokens map[string]uint64
+
+	// libs are dlopen'd modules.
+	libs []*library
+
+	// proto is the snapshot used for per-call resets (may be nil until
+	// Snapshot is taken).
+	proto *Proto
+
+	// Steps mirrors the VM's executed-instruction counter at last call.
+	Steps uint64
+
+	// Cold reports whether the Faaslet has ever executed (scheduling).
+	executed bool
+}
+
+// New creates a Faaslet for def. For wavm guests this performs the "linking"
+// phase: the host interface thunks are bound into the module's import space.
+func New(def FuncDef, env *Env) (*Faaslet, error) {
+	if def.Module == nil && def.Native == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoFunction, def.Name)
+	}
+	f := newShell(def, env)
+	limit := def.MemLimitPages
+	if limit <= 0 {
+		limit = DefaultMemLimitPages
+	}
+
+	if def.Module != nil {
+		mem, err := wamem.New(maxInt(def.Module.MemMin, 1), limit)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range def.Module.Data {
+			if err := mem.WriteBytes(d.Offset, d.Bytes); err != nil {
+				return nil, fmt.Errorf("core: data segment: %w", err)
+			}
+		}
+		f.mem = mem
+		inst, err := wavm.Instantiate(def.Module, f.hostModules(),
+			wavm.WithMemory(mem), wavm.WithFuel(fuelOrUnlimited(def.Fuel)))
+		if err != nil {
+			return nil, fmt.Errorf("core: link %s: %w", def.Name, err)
+		}
+		f.inst = inst
+	} else {
+		initial := def.InitialPages
+		if initial <= 0 {
+			initial = 1
+		}
+		mem, err := wamem.New(initial, limit)
+		if err != nil {
+			return nil, err
+		}
+		f.mem = mem
+	}
+	return f, nil
+}
+
+// newShell builds a Faaslet's host-side shell: everything except its memory
+// and VM instance (which New builds fresh and NewFromProto restores).
+func newShell(def FuncDef, env *Env) *Faaslet {
+	if env == nil {
+		env = &Env{}
+	}
+	id := fmt.Sprintf("%s-%d", def.Name, faasletIDs.Add(1))
+	f := &Faaslet{
+		id:               id,
+		def:              def,
+		env:              env,
+		fs:               vfs.New(env.Files),
+		birth:            env.clock().Now(),
+		mapped:           map[string]uint32{},
+		globalLockTokens: map[string]uint64{},
+	}
+	seed := env.RandSeed
+	if seed == 0 {
+		seed = int64(faasletIDs.Load()) * 2654435761
+	}
+	f.rng = rand.New(rand.NewSource(seed))
+	f.net = netns.New(env.NetPolicy, env.NetDialer, env.clock())
+	if env.CGroup != nil {
+		env.CGroup.Create(id)
+	}
+	return f
+}
+
+func fuelOrUnlimited(fuel int64) int64 {
+	if fuel <= 0 {
+		return -1
+	}
+	return fuel
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ID returns the Faaslet's unique id (also its cgroup name).
+func (f *Faaslet) ID() string { return f.id }
+
+// Function returns the bound function's name.
+func (f *Faaslet) Function() string { return f.def.Name }
+
+// Memory exposes the linear memory (tests, snapshots).
+func (f *Faaslet) Memory() *wamem.Memory { return f.mem }
+
+// FS exposes the Faaslet's filesystem view.
+func (f *Faaslet) FS() *vfs.FS { return f.fs }
+
+// Net exposes the Faaslet's virtual network interface.
+func (f *Faaslet) Net() *netns.Interface { return f.net }
+
+// Warm reports whether this Faaslet has executed at least once.
+func (f *Faaslet) Warm() bool { return f.executed }
+
+// Footprint estimates the Faaslet's private memory consumption: materialised
+// private pages, the local file tier, and fixed bookkeeping. Shared state
+// segments are deliberately excluded — they are counted once per host by the
+// local tier, which is what makes Faaslet density an order of magnitude
+// better than containers (Table 3).
+func (f *Faaslet) Footprint() int64 {
+	const bookkeeping = 2048 // structs, fd table, page table
+	return f.mem.Footprint() + f.fs.LocalBytes() + bookkeeping
+}
+
+// Execute runs one function call: input in, output + return code out. Guest
+// traps and host-interface violations surface as errors; the Faaslet itself
+// remains usable (the runtime resets it before reuse).
+func (f *Faaslet) Execute(input []byte) ([]byte, int32, error) {
+	f.input = input
+	f.output = nil
+	f.executed = true
+	start := f.env.clock().Now()
+
+	var ret int32
+	var err error
+	if f.inst != nil {
+		stepsBefore := f.inst.Steps
+		ret, err = f.callWavmEntry()
+		f.Steps = f.inst.Steps - stepsBefore
+	} else {
+		ctx := &Ctx{f: f}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// A native guest escaping through panic is contained at
+					// the Faaslet boundary, like an SFI trap.
+					err = fmt.Errorf("core: native guest panic: %v", r)
+					ret = -1
+				}
+			}()
+			ret, err = f.def.Native(ctx)
+		}()
+		// Native guests are charged wall time as a cycle proxy.
+		f.Steps = uint64(f.env.clock().Now().Sub(start) / time.Microsecond)
+	}
+	if f.env.CGroup != nil {
+		f.env.CGroup.Charge(f.id, int64(f.Steps))
+	}
+	if err != nil {
+		return nil, ret, err
+	}
+	return f.output, ret, nil
+}
+
+// callWavmEntry locates and invokes the guest entry point: "main" or
+// "_start", with signature ()->i32 or ()->().
+func (f *Faaslet) callWavmEntry() (int32, error) {
+	name := ""
+	for _, candidate := range []string{"main", "_start"} {
+		if _, ok := f.def.Module.ExportedFunc(candidate); ok {
+			name = candidate
+			break
+		}
+	}
+	if name == "" {
+		return -1, fmt.Errorf("core: module %s exports no main/_start", f.def.Name)
+	}
+	res, err := f.inst.Call(name)
+	if err != nil {
+		return -1, err
+	}
+	if len(res) == 1 {
+		return wavm.DecodeI32(res[0]), nil
+	}
+	return 0, nil
+}
+
+// mapState splices a state value's shared segment into the linear address
+// space (once per key), returning the guest base offset of the value.
+func (f *Faaslet) mapState(v *state.Value) (uint32, error) {
+	if base, ok := f.mapped[v.Key()]; ok {
+		return base, nil
+	}
+	base, err := f.mem.MapShared(v.Segment())
+	if err != nil {
+		return 0, fmt.Errorf("core: map state %s: %w", v.Key(), err)
+	}
+	f.mapped[v.Key()] = base
+	return base, nil
+}
+
+// releaseGlobalLocks drops any leaked global lock leases (guest forgot to
+// unlock, or trapped while holding them).
+func (f *Faaslet) releaseGlobalLocks() {
+	if f.env.State == nil {
+		return
+	}
+	for key, tok := range f.globalLockTokens {
+		f.env.State.UnlockGlobal(key, tok)
+	}
+	f.globalLockTokens = map[string]uint64{}
+}
+
+// Reset returns the Faaslet to its pristine state between calls (§5.2):
+// memory restored from the Proto-Faaslet (or zeroed when none exists), file
+// descriptors and local files dropped, sockets closed, state mappings and
+// lock leases released. After Reset, nothing written by the previous call is
+// observable — the multi-tenant reuse guarantee.
+func (f *Faaslet) Reset() error {
+	f.releaseGlobalLocks()
+	f.fs.Reset()
+	f.net.Reset()
+	f.mapped = map[string]uint32{}
+	f.input = nil
+	f.output = nil
+	f.libs = nil
+
+	if f.proto != nil {
+		return f.restoreFromProto(f.proto)
+	}
+	// No snapshot: rebuild memory from the module image.
+	limit := f.def.MemLimitPages
+	if limit <= 0 {
+		limit = DefaultMemLimitPages
+	}
+	if f.def.Module != nil {
+		mem, err := wamem.New(maxInt(f.def.Module.MemMin, 1), limit)
+		if err != nil {
+			return err
+		}
+		for _, d := range f.def.Module.Data {
+			if err := mem.WriteBytes(d.Offset, d.Bytes); err != nil {
+				return err
+			}
+		}
+		f.mem = mem
+		inst, err := wavm.Instantiate(f.def.Module, f.hostModules(),
+			wavm.WithMemory(mem), wavm.WithFuel(fuelOrUnlimited(f.def.Fuel)))
+		if err != nil {
+			return err
+		}
+		f.inst = inst
+	} else {
+		initial := f.def.InitialPages
+		if initial <= 0 {
+			initial = 1
+		}
+		mem, err := wamem.New(initial, limit)
+		if err != nil {
+			return err
+		}
+		f.mem = mem
+	}
+	return nil
+}
+
+// Close releases host resources (cgroup, sockets).
+func (f *Faaslet) Close() {
+	f.releaseGlobalLocks()
+	f.net.Reset()
+	if f.env.CGroup != nil {
+		f.env.CGroup.Remove(f.id)
+	}
+}
+
+// Ctx is the native-guest host interface: the same surface as Table 2,
+// expressed as Go methods. Native guests must treat it as their only door
+// to the outside world.
+type Ctx struct {
+	f *Faaslet
+}
+
+// NewCtx builds a host-side Ctx for trusted deployment-time code (e.g.
+// Proto-Faaslet initialisation). Guests never construct Ctx values.
+func NewCtx(f *Faaslet) *Ctx { return &Ctx{f: f} }
+
+// Input returns the call's input byte array (read_call_input).
+func (c *Ctx) Input() []byte { return c.f.input }
+
+// WriteOutput sets the call's output byte array (write_call_output).
+func (c *Ctx) WriteOutput(b []byte) {
+	c.f.output = append([]byte(nil), b...)
+}
+
+// Chain invokes another function (chain_call), returning its call id.
+func (c *Ctx) Chain(function string, input []byte) (uint64, error) {
+	if c.f.env.Chain == nil {
+		return 0, errors.New("core: no chainer configured")
+	}
+	return c.f.env.Chain.Chain(function, input)
+}
+
+// Await blocks until a chained call finishes (await_call).
+func (c *Ctx) Await(id uint64) (int32, error) {
+	if c.f.env.Chain == nil {
+		return -1, errors.New("core: no chainer configured")
+	}
+	return c.f.env.Chain.Await(id)
+}
+
+// OutputOf fetches a finished chained call's output (get_call_output).
+func (c *Ctx) OutputOf(id uint64) ([]byte, error) {
+	if c.f.env.Chain == nil {
+		return nil, errors.New("core: no chainer configured")
+	}
+	return c.f.env.Chain.Output(id)
+}
+
+// State returns the local-tier replica handle for key (get_state). size < 0
+// discovers the size from the global tier.
+func (c *Ctx) State(key string, size int) (*state.Value, error) {
+	if c.f.env.State == nil {
+		return nil, errors.New("core: no state tier configured")
+	}
+	return c.f.env.State.Value(key, size)
+}
+
+// MapState maps the value's shared segment into the Faaslet's linear memory
+// and returns a zero-copy byte view of the value — the pointer that
+// get_state hands to SFI guests.
+func (c *Ctx) MapState(key string, size int) ([]byte, error) {
+	v, err := c.State(key, size)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.EnsurePulled(0, v.Size()); err != nil {
+		return nil, err
+	}
+	if _, err := c.f.mapState(v); err != nil {
+		return nil, err
+	}
+	return v.Bytes(), nil
+}
+
+// AppendState appends to the global value (append_state).
+func (c *Ctx) AppendState(key string, data []byte) error {
+	if c.f.env.State == nil {
+		return errors.New("core: no state tier configured")
+	}
+	return c.f.env.State.Append(key, data)
+}
+
+// ReadAllState fetches the authoritative global value.
+func (c *Ctx) ReadAllState(key string) ([]byte, error) {
+	if c.f.env.State == nil {
+		return nil, errors.New("core: no state tier configured")
+	}
+	return c.f.env.State.ReadAll(key)
+}
+
+// WriteAllState replaces the authoritative global value and evicts any
+// local replica, for values whose size changes between writes.
+func (c *Ctx) WriteAllState(key string, data []byte) error {
+	if c.f.env.State == nil {
+		return errors.New("core: no state tier configured")
+	}
+	if err := c.f.env.State.Global().Set(key, data); err != nil {
+		return err
+	}
+	c.f.env.State.Evict(key)
+	return nil
+}
+
+// LockGlobal acquires a global lock (lock_state_global_read/write); the
+// lease is tracked and auto-released at reset if leaked.
+func (c *Ctx) LockGlobal(key string, write bool) error {
+	if c.f.env.State == nil {
+		return errors.New("core: no state tier configured")
+	}
+	tok, err := c.f.env.State.LockGlobal(key, write)
+	if err != nil {
+		return err
+	}
+	c.f.globalLockTokens[key] = tok
+	return nil
+}
+
+// UnlockGlobal releases a global lock taken by this Faaslet.
+func (c *Ctx) UnlockGlobal(key string) error {
+	tok, ok := c.f.globalLockTokens[key]
+	if !ok {
+		return fmt.Errorf("core: no global lock held on %s", key)
+	}
+	delete(c.f.globalLockTokens, key)
+	return c.f.env.State.UnlockGlobal(key, tok)
+}
+
+// FS exposes the read-global write-local filesystem.
+func (c *Ctx) FS() *vfs.FS { return c.f.fs }
+
+// Net exposes the virtual network interface.
+func (c *Ctx) Net() *netns.Interface { return c.f.net }
+
+// Memory exposes the Faaslet's linear memory.
+func (c *Ctx) Memory() *wamem.Memory { return c.f.mem }
+
+// Now returns the per-user monotonic clock (gettime): time since the
+// Faaslet's creation, never the wall clock.
+func (c *Ctx) Now() time.Duration {
+	return c.f.env.clock().Now().Sub(c.f.birth)
+}
+
+// Random fills b from the Faaslet's seeded PRNG (getrandom).
+func (c *Ctx) Random(b []byte) {
+	c.f.rng.Read(b)
+}
+
+// Function returns the executing function's name.
+func (c *Ctx) Function() string { return c.f.def.Name }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"faasm.dev/faasm/internal/wamem"
+	"faasm.dev/faasm/internal/wavm"
+)
+
+// Proto is a Proto-Faaslet (§5.2): a snapshot of a Faaslet's arbitrary
+// execution state — linear memory (stack, heap, data, break) plus the
+// module globals — captured after user-defined initialisation code has run.
+// Restores are copy-on-write and cost O(page table); the same Proto can be
+// restored concurrently into many Faaslets, and serialised Protos restore
+// across hosts because they are independent of any OS thread or process.
+type Proto struct {
+	Function string
+	mem      *wamem.Snapshot
+	globals  []uint64
+}
+
+// MemPages reports the snapshot size in pages.
+func (p *Proto) MemPages() int { return p.mem.Pages() }
+
+// StoredBytes reports the materialised snapshot bytes (Table 3 footprint).
+func (p *Proto) StoredBytes() int64 { return p.mem.StoredBytes() }
+
+// Snapshot captures the Faaslet's current execution state as a Proto and
+// installs it as the Faaslet's reset image. Call it after running
+// initialisation code (e.g. interpreter warm-up), before serving requests.
+func (f *Faaslet) Snapshot() (*Proto, error) {
+	p := &Proto{
+		Function: f.def.Name,
+		mem:      f.mem.Snapshot(),
+	}
+	if f.inst != nil {
+		p.globals = f.inst.Globals()
+	}
+	f.proto = p
+	return p, nil
+}
+
+// Proto returns the installed reset snapshot, if any.
+func (f *Faaslet) Proto() *Proto { return f.proto }
+
+// SetProto installs a snapshot (e.g. one restored from the global tier) as
+// the Faaslet's reset image and restores it immediately.
+func (f *Faaslet) SetProto(p *Proto) error {
+	if p.Function != f.def.Name {
+		return fmt.Errorf("core: proto for %s cannot restore into %s", p.Function, f.def.Name)
+	}
+	f.proto = p
+	return f.restoreFromProto(p)
+}
+
+// restoreFromProto rebuilds memory (copy-on-write) and globals from p.
+func (f *Faaslet) restoreFromProto(p *Proto) error {
+	f.mem = p.mem.Restore()
+	if f.def.Module != nil {
+		inst, err := wavm.Instantiate(f.def.Module, f.hostModules(),
+			wavm.WithMemory(f.mem),
+			wavm.WithFuel(fuelOrUnlimited(f.def.Fuel)),
+			wavm.WithSkipStart())
+		if err != nil {
+			return fmt.Errorf("core: relink after restore: %w", err)
+		}
+		for i, g := range p.globals {
+			if err := inst.SetGlobalValue(i, g); err != nil {
+				return err
+			}
+		}
+		f.inst = inst
+	}
+	return nil
+}
+
+// NewFromProto creates a fresh Faaslet already restored from p — the warm
+// cold-start path: hundreds of microseconds instead of full initialisation.
+func NewFromProto(def FuncDef, env *Env, p *Proto) (*Faaslet, error) {
+	if def.Module == nil && def.Native == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoFunction, def.Name)
+	}
+	f := newShell(def, env)
+	if err := f.SetProto(p); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// protoWire is the gob payload for cross-host transfer.
+type protoWire struct {
+	Function string
+	MemBlob  []byte
+	Globals  []uint64
+}
+
+// Serialize flattens the Proto for storage in the global tier, enabling
+// cross-host restores (the paper's key difference from single-machine
+// snapshot systems like SEUSS and Catalyzer).
+func (p *Proto) Serialize() ([]byte, error) {
+	blob, err := p.mem.Serialize()
+	if err != nil {
+		return nil, fmt.Errorf("core: serialise proto %s: %w", p.Function, err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(protoWire{
+		Function: p.Function,
+		MemBlob:  blob,
+		Globals:  p.globals,
+	}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DeserializeProto reverses Serialize.
+func DeserializeProto(b []byte) (*Proto, error) {
+	var w protoWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: decode proto: %w", err)
+	}
+	snap, err := wamem.DeserializeSnapshot(w.MemBlob)
+	if err != nil {
+		return nil, err
+	}
+	return &Proto{Function: w.Function, mem: snap, globals: w.Globals}, nil
+}

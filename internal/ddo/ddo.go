@@ -1,0 +1,450 @@
+// Package ddo implements distributed data objects (§4.1): language-level
+// classes that hide the two-tier state architecture behind convenient
+// types. Each DDO wraps one state key and chooses its own consistency
+// strategy — eager chunked pulls for read-only matrices, delayed pushes for
+// the asynchronous vector of Listing 1, global locks for strongly
+// consistent counters.
+//
+// DDOs are written against hostapi.API, so the same application code runs
+// on FAASM (zero-copy shared views) and on the container baseline (private
+// copies) — the paper's evaluation methodology.
+package ddo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"faasm.dev/faasm/internal/hostapi"
+)
+
+// Vector is a dense float64 vector in state. Writes are local; Push
+// publishes to the global tier (VectorAsync of Listing 1 pushes
+// sporadically, trading consistency for performance — HOGWILD tolerates
+// it).
+type Vector struct {
+	api hostapi.API
+	key string
+	n   int
+	buf []byte
+}
+
+// OpenVector binds a vector of n float64s (creating it locally if absent).
+func OpenVector(api hostapi.API, key string, n int) (*Vector, error) {
+	buf, err := api.StateView(key, n*8)
+	if err != nil {
+		return nil, fmt.Errorf("ddo: vector %s: %w", key, err)
+	}
+	return &Vector{api: api, key: key, n: n, buf: buf}, nil
+}
+
+// Len returns the element count.
+func (v *Vector) Len() int { return v.n }
+
+// At reads element i.
+func (v *Vector) At(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.buf[i*8:]))
+}
+
+// Set writes element i locally.
+func (v *Vector) Set(i int, x float64) {
+	binary.LittleEndian.PutUint64(v.buf[i*8:], math.Float64bits(x))
+}
+
+// Add accumulates into element i locally (the HOGWILD unsynchronised
+// update: races between co-located workers are tolerated by design).
+func (v *Vector) Add(i int, dx float64) {
+	v.Set(i, v.At(i)+dx)
+}
+
+// Push publishes the local replica to the global tier (VectorAsync.push).
+func (v *Vector) Push() error { return v.api.StatePush(v.key) }
+
+// Pull refreshes the local replica.
+func (v *Vector) Pull() error {
+	if err := v.api.StatePull(v.key); err != nil {
+		return err
+	}
+	buf, err := v.api.StateView(v.key, v.n*8)
+	if err != nil {
+		return err
+	}
+	v.buf = buf
+	return nil
+}
+
+// Matrix is a dense column-major float64 matrix; column ranges are
+// contiguous in state, so column access pulls only the needed chunks
+// (MatrixReadOnly in Listing 1).
+type Matrix struct {
+	api        hostapi.API
+	key        string
+	rows, cols int
+}
+
+// MatrixBytes is the state size for a rows×cols matrix.
+func MatrixBytes(rows, cols int) int { return rows * cols * 8 }
+
+// OpenMatrix binds a matrix already present in state.
+func OpenMatrix(api hostapi.API, key string, rows, cols int) *Matrix {
+	return &Matrix{api: api, key: key, rows: rows, cols: cols}
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Columns returns a view of columns [a, b): only those bytes are pulled.
+// The DDO performs the implicit pull of §4.1.
+func (m *Matrix) Columns(a, b int) (*ColumnView, error) {
+	if a < 0 || b > m.cols || a >= b {
+		return nil, fmt.Errorf("ddo: matrix %s columns [%d,%d) out of range", m.key, a, b)
+	}
+	off := a * m.rows * 8
+	n := (b - a) * m.rows * 8
+	buf, err := m.api.StateViewChunk(m.key, off, n)
+	if err != nil {
+		return nil, err
+	}
+	return &ColumnView{buf: buf, rows: m.rows, first: a, count: b - a}, nil
+}
+
+// WriteColumn stores a column locally and pushes just its chunk.
+func (m *Matrix) WriteColumn(j int, col []float64) error {
+	if len(col) != m.rows {
+		return fmt.Errorf("ddo: column length %d != rows %d", len(col), m.rows)
+	}
+	off := j * m.rows * 8
+	buf, err := m.api.StateViewChunk(m.key, off, m.rows*8)
+	if err != nil {
+		return err
+	}
+	for i, x := range col {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	return m.api.StatePushChunk(m.key, off, m.rows*8)
+}
+
+// ColumnView is a window over consecutive matrix columns.
+type ColumnView struct {
+	buf   []byte
+	rows  int
+	first int
+	count int
+}
+
+// At reads element (row, col) with col absolute.
+func (cv *ColumnView) At(row, col int) float64 {
+	idx := (col-cv.first)*cv.rows + row
+	return math.Float64frombits(binary.LittleEndian.Uint64(cv.buf[idx*8:]))
+}
+
+// Col returns one column as a freshly decoded slice.
+func (cv *ColumnView) Col(col int) []float64 {
+	out := make([]float64, cv.rows)
+	base := (col - cv.first) * cv.rows * 8
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(cv.buf[base+i*8:]))
+	}
+	return out
+}
+
+// SparseMatrix is a read-only CSC (compressed sparse column) matrix over
+// three state keys: key/vals (f64), key/rows (i32), key/colptr (i64,
+// len cols+1). Column-range access pulls only the covering chunks of each
+// array — the SparseMatrixReadOnly of Listing 1.
+type SparseMatrix struct {
+	api  hostapi.API
+	key  string
+	cols int
+
+	colptr []byte // pulled eagerly: it is small and needed for addressing
+}
+
+// SparseKeys returns the three state keys for a sparse matrix.
+func SparseKeys(key string) (vals, rows, colptr string) {
+	return key + "/vals", key + "/rows", key + "/colptr"
+}
+
+// OpenSparseMatrix binds a CSC matrix with the given column count.
+func OpenSparseMatrix(api hostapi.API, key string, cols int) (*SparseMatrix, error) {
+	_, _, cpKey := SparseKeys(key)
+	colptr, err := api.StateViewChunk(cpKey, 0, (cols+1)*8)
+	if err != nil {
+		return nil, fmt.Errorf("ddo: sparse %s colptr: %w", key, err)
+	}
+	return &SparseMatrix{api: api, key: key, cols: cols, colptr: colptr}, nil
+}
+
+// Cols returns the column count.
+func (sm *SparseMatrix) Cols() int { return sm.cols }
+
+// colRangePtr returns the value-array index range for columns [a, b).
+func (sm *SparseMatrix) colRangePtr(a, b int) (int, int) {
+	lo := int(binary.LittleEndian.Uint64(sm.colptr[a*8:]))
+	hi := int(binary.LittleEndian.Uint64(sm.colptr[b*8:]))
+	return lo, hi
+}
+
+// NNZ returns the matrix's total stored entries.
+func (sm *SparseMatrix) NNZ() int {
+	_, hi := sm.colRangePtr(0, sm.cols)
+	return hi
+}
+
+// Columns pulls columns [a, b) and returns an iterator view. Only the
+// chunks of vals/rows covering those columns transfer.
+func (sm *SparseMatrix) Columns(a, b int) (*SparseColumns, error) {
+	if a < 0 || b > sm.cols || a >= b {
+		return nil, fmt.Errorf("ddo: sparse %s columns [%d,%d) out of range", sm.key, a, b)
+	}
+	lo, hi := sm.colRangePtr(a, b)
+	valsKey, rowsKey, _ := SparseKeys(sm.key)
+	vals, err := sm.api.StateViewChunk(valsKey, lo*8, (hi-lo)*8)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := sm.api.StateViewChunk(rowsKey, lo*4, (hi-lo)*4)
+	if err != nil {
+		return nil, err
+	}
+	return &SparseColumns{sm: sm, first: a, last: b, lo: lo, vals: vals, rows: rows}, nil
+}
+
+// SparseColumns is a pulled window of CSC columns.
+type SparseColumns struct {
+	sm          *SparseMatrix
+	first, last int
+	lo          int
+	vals        []byte
+	rows        []byte
+}
+
+// Col invokes f for every stored (row, value) of absolute column j.
+func (sc *SparseColumns) Col(j int, f func(row int, val float64)) {
+	lo, hi := sc.sm.colRangePtr(j, j+1)
+	for k := lo; k < hi; k++ {
+		rel := k - sc.lo
+		row := int(binary.LittleEndian.Uint32(sc.rows[rel*4:]))
+		val := math.Float64frombits(binary.LittleEndian.Uint64(sc.vals[rel*8:]))
+		f(row, val)
+	}
+}
+
+// BuildSparseCSC encodes a sparse matrix into the three state blobs.
+// entries[j] lists (row, val) pairs of column j.
+func BuildSparseCSC(entries [][]SparseEntry) (vals, rows, colptr []byte) {
+	var nnz int
+	for _, col := range entries {
+		nnz += len(col)
+	}
+	vals = make([]byte, nnz*8)
+	rows = make([]byte, nnz*4)
+	colptr = make([]byte, (len(entries)+1)*8)
+	k := 0
+	for j, col := range entries {
+		binary.LittleEndian.PutUint64(colptr[j*8:], uint64(k))
+		for _, e := range col {
+			binary.LittleEndian.PutUint64(vals[k*8:], math.Float64bits(e.Val))
+			binary.LittleEndian.PutUint32(rows[k*4:], uint32(e.Row))
+			k++
+		}
+	}
+	binary.LittleEndian.PutUint64(colptr[len(entries)*8:], uint64(k))
+	return vals, rows, colptr
+}
+
+// SparseEntry is one stored cell.
+type SparseEntry struct {
+	Row int
+	Val float64
+}
+
+// Counter is a strongly consistent distributed counter: increments use the
+// §4.2 recipe (global write lock → pull → mutate → push → unlock).
+type Counter struct {
+	api hostapi.API
+	key string
+}
+
+// OpenCounter binds a counter (creating an 8-byte value lazily).
+func OpenCounter(api hostapi.API, key string) *Counter {
+	return &Counter{api: api, key: key}
+}
+
+// Add atomically adds delta cluster-wide, returning the new value.
+func (c *Counter) Add(delta int64) (int64, error) {
+	if err := c.api.LockGlobal(c.key, true); err != nil {
+		return 0, err
+	}
+	defer c.api.UnlockGlobal(c.key)
+	cur, err := c.api.StateReadAll(c.key)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if len(cur) >= 8 {
+		n = int64(binary.LittleEndian.Uint64(cur))
+	}
+	n += delta
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], uint64(n))
+	buf, err := c.api.StateView(c.key, 8)
+	if err != nil {
+		return 0, err
+	}
+	copy(buf, out[:])
+	if err := c.api.StatePush(c.key); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Value reads the counter without locking (eventually consistent).
+func (c *Counter) Value() (int64, error) {
+	cur, err := c.api.StateReadAll(c.key)
+	if err != nil {
+		return 0, err
+	}
+	if len(cur) < 8 {
+		return 0, nil
+	}
+	return int64(binary.LittleEndian.Uint64(cur)), nil
+}
+
+// List is an append-only distributed list of byte records (eventually
+// consistent appends, the delayed-update list of §4.1). Records are
+// length-prefixed in one global value.
+type List struct {
+	api hostapi.API
+	key string
+}
+
+// OpenList binds a list.
+func OpenList(api hostapi.API, key string) *List {
+	return &List{api: api, key: key}
+}
+
+// Append adds one record (atomic in the global tier).
+func (l *List) Append(rec []byte) error {
+	buf := make([]byte, 4+len(rec))
+	binary.LittleEndian.PutUint32(buf, uint32(len(rec)))
+	copy(buf[4:], rec)
+	return l.api.StateAppend(l.key, buf)
+}
+
+// All reads every record.
+func (l *List) All() ([][]byte, error) {
+	raw, err := l.api.StateReadAll(l.key)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for off := 0; off+4 <= len(raw); {
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if off+n > len(raw) {
+			return nil, fmt.Errorf("ddo: list %s corrupt at %d", l.key, off)
+		}
+		out = append(out, append([]byte(nil), raw[off:off+n]...))
+		off += n
+	}
+	return out, nil
+}
+
+// Dict is a lazily pulled distributed dictionary: a snapshot read of a
+// map[string][]byte encoded in one state value, with whole-map writes under
+// a global lock. Suitable for small configuration maps.
+type Dict struct {
+	api hostapi.API
+	key string
+}
+
+// OpenDict binds a dictionary.
+func OpenDict(api hostapi.API, key string) *Dict { return &Dict{api: api, key: key} }
+
+// Get reads one entry (lazy pull of the whole map — dictionaries are small).
+func (d *Dict) Get(field string) ([]byte, bool, error) {
+	m, err := d.snapshot()
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := m[field]
+	return v, ok, nil
+}
+
+// Set updates one entry under a global lock.
+func (d *Dict) Set(field string, val []byte) error {
+	if err := d.api.LockGlobal(d.key, true); err != nil {
+		return err
+	}
+	defer d.api.UnlockGlobal(d.key)
+	m, err := d.snapshot()
+	if err != nil {
+		return err
+	}
+	m[field] = append([]byte(nil), val...)
+	return d.api.StateWriteAll(d.key, encodeDict(m))
+}
+
+func (d *Dict) snapshot() (map[string][]byte, error) {
+	raw, err := d.api.StateReadAll(d.key)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDict(raw)
+}
+
+func encodeDict(m map[string][]byte) []byte {
+	var out []byte
+	var hdr [8]byte
+	for k, v := range m {
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(k)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(v)))
+		out = append(out, hdr[:]...)
+		out = append(out, k...)
+		out = append(out, v...)
+	}
+	return out
+}
+
+func decodeDict(raw []byte) (map[string][]byte, error) {
+	m := map[string][]byte{}
+	for off := 0; off+8 <= len(raw); {
+		kl := int(binary.LittleEndian.Uint32(raw[off:]))
+		vl := int(binary.LittleEndian.Uint32(raw[off+4:]))
+		off += 8
+		if off+kl+vl > len(raw) {
+			return nil, fmt.Errorf("ddo: dict corrupt at %d", off)
+		}
+		k := string(raw[off : off+kl])
+		off += kl
+		m[k] = append([]byte(nil), raw[off:off+vl]...)
+		off += vl
+	}
+	return m, nil
+}
+
+// Barrier blocks until n participants arrive (built on the strongly
+// consistent counter plus polling; used by multi-phase workloads).
+type Barrier struct {
+	counter *Counter
+	n       int64
+}
+
+// OpenBarrier binds a barrier for n participants.
+func OpenBarrier(api hostapi.API, key string, n int) *Barrier {
+	return &Barrier{counter: OpenCounter(api, key), n: int64(n)}
+}
+
+// Arrive registers arrival and reports whether all participants have
+// arrived (non-blocking; callers poll or chain).
+func (b *Barrier) Arrive() (bool, error) {
+	v, err := b.counter.Add(1)
+	if err != nil {
+		return false, err
+	}
+	return v >= b.n, nil
+}

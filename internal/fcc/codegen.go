@@ -1,0 +1,1044 @@
+package fcc
+
+import (
+	"fmt"
+	"math"
+
+	"faasm.dev/faasm/internal/wavm"
+)
+
+// Compile parses and code-generates FC source into an unvalidated wavm
+// module. Callers must run wavm.Validate before instantiation, mirroring
+// the untrusted-toolchain / trusted-codegen split of Fig 3.
+func Compile(src string) (*wavm.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Gen(prog)
+}
+
+// CompileAndValidate runs the full pipeline.
+func CompileAndValidate(src string) (*wavm.Module, error) {
+	mod, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := wavm.Validate(mod); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// MustCompile is CompileAndValidate for static sources.
+func MustCompile(src string) *wavm.Module {
+	mod, err := CompileAndValidate(src)
+	if err != nil {
+		panic(err)
+	}
+	return mod
+}
+
+// heapGlobalName is the compiler-managed bump-allocator pointer.
+const heapGlobalName = "__heap"
+
+type funcSig struct {
+	idx    int
+	params []Type
+	ret    Type
+}
+
+type globalInfo struct {
+	idx int32
+	typ Type
+}
+
+type genState struct {
+	prog    *Program
+	mod     *wavm.Module
+	funcs   map[string]funcSig
+	globals map[string]globalInfo
+	heapIdx int32
+}
+
+// Gen lowers a parsed program.
+func Gen(prog *Program) (*wavm.Module, error) {
+	g := &genState{
+		prog:    prog,
+		mod:     &wavm.Module{Start: -1, MemMin: prog.MemPages, MemMax: prog.MemMax},
+		funcs:   map[string]funcSig{},
+		globals: map[string]globalInfo{},
+	}
+	// Imports occupy the front of the index space.
+	for _, ext := range prog.Externs {
+		var ft wavm.FuncType
+		for _, pt := range ext.Params {
+			ft.Params = append(ft.Params, valueType(pt))
+		}
+		if ext.Ret.Kind != TVoid {
+			ft.Results = []wavm.ValueType{valueType(ext.Ret)}
+		}
+		if _, dup := g.funcs[ext.Name]; dup {
+			return nil, fmt.Errorf("fcc: line %d: duplicate function %s", ext.Line, ext.Name)
+		}
+		g.funcs[ext.Name] = funcSig{idx: len(g.mod.Imports), params: ext.Params, ret: ext.Ret}
+		g.mod.Imports = append(g.mod.Imports, wavm.Import{
+			Module: ext.Module, Name: ext.Name, Type: g.typeIndex(ft),
+		})
+	}
+	// User globals, then the heap pointer.
+	for _, gv := range prog.Globals {
+		if _, dup := g.globals[gv.Name]; dup {
+			return nil, fmt.Errorf("fcc: line %d: duplicate global %s", gv.Line, gv.Name)
+		}
+		wg := wavm.Global{Type: valueType(gv.Type), Mutable: true}
+		if gv.Type.Kind == TF64 {
+			wg.Init = int64(math.Float64bits(gv.InitF64))
+		} else {
+			wg.Init = gv.InitInt
+		}
+		g.globals[gv.Name] = globalInfo{idx: int32(len(g.mod.Globals)), typ: gv.Type}
+		g.mod.Globals = append(g.mod.Globals, wg)
+	}
+	g.heapIdx = int32(len(g.mod.Globals))
+	g.mod.Globals = append(g.mod.Globals, wavm.Global{
+		Type: wavm.I32, Mutable: true, Init: int64(prog.HeapBase),
+	})
+
+	// Function signatures before bodies, for forward references.
+	for i := range prog.Funcs {
+		fn := &prog.Funcs[i]
+		if _, dup := g.funcs[fn.Name]; dup {
+			return nil, fmt.Errorf("fcc: line %d: duplicate function %s", fn.Line, fn.Name)
+		}
+		var params []Type
+		for _, p := range fn.Params {
+			params = append(params, p.Type)
+		}
+		g.funcs[fn.Name] = funcSig{idx: len(g.mod.Imports) + i, params: params, ret: fn.Ret}
+	}
+	for i := range prog.Funcs {
+		fn := &prog.Funcs[i]
+		compiled, err := g.genFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		g.mod.Funcs = append(g.mod.Funcs, compiled)
+		g.mod.Exports = append(g.mod.Exports, wavm.Export{
+			Name: fn.Name, Kind: wavm.ExportFunc, Index: len(g.mod.Imports) + i,
+		})
+	}
+	return g.mod, nil
+}
+
+func (g *genState) typeIndex(ft wavm.FuncType) int {
+	for i, existing := range g.mod.Types {
+		if existing.Equal(ft) {
+			return i
+		}
+	}
+	g.mod.Types = append(g.mod.Types, ft)
+	return len(g.mod.Types) - 1
+}
+
+func valueType(t Type) wavm.ValueType {
+	switch t.Kind {
+	case TI64:
+		return wavm.I64
+	case TF64:
+		return wavm.F64
+	default: // i32 and pointers
+		return wavm.I32
+	}
+}
+
+type localInfo struct {
+	idx int32
+	typ Type
+}
+
+type loopCtx struct {
+	breakLevel int
+	contLevel  int
+}
+
+type fgen struct {
+	g       *genState
+	fn      *FuncDecl
+	code    []wavm.Instr
+	scopes  []map[string]localInfo
+	locals  []wavm.ValueType // beyond params
+	nlocals int32            // params + locals
+	nesting int
+	loops   []loopCtx
+	scratch int32 // scratch i32 local for alloc; -1 until needed
+}
+
+func (g *genState) genFunc(fn *FuncDecl) (wavm.Function, error) {
+	f := &fgen{g: g, fn: fn, scratch: -1}
+	f.scopes = []map[string]localInfo{{}}
+	var ft wavm.FuncType
+	for _, p := range fn.Params {
+		ft.Params = append(ft.Params, valueType(p.Type))
+		if _, dup := f.scopes[0][p.Name]; dup {
+			return wavm.Function{}, fmt.Errorf("fcc: line %d: duplicate parameter %s", fn.Line, p.Name)
+		}
+		f.scopes[0][p.Name] = localInfo{idx: f.nlocals, typ: p.Type}
+		f.nlocals++
+	}
+	if fn.Ret.Kind != TVoid {
+		ft.Results = []wavm.ValueType{valueType(fn.Ret)}
+	}
+	if err := f.genStmts(fn.Body); err != nil {
+		return wavm.Function{}, err
+	}
+	// Guarantee the implicit frame is satisfied: a function with a result
+	// must end in an explicit return on every path; emitting an
+	// unreachable-guarded default keeps the validator happy for bodies that
+	// provably returned earlier.
+	if fn.Ret.Kind != TVoid {
+		f.emit(wavm.Instr{Op: wavm.OpUnreachable})
+	}
+	return wavm.Function{
+		Type:   g.typeIndex(ft),
+		Locals: f.locals,
+		Code:   f.code,
+		Name:   fn.Name,
+	}, nil
+}
+
+func (f *fgen) emit(in wavm.Instr) { f.code = append(f.code, in) }
+
+func (f *fgen) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("fcc: line %d (func %s): %s", line, f.fn.Name, fmt.Sprintf(format, args...))
+}
+
+func (f *fgen) pushScope() { f.scopes = append(f.scopes, map[string]localInfo{}) }
+func (f *fgen) popScope()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+
+func (f *fgen) lookup(name string) (localInfo, bool) {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if li, ok := f.scopes[i][name]; ok {
+			return li, true
+		}
+	}
+	return localInfo{}, false
+}
+
+func (f *fgen) declareLocal(name string, t Type, line int) (localInfo, error) {
+	cur := f.scopes[len(f.scopes)-1]
+	if _, dup := cur[name]; dup {
+		return localInfo{}, f.errf(line, "duplicate variable %s", name)
+	}
+	li := localInfo{idx: f.nlocals, typ: t}
+	cur[name] = li
+	f.locals = append(f.locals, valueType(t))
+	f.nlocals++
+	return li, nil
+}
+
+func (f *fgen) scratchLocal() int32 {
+	if f.scratch < 0 {
+		f.scratch = f.nlocals
+		f.locals = append(f.locals, wavm.I32)
+		f.nlocals++
+	}
+	return f.scratch
+}
+
+func (f *fgen) genStmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := f.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fgen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarDecl:
+		li, err := f.declareLocal(st.Name, st.Type, st.Line)
+		if err != nil {
+			return err
+		}
+		if st.Init != nil {
+			if err := f.genExprWant(st.Init, st.Type); err != nil {
+				return err
+			}
+			f.emit(wavm.Instr{Op: wavm.OpLocalSet, A: li.idx})
+			return nil
+		}
+		// Declarations zero-initialise on every execution: the wasm local
+		// slot is reused across loop iterations, so relying on the
+		// entry-time zeroing would leak the previous iteration's value.
+		switch st.Type.Kind {
+		case TF64:
+			f.emit(wavm.Instr{Op: wavm.OpF64Const, C: 0})
+		case TI64:
+			f.emit(wavm.Instr{Op: wavm.OpI64Const, C: 0})
+		default:
+			f.emit(wavm.Instr{Op: wavm.OpI32Const, C: 0})
+		}
+		f.emit(wavm.Instr{Op: wavm.OpLocalSet, A: li.idx})
+		return nil
+
+	case *Assign:
+		return f.genAssign(st)
+
+	case *ExprStmt:
+		t, err := f.genExpr(st.X)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TVoid {
+			f.emit(wavm.Instr{Op: wavm.OpDrop})
+		}
+		return nil
+
+	case *If:
+		if err := f.genCond(st.Cond); err != nil {
+			return err
+		}
+		f.emit(wavm.Instr{Op: wavm.OpIf})
+		f.nesting++
+		f.pushScope()
+		if err := f.genStmts(st.Then); err != nil {
+			return err
+		}
+		f.popScope()
+		if len(st.Else) > 0 {
+			f.emit(wavm.Instr{Op: wavm.OpElse})
+			f.pushScope()
+			if err := f.genStmts(st.Else); err != nil {
+				return err
+			}
+			f.popScope()
+		}
+		f.emit(wavm.Instr{Op: wavm.OpEnd})
+		f.nesting--
+		return nil
+
+	case *While:
+		f.emit(wavm.Instr{Op: wavm.OpBlock})
+		f.nesting++
+		breakLevel := f.nesting
+		f.emit(wavm.Instr{Op: wavm.OpLoop})
+		f.nesting++
+		contLevel := f.nesting
+		if err := f.genCond(st.Cond); err != nil {
+			return err
+		}
+		f.emit(wavm.Instr{Op: wavm.OpI32Eqz})
+		f.emit(wavm.Instr{Op: wavm.OpBrIf, A: int32(f.nesting - breakLevel)})
+		f.loops = append(f.loops, loopCtx{breakLevel: breakLevel, contLevel: contLevel})
+		f.pushScope()
+		if err := f.genStmts(st.Body); err != nil {
+			return err
+		}
+		f.popScope()
+		f.loops = f.loops[:len(f.loops)-1]
+		f.emit(wavm.Instr{Op: wavm.OpBr, A: int32(f.nesting - contLevel)})
+		f.emit(wavm.Instr{Op: wavm.OpEnd})
+		f.nesting--
+		f.emit(wavm.Instr{Op: wavm.OpEnd})
+		f.nesting--
+		return nil
+
+	case *For:
+		f.pushScope() // scope for the init variable
+		if st.Init != nil {
+			if err := f.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		f.emit(wavm.Instr{Op: wavm.OpBlock})
+		f.nesting++
+		breakLevel := f.nesting
+		f.emit(wavm.Instr{Op: wavm.OpLoop})
+		f.nesting++
+		loopLevel := f.nesting
+		if st.Cond != nil {
+			if err := f.genCond(st.Cond); err != nil {
+				return err
+			}
+			f.emit(wavm.Instr{Op: wavm.OpI32Eqz})
+			f.emit(wavm.Instr{Op: wavm.OpBrIf, A: int32(f.nesting - breakLevel)})
+		}
+		// Continue target: a block whose end precedes the post statement.
+		f.emit(wavm.Instr{Op: wavm.OpBlock})
+		f.nesting++
+		contLevel := f.nesting
+		f.loops = append(f.loops, loopCtx{breakLevel: breakLevel, contLevel: contLevel})
+		f.pushScope()
+		if err := f.genStmts(st.Body); err != nil {
+			return err
+		}
+		f.popScope()
+		f.loops = f.loops[:len(f.loops)-1]
+		f.emit(wavm.Instr{Op: wavm.OpEnd})
+		f.nesting--
+		if st.Post != nil {
+			if err := f.genStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		f.emit(wavm.Instr{Op: wavm.OpBr, A: int32(f.nesting - loopLevel)})
+		f.emit(wavm.Instr{Op: wavm.OpEnd})
+		f.nesting--
+		f.emit(wavm.Instr{Op: wavm.OpEnd})
+		f.nesting--
+		f.popScope()
+		return nil
+
+	case *Return:
+		if f.fn.Ret.Kind == TVoid {
+			if st.X != nil {
+				return f.errf(st.Line, "void function returns a value")
+			}
+			f.emit(wavm.Instr{Op: wavm.OpReturn})
+			return nil
+		}
+		if st.X == nil {
+			return f.errf(st.Line, "missing return value")
+		}
+		if err := f.genExprWant(st.X, f.fn.Ret); err != nil {
+			return err
+		}
+		f.emit(wavm.Instr{Op: wavm.OpReturn})
+		return nil
+
+	case *Break:
+		if len(f.loops) == 0 {
+			return f.errf(st.Line, "break outside loop")
+		}
+		ctx := f.loops[len(f.loops)-1]
+		f.emit(wavm.Instr{Op: wavm.OpBr, A: int32(f.nesting - ctx.breakLevel)})
+		return nil
+
+	case *Continue:
+		if len(f.loops) == 0 {
+			return f.errf(st.Line, "continue outside loop")
+		}
+		ctx := f.loops[len(f.loops)-1]
+		f.emit(wavm.Instr{Op: wavm.OpBr, A: int32(f.nesting - ctx.contLevel)})
+		return nil
+	}
+	return fmt.Errorf("fcc: unknown statement %T", s)
+}
+
+// genCond evaluates an i32 condition.
+func (f *fgen) genCond(e Expr) error {
+	t, err := f.genExpr(e)
+	if err != nil {
+		return err
+	}
+	if t.Kind != TI32 {
+		return f.errf(exprLine(e), "condition must be i32, got %s", t)
+	}
+	return nil
+}
+
+func (f *fgen) genAssign(st *Assign) error {
+	switch lhs := st.LHS.(type) {
+	case *Ident:
+		if li, ok := f.lookup(lhs.Name); ok {
+			if err := f.genExprWant(st.RHS, li.typ); err != nil {
+				return err
+			}
+			f.emit(wavm.Instr{Op: wavm.OpLocalSet, A: li.idx})
+			return nil
+		}
+		if gi, ok := f.g.globals[lhs.Name]; ok {
+			if err := f.genExprWant(st.RHS, gi.typ); err != nil {
+				return err
+			}
+			f.emit(wavm.Instr{Op: wavm.OpGlobalSet, A: gi.idx})
+			return nil
+		}
+		return f.errf(st.Line, "unknown variable %s", lhs.Name)
+
+	case *Index:
+		baseT, err := f.genIndexAddr(lhs)
+		if err != nil {
+			return err
+		}
+		if err := f.genExprWant(st.RHS, *baseT.Elem); err != nil {
+			return err
+		}
+		switch baseT.Elem.Kind {
+		case TF64:
+			f.emit(wavm.Instr{Op: wavm.OpF64Store})
+		case TI64:
+			f.emit(wavm.Instr{Op: wavm.OpI64Store})
+		default:
+			f.emit(wavm.Instr{Op: wavm.OpI32Store})
+		}
+		return nil
+	}
+	return f.errf(st.Line, "invalid assignment target")
+}
+
+// genIndexAddr pushes the byte address of base[idx], returning base's type.
+func (f *fgen) genIndexAddr(ix *Index) (Type, error) {
+	baseT, err := f.genExpr(ix.Base)
+	if err != nil {
+		return Type{}, err
+	}
+	if baseT.Kind != TPtr {
+		return Type{}, f.errf(ix.Line, "indexing non-pointer %s", baseT)
+	}
+	if err := f.genExprWant(ix.Idx, Type{Kind: TI32}); err != nil {
+		return Type{}, err
+	}
+	size := baseT.ElemSize()
+	if size > 1 {
+		f.emit(wavm.Instr{Op: wavm.OpI32Const, C: int64(size)})
+		f.emit(wavm.Instr{Op: wavm.OpI32Mul})
+	}
+	f.emit(wavm.Instr{Op: wavm.OpI32Add})
+	return baseT, nil
+}
+
+// genExprWant emits e coerced to want; integer literals adapt to the
+// expected width/kind, everything else must match exactly.
+func (f *fgen) genExprWant(e Expr, want Type) error {
+	if lit, ok := e.(*IntLit); ok {
+		switch want.Kind {
+		case TI64:
+			f.emit(wavm.Instr{Op: wavm.OpI64Const, C: lit.Val})
+			return nil
+		case TF64:
+			f.emit(wavm.Instr{Op: wavm.OpF64Const, C: int64(math.Float64bits(float64(lit.Val)))})
+			return nil
+		case TI32, TPtr:
+			f.emit(wavm.Instr{Op: wavm.OpI32Const, C: int64(int32(lit.Val))})
+			return nil
+		}
+	}
+	got, err := f.genExpr(e)
+	if err != nil {
+		return err
+	}
+	if !got.Equal(want) {
+		// Pointers interchange with i32 addresses explicitly only.
+		if got.Kind == TPtr && want.Kind == TPtr {
+			return f.errf(exprLine(e), "pointer type %s where %s expected", got, want)
+		}
+		return f.errf(exprLine(e), "type %s where %s expected", got, want)
+	}
+	return nil
+}
+
+func exprLine(e Expr) int {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Line
+	case *FloatLit:
+		return x.Line
+	case *Ident:
+		return x.Line
+	case *Index:
+		return x.Line
+	case *Call:
+		return x.Line
+	case *Binary:
+		return x.Line
+	case *Unary:
+		return x.Line
+	}
+	return 0
+}
+
+func (f *fgen) genExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		f.emit(wavm.Instr{Op: wavm.OpI32Const, C: int64(int32(x.Val))})
+		return Type{Kind: TI32}, nil
+
+	case *FloatLit:
+		f.emit(wavm.Instr{Op: wavm.OpF64Const, C: int64(math.Float64bits(x.Val))})
+		return Type{Kind: TF64}, nil
+
+	case *Ident:
+		if li, ok := f.lookup(x.Name); ok {
+			f.emit(wavm.Instr{Op: wavm.OpLocalGet, A: li.idx})
+			return li.typ, nil
+		}
+		if gi, ok := f.g.globals[x.Name]; ok {
+			f.emit(wavm.Instr{Op: wavm.OpGlobalGet, A: gi.idx})
+			return gi.typ, nil
+		}
+		return Type{}, f.errf(x.Line, "unknown variable %s", x.Name)
+
+	case *Index:
+		baseT, err := f.genIndexAddr(x)
+		if err != nil {
+			return Type{}, err
+		}
+		switch baseT.Elem.Kind {
+		case TF64:
+			f.emit(wavm.Instr{Op: wavm.OpF64Load})
+		case TI64:
+			f.emit(wavm.Instr{Op: wavm.OpI64Load})
+		default:
+			f.emit(wavm.Instr{Op: wavm.OpI32Load})
+		}
+		return *baseT.Elem, nil
+
+	case *Unary:
+		return f.genUnary(x)
+
+	case *Binary:
+		return f.genBinary(x)
+
+	case *Call:
+		return f.genCall(x)
+	}
+	return Type{}, fmt.Errorf("fcc: unknown expression %T", e)
+}
+
+func (f *fgen) genUnary(x *Unary) (Type, error) {
+	switch x.Op {
+	case "-":
+		// For floats use f64.neg; for ints 0 - x.
+		if isFloatExpr(x.X, f) {
+			t, err := f.genExpr(x.X)
+			if err != nil {
+				return Type{}, err
+			}
+			if t.Kind != TF64 {
+				return Type{}, f.errf(x.Line, "cannot negate %s", t)
+			}
+			f.emit(wavm.Instr{Op: wavm.OpF64Neg})
+			return t, nil
+		}
+		f.emit(wavm.Instr{Op: wavm.OpI32Const, C: 0})
+		t, err := f.genExpr(x.X)
+		if err != nil {
+			return Type{}, err
+		}
+		switch t.Kind {
+		case TI32:
+			f.emit(wavm.Instr{Op: wavm.OpI32Sub})
+		case TI64:
+			// Fix the 0 we pushed as i32: cheaper to re-plan, but i64 is
+			// rare in unary minus; recompute via multiply by -1.
+			f.code = f.code[:len(f.code)-1] // drop the sub candidate? no-op
+			return Type{}, f.errf(x.Line, "use (0 - x) for i64 negation")
+		case TF64:
+			return Type{}, f.errf(x.Line, "internal: float negation path missed")
+		default:
+			return Type{}, f.errf(x.Line, "cannot negate %s", t)
+		}
+		return t, nil
+	case "!":
+		t, err := f.genExpr(x.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if t.Kind != TI32 {
+			return Type{}, f.errf(x.Line, "! wants i32, got %s", t)
+		}
+		f.emit(wavm.Instr{Op: wavm.OpI32Eqz})
+		return t, nil
+	case "~":
+		t, err := f.genExpr(x.X)
+		if err != nil {
+			return Type{}, err
+		}
+		switch t.Kind {
+		case TI32:
+			f.emit(wavm.Instr{Op: wavm.OpI32Const, C: -1})
+			f.emit(wavm.Instr{Op: wavm.OpI32Xor})
+		case TI64:
+			f.emit(wavm.Instr{Op: wavm.OpI64Const, C: -1})
+			f.emit(wavm.Instr{Op: wavm.OpI64Xor})
+		default:
+			return Type{}, f.errf(x.Line, "~ wants an integer, got %s", t)
+		}
+		return t, nil
+	}
+	return Type{}, f.errf(x.Line, "unknown unary %q", x.Op)
+}
+
+// isFloatExpr guesses whether an expression is float-typed without emitting
+// (literals and identifiers only; conservative fallback is int).
+func isFloatExpr(e Expr, f *fgen) bool {
+	switch x := e.(type) {
+	case *FloatLit:
+		return true
+	case *Ident:
+		if li, ok := f.lookup(x.Name); ok {
+			return li.typ.Kind == TF64
+		}
+		if gi, ok := f.g.globals[x.Name]; ok {
+			return gi.typ.Kind == TF64
+		}
+	case *Index:
+		// Peek at the base pointer's element type.
+		if id, ok := x.Base.(*Ident); ok {
+			if li, ok := f.lookup(id.Name); ok && li.typ.Kind == TPtr {
+				return li.typ.Elem.Kind == TF64
+			}
+		}
+	case *Binary:
+		return isFloatExpr(x.L, f)
+	case *Unary:
+		return isFloatExpr(x.X, f)
+	case *Call:
+		if sig, ok := f.g.funcs[x.Name]; ok {
+			return sig.ret.Kind == TF64
+		}
+		switch x.Name {
+		case "sqrt", "fabs", "floor", "ceil", "f64":
+			return true
+		}
+	}
+	return false
+}
+
+var i32Ops = map[string]wavm.Op{
+	"+": wavm.OpI32Add, "-": wavm.OpI32Sub, "*": wavm.OpI32Mul,
+	"/": wavm.OpI32DivS, "%": wavm.OpI32RemS,
+	"==": wavm.OpI32Eq, "!=": wavm.OpI32Ne,
+	"<": wavm.OpI32LtS, ">": wavm.OpI32GtS, "<=": wavm.OpI32LeS, ">=": wavm.OpI32GeS,
+	"&": wavm.OpI32And, "|": wavm.OpI32Or, "^": wavm.OpI32Xor,
+	"<<": wavm.OpI32Shl, ">>": wavm.OpI32ShrS,
+}
+
+var i64Ops = map[string]wavm.Op{
+	"+": wavm.OpI64Add, "-": wavm.OpI64Sub, "*": wavm.OpI64Mul,
+	"/": wavm.OpI64DivS, "%": wavm.OpI64RemS,
+	"==": wavm.OpI64Eq, "!=": wavm.OpI64Ne,
+	"<": wavm.OpI64LtS, ">": wavm.OpI64GtS, "<=": wavm.OpI64LeS, ">=": wavm.OpI64GeS,
+	"&": wavm.OpI64And, "|": wavm.OpI64Or, "^": wavm.OpI64Xor,
+	"<<": wavm.OpI64Shl, ">>": wavm.OpI64ShrS,
+}
+
+var f64Ops = map[string]wavm.Op{
+	"+": wavm.OpF64Add, "-": wavm.OpF64Sub, "*": wavm.OpF64Mul, "/": wavm.OpF64Div,
+	"==": wavm.OpF64Eq, "!=": wavm.OpF64Ne,
+	"<": wavm.OpF64Lt, ">": wavm.OpF64Gt, "<=": wavm.OpF64Le, ">=": wavm.OpF64Ge,
+}
+
+func comparison(op string) bool {
+	switch op {
+	case "==", "!=", "<", ">", "<=", ">=":
+		return true
+	}
+	return false
+}
+
+func (f *fgen) genBinary(x *Binary) (Type, error) {
+	// Short-circuit logicals.
+	if x.Op == "&&" || x.Op == "||" {
+		if err := f.genCond(x.L); err != nil {
+			return Type{}, err
+		}
+		f.emit(wavm.Instr{Op: wavm.OpIf, B: 1, C: int64(wavm.I32)})
+		f.nesting++
+		if x.Op == "&&" {
+			if err := f.genCond(x.R); err != nil {
+				return Type{}, err
+			}
+			f.emit(wavm.Instr{Op: wavm.OpElse})
+			f.emit(wavm.Instr{Op: wavm.OpI32Const, C: 0})
+		} else {
+			f.emit(wavm.Instr{Op: wavm.OpI32Const, C: 1})
+			f.emit(wavm.Instr{Op: wavm.OpElse})
+			if err := f.genCond(x.R); err != nil {
+				return Type{}, err
+			}
+		}
+		f.emit(wavm.Instr{Op: wavm.OpEnd})
+		f.nesting--
+		return Type{Kind: TI32}, nil
+	}
+
+	// Literal operands adopt the other side's type.
+	lt := f.staticType(x.L)
+	rt := f.staticType(x.R)
+	var want Type
+	switch {
+	case lt != nil && rt != nil && lt.Equal(*rt):
+		want = *lt
+	case lt != nil:
+		want = *lt
+	case rt != nil:
+		want = *rt
+	default:
+		want = Type{Kind: TI32}
+	}
+
+	// Pointer arithmetic: ptr ± i32 scales by the element size.
+	if want.Kind == TPtr {
+		if comparison(x.Op) {
+			// Pointer comparisons compare addresses.
+			if err := f.genExprWant(x.L, want); err != nil {
+				return Type{}, err
+			}
+			if err := f.genExprWant(x.R, want); err != nil {
+				return Type{}, err
+			}
+			f.emit(wavm.Instr{Op: i32Ops[x.Op]})
+			return Type{Kind: TI32}, nil
+		}
+		if x.Op != "+" && x.Op != "-" {
+			return Type{}, f.errf(x.Line, "pointer arithmetic supports only + and -")
+		}
+		if err := f.genExprWant(x.L, want); err != nil {
+			return Type{}, err
+		}
+		if err := f.genExprWant(x.R, Type{Kind: TI32}); err != nil {
+			return Type{}, err
+		}
+		if size := want.ElemSize(); size > 1 {
+			f.emit(wavm.Instr{Op: wavm.OpI32Const, C: int64(size)})
+			f.emit(wavm.Instr{Op: wavm.OpI32Mul})
+		}
+		f.emit(wavm.Instr{Op: i32Ops[x.Op]})
+		return want, nil
+	}
+
+	if err := f.genExprWant(x.L, want); err != nil {
+		return Type{}, err
+	}
+	if err := f.genExprWant(x.R, want); err != nil {
+		return Type{}, err
+	}
+	var table map[string]wavm.Op
+	switch want.Kind {
+	case TI32:
+		table = i32Ops
+	case TI64:
+		table = i64Ops
+	case TF64:
+		table = f64Ops
+	default:
+		return Type{}, f.errf(x.Line, "operator %q on %s", x.Op, want)
+	}
+	op, ok := table[x.Op]
+	if !ok {
+		return Type{}, f.errf(x.Line, "operator %q not defined on %s", x.Op, want)
+	}
+	f.emit(wavm.Instr{Op: op})
+	if comparison(x.Op) {
+		return Type{Kind: TI32}, nil
+	}
+	return want, nil
+}
+
+// staticType infers a non-literal expression's type without emitting code;
+// nil means "literal / unknown, adapt to the other side".
+func (f *fgen) staticType(e Expr) *Type {
+	switch x := e.(type) {
+	case *IntLit:
+		return nil
+	case *FloatLit:
+		t := Type{Kind: TF64}
+		return &t
+	case *Ident:
+		if li, ok := f.lookup(x.Name); ok {
+			t := li.typ
+			return &t
+		}
+		if gi, ok := f.g.globals[x.Name]; ok {
+			t := gi.typ
+			return &t
+		}
+	case *Index:
+		if bt := f.staticType(x.Base); bt != nil && bt.Kind == TPtr {
+			t := *bt.Elem
+			return &t
+		}
+	case *Call:
+		if t, ok := builtinRetType(x.Name); ok {
+			return t
+		}
+		if sig, ok := f.g.funcs[x.Name]; ok {
+			t := sig.ret
+			return &t
+		}
+	case *Binary:
+		if comparison(x.Op) || x.Op == "&&" || x.Op == "||" {
+			t := Type{Kind: TI32}
+			return &t
+		}
+		if lt := f.staticType(x.L); lt != nil {
+			return lt
+		}
+		return f.staticType(x.R)
+	case *Unary:
+		if x.Op == "!" {
+			t := Type{Kind: TI32}
+			return &t
+		}
+		return f.staticType(x.X)
+	}
+	return nil
+}
+
+func builtinRetType(name string) (*Type, bool) {
+	switch name {
+	case "sqrt", "fabs", "floor", "ceil", "f64":
+		t := Type{Kind: TF64}
+		return &t, true
+	case "i32", "memsize":
+		t := Type{Kind: TI32}
+		return &t, true
+	case "i64":
+		t := Type{Kind: TI64}
+		return &t, true
+	case "alloc_f64":
+		e := Type{Kind: TF64}
+		t := Type{Kind: TPtr, Elem: &e}
+		return &t, true
+	case "alloc_i64":
+		e := Type{Kind: TI64}
+		t := Type{Kind: TPtr, Elem: &e}
+		return &t, true
+	case "alloc_i32":
+		e := Type{Kind: TI32}
+		t := Type{Kind: TPtr, Elem: &e}
+		return &t, true
+	}
+	return nil, false
+}
+
+func (f *fgen) genCall(x *Call) (Type, error) {
+	// Builtins first.
+	switch x.Name {
+	case "sqrt", "fabs", "floor", "ceil":
+		if len(x.Args) != 1 {
+			return Type{}, f.errf(x.Line, "%s wants one argument", x.Name)
+		}
+		if err := f.genExprWant(x.Args[0], Type{Kind: TF64}); err != nil {
+			return Type{}, err
+		}
+		var op wavm.Op
+		switch x.Name {
+		case "sqrt":
+			op = wavm.OpF64Sqrt
+		case "fabs":
+			op = wavm.OpF64Abs
+		case "floor":
+			op = wavm.OpF64Floor
+		case "ceil":
+			op = wavm.OpF64Ceil
+		}
+		f.emit(wavm.Instr{Op: op})
+		return Type{Kind: TF64}, nil
+
+	case "f64", "i32", "i64":
+		return f.genCast(x)
+
+	case "alloc_f64", "alloc_i64", "alloc_i32":
+		return f.genAlloc(x)
+
+	case "memsize":
+		f.emit(wavm.Instr{Op: wavm.OpMemorySize})
+		return Type{Kind: TI32}, nil
+	}
+
+	sig, ok := f.g.funcs[x.Name]
+	if !ok {
+		return Type{}, f.errf(x.Line, "unknown function %s", x.Name)
+	}
+	if len(x.Args) != len(sig.params) {
+		return Type{}, f.errf(x.Line, "%s wants %d args, got %d", x.Name, len(sig.params), len(x.Args))
+	}
+	for i, a := range x.Args {
+		if err := f.genExprWant(a, sig.params[i]); err != nil {
+			return Type{}, err
+		}
+	}
+	f.emit(wavm.Instr{Op: wavm.OpCall, A: int32(sig.idx)})
+	return sig.ret, nil
+}
+
+// genCast lowers the scalar conversion builtins f64(x)/i32(x)/i64(x).
+func (f *fgen) genCast(x *Call) (Type, error) {
+	if len(x.Args) != 1 {
+		return Type{}, f.errf(x.Line, "%s cast wants one argument", x.Name)
+	}
+	src, err := f.genExpr(x.Args[0])
+	if err != nil {
+		return Type{}, err
+	}
+	switch x.Name {
+	case "f64":
+		switch src.Kind {
+		case TI32:
+			f.emit(wavm.Instr{Op: wavm.OpF64ConvertI32S})
+		case TI64:
+			f.emit(wavm.Instr{Op: wavm.OpF64ConvertI64S})
+		case TF64:
+		default:
+			return Type{}, f.errf(x.Line, "cannot convert %s to f64", src)
+		}
+		return Type{Kind: TF64}, nil
+	case "i32":
+		switch src.Kind {
+		case TF64:
+			f.emit(wavm.Instr{Op: wavm.OpI32TruncF64S})
+		case TI64:
+			f.emit(wavm.Instr{Op: wavm.OpI32WrapI64})
+		case TI32, TPtr:
+		default:
+			return Type{}, f.errf(x.Line, "cannot convert %s to i32", src)
+		}
+		return Type{Kind: TI32}, nil
+	case "i64":
+		switch src.Kind {
+		case TF64:
+			f.emit(wavm.Instr{Op: wavm.OpI64TruncF64S})
+		case TI32:
+			f.emit(wavm.Instr{Op: wavm.OpI64ExtendI32S})
+		case TI64:
+		default:
+			return Type{}, f.errf(x.Line, "cannot convert %s to i64", src)
+		}
+		return Type{Kind: TI64}, nil
+	}
+	return Type{}, f.errf(x.Line, "unknown cast %s", x.Name)
+}
+
+// genAlloc lowers the bump allocator: returns the old (8-aligned) heap
+// pointer and advances __heap by count*elemSize.
+func (f *fgen) genAlloc(x *Call) (Type, error) {
+	if len(x.Args) != 1 {
+		return Type{}, f.errf(x.Line, "%s wants a count", x.Name)
+	}
+	var elem Type
+	var size int64
+	switch x.Name {
+	case "alloc_f64":
+		elem = Type{Kind: TF64}
+		size = 8
+	case "alloc_i64":
+		elem = Type{Kind: TI64}
+		size = 8
+	case "alloc_i32":
+		elem = Type{Kind: TI32}
+		size = 4
+	}
+	heap := f.g.heapIdx
+	scratch := f.scratchLocal()
+	// scratch = __heap (the result); __heap = align8(scratch + count*size)
+	f.emit(wavm.Instr{Op: wavm.OpGlobalGet, A: heap})
+	f.emit(wavm.Instr{Op: wavm.OpLocalTee, A: scratch})
+	if err := f.genExprWant(x.Args[0], Type{Kind: TI32}); err != nil {
+		return Type{}, err
+	}
+	f.emit(wavm.Instr{Op: wavm.OpI32Const, C: size})
+	f.emit(wavm.Instr{Op: wavm.OpI32Mul})
+	f.emit(wavm.Instr{Op: wavm.OpI32Add})
+	f.emit(wavm.Instr{Op: wavm.OpI32Const, C: 7})
+	f.emit(wavm.Instr{Op: wavm.OpI32Add})
+	f.emit(wavm.Instr{Op: wavm.OpI32Const, C: -8})
+	f.emit(wavm.Instr{Op: wavm.OpI32And})
+	f.emit(wavm.Instr{Op: wavm.OpGlobalSet, A: heap})
+	f.emit(wavm.Instr{Op: wavm.OpLocalGet, A: scratch})
+	return Type{Kind: TPtr, Elem: &elem}, nil
+}

@@ -1,0 +1,289 @@
+package fcc
+
+import (
+	"testing"
+
+	"faasm.dev/faasm/internal/wavm"
+)
+
+func compileRun(t *testing.T, src, fn string, args ...uint64) []uint64 {
+	t.Helper()
+	mod, err := CompileAndValidate(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inst, err := wavm.Instantiate(mod, nil)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	res, err := inst.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	return res
+}
+
+func TestArithmeticAndLocals(t *testing.T) {
+	src := `
+	func f(a i32, b i32) i32 {
+		var c i32 = a * b;
+		return c + 2;
+	}`
+	res := compileRun(t, src, "f", wavm.EncodeI32(5), wavm.EncodeI32(8))
+	if wavm.DecodeI32(res[0]) != 42 {
+		t.Fatalf("f(5,8) = %d", wavm.DecodeI32(res[0]))
+	}
+}
+
+func TestFloatMath(t *testing.T) {
+	src := `
+	func hyp(a f64, b f64) f64 {
+		return sqrt(a*a + b*b);
+	}`
+	res := compileRun(t, src, "hyp", wavm.EncodeF64(3), wavm.EncodeF64(4))
+	if wavm.DecodeF64(res[0]) != 5 {
+		t.Fatalf("hyp = %v", wavm.DecodeF64(res[0]))
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+	func sum(n i32) i32 {
+		var acc i32;
+		var i i32 = 1;
+		while (i <= n) {
+			acc = acc + i;
+			i = i + 1;
+		}
+		return acc;
+	}`
+	res := compileRun(t, src, "sum", wavm.EncodeI32(100))
+	if wavm.DecodeI32(res[0]) != 5050 {
+		t.Fatalf("sum(100) = %d", wavm.DecodeI32(res[0]))
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	src := `
+	func f() i32 {
+		var acc i32;
+		for (var i i32 = 0; i < 100; i = i + 1) {
+			if (i % 2 == 0) { continue; }
+			if (i > 10) { break; }
+			acc = acc + i;   // 1+3+5+7+9 = 25
+		}
+		return acc;
+	}`
+	res := compileRun(t, src, "f")
+	if wavm.DecodeI32(res[0]) != 25 {
+		t.Fatalf("f() = %d", wavm.DecodeI32(res[0]))
+	}
+}
+
+func TestNestedLoopsAndBreakDepth(t *testing.T) {
+	src := `
+	func f(n i32) i32 {
+		var count i32;
+		for (var i i32 = 0; i < n; i = i + 1) {
+			for (var j i32 = 0; j < n; j = j + 1) {
+				if (j > i) { break; }
+				count = count + 1;
+			}
+		}
+		return count;   // sum_{i=0}^{n-1} (i+1)
+	}`
+	res := compileRun(t, src, "f", wavm.EncodeI32(5))
+	if wavm.DecodeI32(res[0]) != 15 {
+		t.Fatalf("f(5) = %d", wavm.DecodeI32(res[0]))
+	}
+}
+
+func TestPointersAndAlloc(t *testing.T) {
+	src := `
+	#memory 4
+	func f(n i32) f64 {
+		var a *f64 = alloc_f64(n);
+		for (var i i32 = 0; i < n; i = i + 1) {
+			a[i] = f64(i) * 2.0;
+		}
+		var s f64;
+		for (var i i32 = 0; i < n; i = i + 1) {
+			s = s + a[i];
+		}
+		return s;
+	}`
+	res := compileRun(t, src, "f", wavm.EncodeI32(10))
+	if wavm.DecodeF64(res[0]) != 90 { // 2*(0+..+9)
+		t.Fatalf("f(10) = %v", wavm.DecodeF64(res[0]))
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	src := `
+	#memory 2
+	func f() f64 {
+		var a *f64 = alloc_f64(4);
+		a[0] = 1.0; a[1] = 2.0; a[2] = 3.0; a[3] = 4.0;
+		var p *f64 = a + 2;
+		return p[0] + p[1];   // 3 + 4
+	}`
+	res := compileRun(t, src, "f")
+	if wavm.DecodeF64(res[0]) != 7 {
+		t.Fatalf("f() = %v", wavm.DecodeF64(res[0]))
+	}
+}
+
+func TestFunctionCallsAndRecursion(t *testing.T) {
+	src := `
+	func fib(n i32) i32 {
+		if (n < 2) { return n; }
+		return fib(n-1) + fib(n-2);
+	}
+	func main() i32 { return fib(12); }`
+	res := compileRun(t, src, "main")
+	if wavm.DecodeI32(res[0]) != 144 {
+		t.Fatalf("fib(12) = %d", wavm.DecodeI32(res[0]))
+	}
+}
+
+func TestGlobalsAndCasts(t *testing.T) {
+	src := `
+	global counter i32 = 10;
+	global scale f64 = 2.5;
+	func bump() f64 {
+		counter = counter + 1;
+		return f64(counter) * scale;
+	}`
+	res := compileRun(t, src, "bump")
+	if wavm.DecodeF64(res[0]) != 27.5 {
+		t.Fatalf("bump = %v", wavm.DecodeF64(res[0]))
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	src := `
+	global touched i32 = 0;
+	func side() i32 { touched = 1; return 1; }
+	func andFalse() i32 { return 0 && side(); }
+	func orTrue() i32 { return 1 || side(); }
+	func wasTouched() i32 { return touched; }`
+	mod := MustCompile(src)
+	inst, _ := wavm.Instantiate(mod, nil)
+	res, _ := inst.Call("andFalse")
+	if wavm.DecodeI32(res[0]) != 0 {
+		t.Fatal("0 && x != 0")
+	}
+	res, _ = inst.Call("orTrue")
+	if wavm.DecodeI32(res[0]) != 1 {
+		t.Fatal("1 || x != 1")
+	}
+	res, _ = inst.Call("wasTouched")
+	if wavm.DecodeI32(res[0]) != 0 {
+		t.Fatal("short-circuit evaluated the right-hand side")
+	}
+}
+
+func TestI64Arithmetic(t *testing.T) {
+	src := `
+	func f(x i64) i64 {
+		var y i64 = x * 1000000007;
+		return y % 97;
+	}`
+	res := compileRun(t, src, "f", 1234567)
+	want := (int64(1234567) * 1000000007) % 97
+	if int64(res[0]) != want {
+		t.Fatalf("f = %d, want %d", int64(res[0]), want)
+	}
+}
+
+func TestExternImports(t *testing.T) {
+	src := `
+	extern env magic() i32;
+	func f() i32 { return magic() + 1; }`
+	mod, err := CompileAndValidate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := wavm.Instantiate(mod, map[string]wavm.HostModule{
+		"env": {"magic": func(_ *wavm.Instance, _ []uint64) ([]uint64, error) {
+			return []uint64{wavm.EncodeI32(41)}, nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("f")
+	if err != nil || wavm.DecodeI32(res[0]) != 42 {
+		t.Fatalf("extern call: %v %v", res, err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"unknown var", `func f() i32 { return x; }`},
+		{"type mismatch", `func f() i32 { var x f64 = 1.0; return x; }`},
+		{"unknown func", `func f() i32 { return g(); }`},
+		{"break outside loop", `func f() { break; }`},
+		{"void returns value", `func f() { return 1; }`},
+		{"missing return value", `func f() i32 { return; }`},
+		{"arity mismatch", `func g(x i32) i32 { return x; } func f() i32 { return g(); }`},
+		{"index non-pointer", `func f() i32 { var x i32; return x[0]; }`},
+		{"duplicate local", `func f() { var x i32; var x i32; }`},
+		{"unterminated block", `func f() { `},
+		{"cond not i32", `func f() { if (1.5) { } }`},
+	}
+	for _, tc := range bad {
+		if _, err := CompileAndValidate(tc.src); err == nil {
+			t.Errorf("%s: compiled", tc.name)
+		}
+	}
+}
+
+func TestMatMulKernelEndToEnd(t *testing.T) {
+	// A realistic kernel: naive matmul entirely inside the sandbox.
+	src := `
+	#memory 8
+	func matmul(n i32, A *f64, B *f64, C *f64) {
+		for (var i i32 = 0; i < n; i = i + 1) {
+			for (var j i32 = 0; j < n; j = j + 1) {
+				var acc f64;
+				for (var k i32 = 0; k < n; k = k + 1) {
+					acc = acc + A[i*n+k] * B[k*n+j];
+				}
+				C[i*n+j] = acc;
+			}
+		}
+	}
+	func main() f64 {
+		var n i32 = 8;
+		var A *f64 = alloc_f64(n*n);
+		var B *f64 = alloc_f64(n*n);
+		var C *f64 = alloc_f64(n*n);
+		for (var i i32 = 0; i < n*n; i = i + 1) {
+			A[i] = 1.0;
+			B[i] = 2.0;
+		}
+		matmul(n, A, B, C);
+		return C[0];   // 8 * 1 * 2 = 16
+	}`
+	res := compileRun(t, src, "main")
+	if wavm.DecodeF64(res[0]) != 16 {
+		t.Fatalf("C[0] = %v", wavm.DecodeF64(res[0]))
+	}
+}
+
+func TestOOBStillTrapsInFC(t *testing.T) {
+	// SFI survives the toolchain: a buggy FC program traps, not corrupts.
+	src := `
+	#memory 1
+	func f() f64 {
+		var a *f64 = alloc_f64(4);
+		return a[1000000];
+	}`
+	mod := MustCompile(src)
+	inst, _ := wavm.Instantiate(mod, nil)
+	_, err := inst.Call("f")
+	if err == nil {
+		t.Fatal("OOB access did not trap")
+	}
+}

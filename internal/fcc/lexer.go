@@ -1,0 +1,208 @@
+// Package fcc implements the Faaslet C compiler: the user-side toolchain of
+// the paper's Fig 3 pipeline. The paper compiles C/C++ to WebAssembly with
+// LLVM; fcc compiles FC — a small C-like language with i32/i64/f64 scalars,
+// typed pointers into linear memory, functions, loops and conditionals —
+// into wavm modules. Output is *unvalidated*: like any user toolchain it is
+// untrusted, and its modules must pass wavm.Validate (trusted code
+// generation) before linking and execution.
+//
+// FC at a glance:
+//
+//	#memory 16                      // linear memory pages
+//	extern faasm gettime() i64;     // host-interface import
+//
+//	func dot(n i32, a *f64, b *f64) f64 {
+//	    var acc f64 = 0.0;
+//	    for (var i i32 = 0; i < n; i = i + 1) {
+//	        acc = acc + a[i] * b[i];
+//	    }
+//	    return acc;
+//	}
+//
+//	func main() i32 { ... return 0; }
+package fcc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // operators and delimiters
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+	"extern": true, "export": true, "global": true,
+}
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []tok
+}
+
+// lex tokenises FC source.
+func lex(src string) ([]tok, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		case c == '#':
+			// Pragma line: tokenise as ident stream starting with '#name'.
+			j := l.pos + 1
+			for j < len(l.src) && isIdentChar(l.src[j]) {
+				j++
+			}
+			l.emit(tokKeyword, l.src[l.pos:j])
+			l.pos = j
+		case isDigit(c) || (c == '.' && isDigit(l.peek(1))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			j := l.pos
+			for j < len(l.src) && isIdentChar(l.src[j]) {
+				j++
+			}
+			word := l.src[l.pos:j]
+			if keywords[word] {
+				l.emit(tokKeyword, word)
+			} else {
+				l.emit(tokIdent, word)
+			}
+			l.pos = j
+		case c == '"':
+			j := l.pos + 1
+			var b strings.Builder
+			for j < len(l.src) && l.src[j] != '"' {
+				if l.src[j] == '\\' && j+1 < len(l.src) {
+					switch l.src[j+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					case '0':
+						b.WriteByte(0)
+					default:
+						return nil, fmt.Errorf("fcc: line %d: bad escape \\%c", l.line, l.src[j+1])
+					}
+					j += 2
+					continue
+				}
+				b.WriteByte(l.src[j])
+				j++
+			}
+			if j >= len(l.src) {
+				return nil, fmt.Errorf("fcc: line %d: unterminated string", l.line)
+			}
+			l.emit(tokString, b.String())
+			l.pos = j + 1
+		default:
+			// Multi-char operators first.
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>":
+				l.emit(tokPunct, two)
+				l.pos += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', '{', '}', '[', ']', ';', ',', '!', '&', '|', '^', '~':
+				l.emit(tokPunct, string(c))
+				l.pos++
+			default:
+				return nil, fmt.Errorf("fcc: line %d: unexpected character %q", l.line, string(c))
+			}
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) lexNumber() error {
+	j := l.pos
+	isFloat := false
+	if l.src[j] == '0' && j+1 < len(l.src) && (l.src[j+1] == 'x' || l.src[j+1] == 'X') {
+		j += 2
+		for j < len(l.src) && isHex(l.src[j]) {
+			j++
+		}
+		l.emit(tokInt, l.src[l.pos:j])
+		l.pos = j
+		return nil
+	}
+	for j < len(l.src) && (isDigit(l.src[j]) || l.src[j] == '.' || l.src[j] == 'e' || l.src[j] == 'E' ||
+		((l.src[j] == '+' || l.src[j] == '-') && j > l.pos && (l.src[j-1] == 'e' || l.src[j-1] == 'E'))) {
+		if l.src[j] == '.' || l.src[j] == 'e' || l.src[j] == 'E' {
+			isFloat = true
+		}
+		j++
+	}
+	if isFloat {
+		l.emit(tokFloat, l.src[l.pos:j])
+	} else {
+		l.emit(tokInt, l.src[l.pos:j])
+	}
+	l.pos = j
+	return nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, tok{kind: kind, text: text, line: l.line})
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isHex(c byte) bool        { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) }

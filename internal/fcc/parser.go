@@ -1,0 +1,816 @@
+package fcc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type is an FC type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointee for TPtr
+}
+
+// TypeKind enumerates FC types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TI32
+	TI64
+	TF64
+	TPtr
+)
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TI32:
+		return "i32"
+	case TI64:
+		return "i64"
+	case TF64:
+		return "f64"
+	case TPtr:
+		return "*" + t.Elem.String()
+	}
+	return "?"
+}
+
+// Equal reports type identity.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	if t.Kind == TPtr {
+		return t.Elem.Equal(*o.Elem)
+	}
+	return true
+}
+
+// ElemSize returns the byte size of a pointer's element.
+func (t Type) ElemSize() int {
+	if t.Kind != TPtr {
+		return 0
+	}
+	switch t.Elem.Kind {
+	case TI32:
+		return 4
+	case TI64, TF64:
+		return 8
+	}
+	return 1
+}
+
+// --- AST ---
+
+// Program is a parsed FC compilation unit.
+type Program struct {
+	MemPages int
+	MemMax   int
+	HeapBase int
+	Externs  []Extern
+	Globals  []GlobalVar
+	Funcs    []FuncDecl
+}
+
+// Extern declares a host-interface import.
+type Extern struct {
+	Module string
+	Name   string
+	Params []Type
+	Ret    Type
+	Line   int
+}
+
+// GlobalVar is a module global.
+type GlobalVar struct {
+	Name     string
+	Type     Type
+	InitInt  int64
+	InitF64  float64
+	Line     int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// VarDecl declares (and optionally initialises) a local.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+	Line int
+}
+
+// Assign stores into an lvalue (identifier or index expression).
+type Assign struct {
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// While loops while the condition holds.
+type While struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// For is C-style for.
+type For struct {
+	Init Stmt // may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // may be nil
+	Body []Stmt
+	Line int
+}
+
+// Return exits the function.
+type Return struct {
+	X    Expr // may be nil
+	Line int
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue jumps to the innermost loop's next iteration.
+type Continue struct{ Line int }
+
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*ExprStmt) stmtNode() {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Val  float64
+	Line int
+}
+
+// Ident references a local, parameter or global.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Index is pointer indexing p[i].
+type Index struct {
+	Base Expr
+	Idx  Expr
+	Line int
+}
+
+// Call invokes a function, extern or builtin.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary is a unary operation (-, !, ~).
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Ident) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+
+// --- Parser ---
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+// Parse builds the AST for an FC source file.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{MemPages: 4, HeapBase: 4096}
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		switch {
+		case t.kind == tokKeyword && t.text == "#memory":
+			p.next()
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			prog.MemPages = int(n)
+			// Optional max.
+			if p.cur().kind == tokInt {
+				m, _ := p.expectInt()
+				prog.MemMax = int(m)
+			}
+		case t.kind == tokKeyword && t.text == "#heap":
+			p.next()
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			prog.HeapBase = int(n)
+		case t.kind == tokKeyword && t.text == "extern":
+			ext, err := p.parseExtern()
+			if err != nil {
+				return nil, err
+			}
+			prog.Externs = append(prog.Externs, ext)
+		case t.kind == tokKeyword && t.text == "global":
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case t.kind == tokKeyword && t.text == "func":
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		default:
+			return nil, p.errf("unexpected %q at top level", t.text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() tok  { return p.toks[p.pos] }
+func (p *parser) next() tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("fcc: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	if p.cur().text != text {
+		return p.errf("expected %q, got %q", text, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) expectInt() (int64, error) {
+	if p.cur().kind != tokInt {
+		return 0, p.errf("expected integer, got %q", p.cur().text)
+	}
+	v, err := strconv.ParseInt(p.next().text, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad integer: %v", err)
+	}
+	return v, nil
+}
+
+// parseType parses i32 | i64 | f64 | *T.
+func (p *parser) parseType() (Type, error) {
+	if p.cur().text == "*" {
+		p.next()
+		elem, err := p.parseType()
+		if err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TPtr, Elem: &elem}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return Type{}, err
+	}
+	switch name {
+	case "i32":
+		return Type{Kind: TI32}, nil
+	case "i64":
+		return Type{Kind: TI64}, nil
+	case "f64":
+		return Type{Kind: TF64}, nil
+	case "i8":
+		return Type{Kind: TI32}, nil // i8 is storage-only; scalars widen
+	}
+	return Type{}, p.errf("unknown type %q", name)
+}
+
+// parseExtern: extern <module> <name>(T, T) T;
+func (p *parser) parseExtern() (Extern, error) {
+	line := p.cur().line
+	p.next() // extern
+	mod, err := p.expectIdent()
+	if err != nil {
+		return Extern{}, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return Extern{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return Extern{}, err
+	}
+	var params []Type
+	for p.cur().text != ")" {
+		t, err := p.parseType()
+		if err != nil {
+			return Extern{}, err
+		}
+		params = append(params, t)
+		if p.cur().text == "," {
+			p.next()
+		}
+	}
+	p.next() // )
+	ret := Type{Kind: TVoid}
+	if p.cur().text != ";" {
+		r, err := p.parseType()
+		if err != nil {
+			return Extern{}, err
+		}
+		ret = r
+	}
+	if err := p.expect(";"); err != nil {
+		return Extern{}, err
+	}
+	return Extern{Module: mod, Name: name, Params: params, Ret: ret, Line: line}, nil
+}
+
+// parseGlobal: global name T = literal;
+func (p *parser) parseGlobal() (GlobalVar, error) {
+	line := p.cur().line
+	p.next() // global
+	name, err := p.expectIdent()
+	if err != nil {
+		return GlobalVar{}, err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return GlobalVar{}, err
+	}
+	g := GlobalVar{Name: name, Type: t, Line: line}
+	if p.cur().text == "=" {
+		p.next()
+		neg := false
+		if p.cur().text == "-" {
+			neg = true
+			p.next()
+		}
+		switch p.cur().kind {
+		case tokInt:
+			v, _ := strconv.ParseInt(p.next().text, 0, 64)
+			if neg {
+				v = -v
+			}
+			g.InitInt = v
+		case tokFloat:
+			v, _ := strconv.ParseFloat(p.next().text, 64)
+			if neg {
+				v = -v
+			}
+			g.InitF64 = v
+		default:
+			return GlobalVar{}, p.errf("global initialiser must be a literal")
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return GlobalVar{}, err
+	}
+	return g, nil
+}
+
+// parseFunc: func name(p T, ...) [T] { ... }
+func (p *parser) parseFunc() (FuncDecl, error) {
+	line := p.cur().line
+	p.next() // func
+	name, err := p.expectIdent()
+	if err != nil {
+		return FuncDecl{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return FuncDecl{}, err
+	}
+	var params []Param
+	for p.cur().text != ")" {
+		pname, err := p.expectIdent()
+		if err != nil {
+			return FuncDecl{}, err
+		}
+		ptype, err := p.parseType()
+		if err != nil {
+			return FuncDecl{}, err
+		}
+		params = append(params, Param{Name: pname, Type: ptype})
+		if p.cur().text == "," {
+			p.next()
+		}
+	}
+	p.next() // )
+	ret := Type{Kind: TVoid}
+	if p.cur().text != "{" {
+		r, err := p.parseType()
+		if err != nil {
+			return FuncDecl{}, err
+		}
+		ret = r
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return FuncDecl{}, err
+	}
+	return FuncDecl{Name: name, Params: params, Ret: ret, Body: body, Line: line}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.cur().text != "}" {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.text == "var":
+		s, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	case t.text == "if":
+		return p.parseIf()
+	case t.text == "while":
+		line := t.line
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Line: line}, nil
+	case t.text == "for":
+		return p.parseFor()
+	case t.text == "return":
+		line := t.line
+		p.next()
+		if p.cur().text == ";" {
+			p.next()
+			return &Return{Line: line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Return{X: x, Line: line}, p.expect(";")
+	case t.text == "break":
+		p.next()
+		return &Break{Line: t.line}, p.expect(";")
+	case t.text == "continue":
+		p.next()
+		return &Continue{Line: t.line}, p.expect(";")
+	default:
+		return p.parseSimpleStmt(true)
+	}
+}
+
+// parseSimpleStmt parses assignment or expression statement; consumeSemi
+// controls the trailing semicolon (for clauses pass false).
+func (p *parser) parseSimpleStmt(consumeSemi bool) (Stmt, error) {
+	line := p.cur().line
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var s Stmt
+	if p.cur().text == "=" {
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s = &Assign{LHS: x, RHS: rhs, Line: line}
+	} else {
+		s = &ExprStmt{X: x, Line: line}
+	}
+	if consumeSemi {
+		return s, p.expect(";")
+	}
+	return s, nil
+}
+
+func (p *parser) parseVarDecl() (*VarDecl, error) {
+	line := p.cur().line
+	p.next() // var
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name, Type: t, Line: line}
+	if p.cur().text == "=" {
+		p.next()
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	line := p.cur().line
+	p.next() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Line: line}
+	if p.cur().text == "else" {
+		p.next()
+		if p.cur().text == "if" {
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{nested}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	line := p.cur().line
+	p.next() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	node := &For{Line: line}
+	if p.cur().text != ";" {
+		var init Stmt
+		var err error
+		if p.cur().text == "var" {
+			init, err = p.parseVarDecl()
+		} else {
+			init, err = p.parseSimpleStmt(false)
+		}
+		if err != nil {
+			return nil, err
+		}
+		node.Init = init
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.cur().text != ";" {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.cur().text != ")" {
+		post, err := p.parseSimpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		node.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		prec, ok := precedence[op]
+		if !ok || prec < minPrec || p.cur().kind != tokPunct {
+			return lhs, nil
+		}
+		line := p.cur().line
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, L: lhs, R: rhs, Line: line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.text {
+	case "-", "!", "~":
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().text {
+		case "[":
+			line := p.cur().line
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Base: x, Idx: idx, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &IntLit{Val: v, Line: t.line}, nil
+	case t.kind == tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return &FloatLit{Val: v, Line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.cur().text == "(" {
+			p.next()
+			var args []Expr
+			for p.cur().text != ")" {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.cur().text == "," {
+					p.next()
+				}
+			}
+			p.next() // )
+			return &Call{Name: t.text, Args: args, Line: t.line}, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case t.text == "(":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	}
+	return nil, p.errf("unexpected %q in expression", t.text)
+}

@@ -1,0 +1,449 @@
+// Package frt implements the FAASM runtime instance of §5: the server-side
+// component that manages a pool of Faaslets, schedules and executes function
+// calls (locally or by sharing them with warm peers), implements the
+// chaining half of the host interface, and generates/restores Proto-Faaslet
+// snapshots to minimise cold-start latency.
+//
+// Multiple instances — one per host — form the distributed runtime of
+// Fig 5: each has a local scheduler, a Faaslet pool, a slice of the local
+// state tier, and a sharing path to its peers.
+package frt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"faasm.dev/faasm/internal/core"
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/mbus"
+	"faasm.dev/faasm/internal/metrics"
+	"faasm.dev/faasm/internal/sched"
+	"faasm.dev/faasm/internal/state"
+	"faasm.dev/faasm/internal/vfs"
+	"faasm.dev/faasm/internal/vtime"
+	"faasm.dev/faasm/internal/wavm"
+)
+
+// Transport executes a call on a peer instance (work sharing). The cluster
+// package provides an in-process transport; cmd/faasmd provides HTTP.
+type Transport interface {
+	ExecuteOn(host, function string, input []byte) ([]byte, int32, error)
+}
+
+// Config configures one runtime instance.
+type Config struct {
+	// Host is this instance's cluster-unique name.
+	Host string
+	// Store is the global tier.
+	Store kvs.Store
+	// Files is the global file tier for Faaslet filesystems.
+	Files vfs.GlobalStore
+	// Capacity bounds concurrently executing calls (scheduler hint).
+	Capacity int
+	// PoolCap bounds idle warm Faaslets kept per function.
+	PoolCap int
+	// Clock drives timing (nil = wall clock).
+	Clock vtime.Clock
+	// Transport reaches peer instances; nil disables work sharing.
+	Transport Transport
+	// ColdStartDelay adds simulated initialisation cost per cold start
+	// (used by the cluster simulator to model measured constants; zero for
+	// real deployments, where the true cost is measured).
+	ColdStartDelay time.Duration
+}
+
+// Instance is one FAASM runtime instance.
+type Instance struct {
+	cfg   Config
+	env   *core.Env
+	local *state.LocalTier
+	calls *mbus.CallTable
+	sched *sched.Scheduler
+	clock vtime.Clock
+	slots chan struct{}
+
+	mu     sync.Mutex
+	defs   map[string]core.FuncDef
+	protos map[string]*core.Proto
+	pool   map[string][]*core.Faaslet
+	// faasletCount tracks all live Faaslets (pooled + executing).
+	faasletCount int
+
+	// Metrics for the evaluation.
+	ColdStarts  metrics.Counter
+	WarmStarts  metrics.Counter
+	ProtoStarts metrics.Counter
+	ExecLatency metrics.Latencies
+	InitLatency metrics.Latencies
+	Billable    metrics.BillableMemory
+}
+
+// New creates a runtime instance.
+func New(cfg Config) *Instance {
+	if cfg.Host == "" {
+		cfg.Host = "host-0"
+	}
+	if cfg.Store == nil {
+		cfg.Store = kvs.NewEngine()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real{}
+	}
+	if cfg.PoolCap <= 0 {
+		cfg.PoolCap = 64
+	}
+	inst := &Instance{
+		cfg:    cfg,
+		local:  state.NewLocalTier(cfg.Store),
+		calls:  mbus.NewCallTable(),
+		sched:  sched.New(cfg.Host, cfg.Store, cfg.Capacity),
+		clock:  cfg.Clock,
+		defs:   map[string]core.FuncDef{},
+		protos: map[string]*core.Proto{},
+		pool:   map[string][]*core.Faaslet{},
+	}
+	inst.env = &core.Env{
+		State: inst.local,
+		Files: cfg.Files,
+		Clock: cfg.Clock,
+		Chain: inst,
+	}
+	if cfg.Capacity > 0 {
+		inst.slots = make(chan struct{}, cfg.Capacity)
+	}
+	return inst
+}
+
+// Host returns this instance's name.
+func (i *Instance) Host() string { return i.cfg.Host }
+
+// State exposes the instance's local state tier.
+func (i *Instance) State() *state.LocalTier { return i.local }
+
+// Scheduler exposes the local scheduler (tests, metrics).
+func (i *Instance) Scheduler() *sched.Scheduler { return i.sched }
+
+// Env exposes the Faaslet environment (the cluster harness tweaks it).
+func (i *Instance) Env() *core.Env { return i.env }
+
+// RegisterNative deploys a native-guest function.
+func (i *Instance) RegisterNative(name string, fn core.NativeGuest) {
+	i.RegisterDef(core.FuncDef{Name: name, Native: fn})
+}
+
+// RegisterModule deploys a validated wavm module under name.
+func (i *Instance) RegisterModule(name string, mod *wavm.Module) error {
+	if !mod.Validated {
+		return errors.New("frt: module must pass code generation before deployment")
+	}
+	i.RegisterDef(core.FuncDef{Name: name, Module: mod})
+	return nil
+}
+
+// RegisterDef deploys a full function definition.
+func (i *Instance) RegisterDef(def core.FuncDef) {
+	i.mu.Lock()
+	i.defs[def.Name] = def
+	i.mu.Unlock()
+}
+
+// Functions lists deployed function names.
+func (i *Instance) Functions() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]string, 0, len(i.defs))
+	for n := range i.defs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// GenerateProto runs a function's initialisation path and snapshots the
+// resulting Faaslet as the function's Proto-Faaslet (§5.2). init, when
+// non-nil, is executed inside the Faaslet first (user-defined init code).
+// The proto is also serialised to the global tier so peers can restore it.
+func (i *Instance) GenerateProto(function string, init func(ctx *core.Ctx) error) error {
+	def, ok := i.def(function)
+	if !ok {
+		return fmt.Errorf("frt: unknown function %q", function)
+	}
+	f, err := core.New(def, i.env)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if init != nil {
+		initDef := def
+		initDef.Native = func(ctx *core.Ctx) (int32, error) {
+			if err := init(ctx); err != nil {
+				return 1, err
+			}
+			return 0, nil
+		}
+		if def.Module == nil {
+			// For native guests, run init through a scratch execution.
+			g, err := core.New(initDef, i.env)
+			if err != nil {
+				return err
+			}
+			if _, ret, err := g.Execute(nil); err != nil || ret != 0 {
+				g.Close()
+				return fmt.Errorf("frt: proto init for %s failed: ret=%d err=%v", function, ret, err)
+			}
+			proto, err := g.Snapshot()
+			g.Close()
+			if err != nil {
+				return err
+			}
+			return i.installProto(function, proto)
+		}
+		// For wavm guests, init runs against the live Faaslet's state via a
+		// host-side Ctx (the init code is trusted deployment code).
+		if err := init(coreCtx(f)); err != nil {
+			return fmt.Errorf("frt: proto init for %s: %w", function, err)
+		}
+	}
+	proto, err := f.Snapshot()
+	if err != nil {
+		return err
+	}
+	return i.installProto(function, proto)
+}
+
+// coreCtx builds a host-side Ctx for deployment-time initialisation.
+func coreCtx(f *core.Faaslet) *core.Ctx { return core.NewCtx(f) }
+
+func (i *Instance) installProto(function string, proto *core.Proto) error {
+	i.mu.Lock()
+	i.protos[function] = proto
+	i.mu.Unlock()
+	blob, err := proto.Serialize()
+	if err != nil {
+		// Protos with shared mappings stay host-local; that is fine.
+		return nil
+	}
+	return i.cfg.Store.Set("proto/"+function, blob)
+}
+
+// FetchProto pulls a peer-generated proto from the global tier (cross-host
+// restore).
+func (i *Instance) FetchProto(function string) error {
+	blob, err := i.cfg.Store.Get("proto/" + function)
+	if err != nil {
+		return err
+	}
+	if blob == nil {
+		return fmt.Errorf("frt: no proto for %q in global tier", function)
+	}
+	proto, err := core.DeserializeProto(blob)
+	if err != nil {
+		return err
+	}
+	i.mu.Lock()
+	i.protos[function] = proto
+	i.mu.Unlock()
+	return nil
+}
+
+func (i *Instance) def(function string) (core.FuncDef, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	def, ok := i.defs[function]
+	return def, ok
+}
+
+// Invoke starts an asynchronous call and returns its id; Await/Output
+// retrieve the result. This is the external entry point and the chain_call
+// implementation.
+func (i *Instance) Invoke(function string, input []byte) (uint64, error) {
+	if _, ok := i.def(function); !ok {
+		return 0, fmt.Errorf("frt: unknown function %q", function)
+	}
+	id := i.calls.Create(function, input)
+	go i.dispatch(id, function, input)
+	return id, nil
+}
+
+// Chain implements core.Chainer.
+func (i *Instance) Chain(function string, input []byte) (uint64, error) {
+	return i.Invoke(function, input)
+}
+
+// Await implements core.Chainer.
+func (i *Instance) Await(id uint64) (int32, error) { return i.calls.Await(id) }
+
+// Output implements core.Chainer.
+func (i *Instance) Output(id uint64) ([]byte, error) { return i.calls.Output(id) }
+
+// Call is the synchronous convenience wrapper: invoke and await.
+func (i *Instance) Call(function string, input []byte) ([]byte, int32, error) {
+	id, err := i.Invoke(function, input)
+	if err != nil {
+		return nil, -1, err
+	}
+	ret, err := i.calls.Await(id)
+	if err != nil {
+		return nil, ret, err
+	}
+	out, err := i.calls.Output(id)
+	return out, ret, err
+}
+
+// dispatch routes one call per the scheduler's decision.
+func (i *Instance) dispatch(id uint64, function string, input []byte) {
+	i.calls.Start(id)
+	decision, err := i.sched.Schedule(function)
+	if err != nil {
+		i.calls.Complete(id, nil, -1, err)
+		return
+	}
+	if decision.Placement == sched.PlaceForward && i.cfg.Transport != nil {
+		out, ret, err := i.cfg.Transport.ExecuteOn(decision.TargetHost, function, input)
+		if err == nil {
+			i.calls.Complete(id, out, ret, nil)
+			return
+		}
+		// Peer failed: fall back to local execution.
+	}
+	out, ret, err := i.ExecuteLocal(function, input)
+	i.calls.Complete(id, out, ret, err)
+}
+
+// ExecuteLocal runs a call on this host, acquiring a Faaslet from the warm
+// pool or cold-starting one. It is also the entry point peers use when
+// sharing work with this host.
+func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, error) {
+	def, ok := i.def(function)
+	if !ok {
+		return nil, -1, fmt.Errorf("frt: unknown function %q", function)
+	}
+	i.sched.Begin()
+	defer i.sched.End()
+	if i.slots != nil {
+		i.slots <- struct{}{}
+		defer func() { <-i.slots }()
+	}
+
+	f, warm, err := i.acquire(def)
+	if err != nil {
+		return nil, -1, err
+	}
+	start := i.clock.Now()
+	out, ret, execErr := f.Execute(input)
+	dur := i.clock.Now().Sub(start)
+	i.ExecLatency.Record(dur)
+	i.Billable.Charge(f.Footprint(), dur)
+	i.release(def.Name, f, execErr == nil)
+	_ = warm
+	return out, ret, execErr
+}
+
+// acquire takes a warm Faaslet from the pool or creates one.
+func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, bool, error) {
+	i.mu.Lock()
+	pool := i.pool[def.Name]
+	if n := len(pool); n > 0 {
+		f := pool[n-1]
+		i.pool[def.Name] = pool[:n-1]
+		i.mu.Unlock()
+		i.sched.NoteEvicted(def.Name, 1) // it is busy now, not idle-warm
+		i.WarmStarts.Add(1)
+		return f, true, nil
+	}
+	proto := i.protos[def.Name]
+	i.mu.Unlock()
+
+	// Cold start.
+	if i.cfg.ColdStartDelay > 0 {
+		i.clock.Sleep(i.cfg.ColdStartDelay)
+	}
+	start := i.clock.Now()
+	var f *core.Faaslet
+	var err error
+	if proto != nil {
+		f, err = core.NewFromProto(def, i.env, proto)
+		i.ProtoStarts.Add(1)
+	} else {
+		f, err = core.New(def, i.env)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	i.InitLatency.Record(i.clock.Now().Sub(start))
+	i.ColdStarts.Add(1)
+	i.mu.Lock()
+	i.faasletCount++
+	i.mu.Unlock()
+	return f, false, nil
+}
+
+// release resets the Faaslet and returns it to the warm pool (§5.2: the
+// reset restores the Proto-Faaslet, so no state leaks to the next call).
+func (i *Instance) release(function string, f *core.Faaslet, healthy bool) {
+	if healthy {
+		if err := f.Reset(); err != nil {
+			healthy = false
+		}
+	}
+	if !healthy {
+		f.Close()
+		i.mu.Lock()
+		i.faasletCount--
+		i.mu.Unlock()
+		return
+	}
+	i.mu.Lock()
+	if len(i.pool[function]) < i.cfg.PoolCap {
+		i.pool[function] = append(i.pool[function], f)
+		i.mu.Unlock()
+		i.sched.NoteWarm(function, 1)
+		return
+	}
+	i.faasletCount--
+	i.mu.Unlock()
+	f.Close()
+}
+
+// FaasletCount reports live Faaslets on this instance.
+func (i *Instance) FaasletCount() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.faasletCount
+}
+
+// PoolSize reports idle warm Faaslets for a function.
+func (i *Instance) PoolSize(function string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.pool[function])
+}
+
+// LocalFootprint sums the footprints of pooled Faaslets plus the local
+// state tier (per-host memory accounting for Fig 6c).
+func (i *Instance) LocalFootprint() int64 {
+	i.mu.Lock()
+	var n int64
+	for _, pool := range i.pool {
+		for _, f := range pool {
+			n += f.Footprint()
+		}
+	}
+	i.mu.Unlock()
+	return n + i.local.LocalBytes()
+}
+
+// Shutdown closes all pooled Faaslets.
+func (i *Instance) Shutdown() {
+	i.mu.Lock()
+	pools := i.pool
+	i.pool = map[string][]*core.Faaslet{}
+	i.mu.Unlock()
+	for fn, pool := range pools {
+		for _, f := range pool {
+			f.Close()
+		}
+		i.sched.NoteEvicted(fn, len(pool))
+	}
+}

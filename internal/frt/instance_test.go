@@ -1,0 +1,371 @@
+package frt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"faasm.dev/faasm/internal/core"
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/wavm"
+)
+
+func TestInvokeNative(t *testing.T) {
+	inst := New(Config{Host: "h1"})
+	inst.RegisterNative("upper", func(ctx *core.Ctx) (int32, error) {
+		ctx.WriteOutput(bytes.ToUpper(ctx.Input()))
+		return 0, nil
+	})
+	out, ret, err := inst.Call("upper", []byte("hello"))
+	if err != nil || ret != 0 || string(out) != "HELLO" {
+		t.Fatalf("call: %q %d %v", out, ret, err)
+	}
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	inst := New(Config{})
+	if _, err := inst.Invoke("ghost", nil); err == nil {
+		t.Fatal("unknown function invoked")
+	}
+}
+
+func TestWarmPoolReuse(t *testing.T) {
+	inst := New(Config{Host: "h1"})
+	inst.RegisterNative("noop", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	for i := 0; i < 5; i++ {
+		if _, _, err := inst.Call("noop", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inst.ColdStarts.Value() != 1 {
+		t.Fatalf("cold starts = %d, want 1", inst.ColdStarts.Value())
+	}
+	if inst.WarmStarts.Value() != 4 {
+		t.Fatalf("warm starts = %d, want 4", inst.WarmStarts.Value())
+	}
+	if inst.PoolSize("noop") != 1 {
+		t.Fatalf("pool size = %d", inst.PoolSize("noop"))
+	}
+}
+
+func TestResetBetweenCallsNoLeak(t *testing.T) {
+	// Tenant A writes a secret into Faaslet memory; tenant B's call on the
+	// same (reused) Faaslet must not see it.
+	inst := New(Config{Host: "h1"})
+	inst.RegisterDef(core.FuncDef{
+		Name: "tenant",
+		Native: func(ctx *core.Ctx) (int32, error) {
+			mem := ctx.Memory()
+			if string(ctx.Input()) == "write" {
+				mem.WriteBytes(64, []byte("SECRET"))
+				return 0, nil
+			}
+			got, _ := mem.ReadBytes(64, 6)
+			if string(got) == "SECRET" {
+				return 99, nil // leak detected
+			}
+			return 0, nil
+		},
+	})
+	if _, ret, err := inst.Call("tenant", []byte("write")); err != nil || ret != 0 {
+		t.Fatalf("write: %d %v", ret, err)
+	}
+	_, ret, err := inst.Call("tenant", []byte("read"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret == 99 {
+		t.Fatal("cross-tenant memory leak through the warm pool")
+	}
+}
+
+func TestChainingThroughRuntime(t *testing.T) {
+	inst := New(Config{Host: "h1"})
+	inst.RegisterNative("square", func(ctx *core.Ctx) (int32, error) {
+		n := binary.LittleEndian.Uint32(ctx.Input())
+		var out [4]byte
+		binary.LittleEndian.PutUint32(out[:], n*n)
+		ctx.WriteOutput(out[:])
+		return 0, nil
+	})
+	inst.RegisterNative("sum-squares", func(ctx *core.Ctx) (int32, error) {
+		var ids []uint64
+		for n := uint32(1); n <= 4; n++ {
+			var in [4]byte
+			binary.LittleEndian.PutUint32(in[:], n)
+			id, err := ctx.Chain("square", in[:])
+			if err != nil {
+				return 1, err
+			}
+			ids = append(ids, id)
+		}
+		var total uint32
+		for _, id := range ids {
+			if _, err := ctx.Await(id); err != nil {
+				return 2, err
+			}
+			out, err := ctx.OutputOf(id)
+			if err != nil {
+				return 3, err
+			}
+			total += binary.LittleEndian.Uint32(out)
+		}
+		var out [4]byte
+		binary.LittleEndian.PutUint32(out[:], total)
+		ctx.WriteOutput(out[:])
+		return 0, nil
+	})
+	out, ret, err := inst.Call("sum-squares", nil)
+	if err != nil || ret != 0 {
+		t.Fatalf("chain: %d %v", ret, err)
+	}
+	if got := binary.LittleEndian.Uint32(out); got != 30 { // 1+4+9+16
+		t.Fatalf("sum of squares = %d", got)
+	}
+}
+
+func TestFailedChainedCallReportsError(t *testing.T) {
+	inst := New(Config{Host: "h1"})
+	inst.RegisterNative("bad", func(ctx *core.Ctx) (int32, error) {
+		return 7, fmt.Errorf("deliberate failure")
+	})
+	id, err := inst.Invoke("bad", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := inst.Await(id)
+	if err == nil {
+		t.Fatal("failed call awaited cleanly")
+	}
+	if ret != 7 {
+		t.Fatalf("return code = %d", ret)
+	}
+	if !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestProtoGenerationAndRestore(t *testing.T) {
+	store := kvs.NewEngine()
+	inst := New(Config{Host: "h1", Store: store})
+	mod, err := wavm.AssembleAndValidate(`(module
+	  (memory 1)
+	  (func $main (export "main") (result i32)
+	    i32.const 0
+	    i32.load))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.RegisterModule("fn", mod)
+	// Init writes 123 into memory; the proto captures it.
+	err = inst.GenerateProto("fn", func(ctx *core.Ctx) error {
+		return ctx.Memory().WriteU32(0, 123)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ret, err := inst.Call("fn", nil)
+	if err != nil || ret != 123 {
+		t.Fatalf("proto-started call: %d %v", ret, err)
+	}
+	if inst.ProtoStarts.Value() != 1 {
+		t.Fatalf("proto starts = %d", inst.ProtoStarts.Value())
+	}
+
+	// A second instance fetches the proto from the global tier (cross-host
+	// restore) without re-running init.
+	inst2 := New(Config{Host: "h2", Store: store})
+	inst2.RegisterModule("fn", mod)
+	if err := inst2.FetchProto("fn"); err != nil {
+		t.Fatal(err)
+	}
+	_, ret, err = inst2.Call("fn", nil)
+	if err != nil || ret != 123 {
+		t.Fatalf("cross-host proto call: %d %v", ret, err)
+	}
+}
+
+// mapTransport wires instances together in-process.
+type mapTransport struct {
+	mu    sync.Mutex
+	peers map[string]*Instance
+}
+
+func (mt *mapTransport) ExecuteOn(host, fn string, input []byte) ([]byte, int32, error) {
+	mt.mu.Lock()
+	peer, ok := mt.peers[host]
+	mt.mu.Unlock()
+	if !ok {
+		return nil, -1, fmt.Errorf("no such host %q", host)
+	}
+	return peer.ExecuteLocal(fn, input)
+}
+
+func TestWorkSharingAcrossInstances(t *testing.T) {
+	store := kvs.NewEngine()
+	tr := &mapTransport{peers: map[string]*Instance{}}
+	h1 := New(Config{Host: "h1", Store: store, Transport: tr})
+	h2 := New(Config{Host: "h2", Store: store, Transport: tr})
+	tr.peers["h1"] = h1
+	tr.peers["h2"] = h2
+
+	fn := func(ctx *core.Ctx) (int32, error) {
+		ctx.WriteOutput([]byte("done"))
+		return 0, nil
+	}
+	h1.RegisterNative("work", fn)
+	h2.RegisterNative("work", fn)
+
+	// Warm up host 2.
+	if _, _, err := h2.Call("work", nil); err != nil {
+		t.Fatal(err)
+	}
+	// A call arriving at host 1 must be shared with warm host 2, not
+	// cold-started locally.
+	out, ret, err := h1.Call("work", nil)
+	if err != nil || ret != 0 || string(out) != "done" {
+		t.Fatalf("shared call: %q %d %v", out, ret, err)
+	}
+	if h1.ColdStarts.Value() != 0 {
+		t.Fatalf("host 1 cold-started %d times despite warm peer", h1.ColdStarts.Value())
+	}
+	if h2.ColdStarts.Value() != 1 || h2.WarmStarts.Value() != 1 {
+		t.Fatalf("host 2 starts: cold=%d warm=%d", h2.ColdStarts.Value(), h2.WarmStarts.Value())
+	}
+}
+
+func TestTransportFailureFallsBackLocally(t *testing.T) {
+	store := kvs.NewEngine()
+	tr := &mapTransport{peers: map[string]*Instance{}} // empty: all peers fail
+	h1 := New(Config{Host: "h1", Store: store, Transport: tr})
+	h1.RegisterNative("work", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	// Fake a stale warm entry for a dead host.
+	store.SAdd("sched/warm/work", "ghost-host")
+	_, ret, err := h1.Call("work", nil)
+	if err != nil || ret != 0 {
+		t.Fatalf("fallback call: %d %v", ret, err)
+	}
+}
+
+func TestConcurrentCallsScaleThePool(t *testing.T) {
+	inst := New(Config{Host: "h1", PoolCap: 32})
+	const n = 8
+	block := make(chan struct{})
+	started := make(chan struct{}, n)
+	inst.RegisterNative("slow", func(ctx *core.Ctx) (int32, error) {
+		started <- struct{}{}
+		<-block
+		return 0, nil
+	})
+	var wg sync.WaitGroup
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		id, err := inst.Invoke("slow", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// All n must be executing concurrently before any may finish.
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	close(block)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			if _, err := inst.Await(id); err != nil {
+				t.Error(err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	// All 8 ran concurrently: 8 Faaslets were created and pooled.
+	if inst.ColdStarts.Value() != n {
+		t.Fatalf("cold starts = %d, want %d", inst.ColdStarts.Value(), n)
+	}
+	if inst.PoolSize("slow") != n {
+		t.Fatalf("pool = %d", inst.PoolSize("slow"))
+	}
+	if inst.FaasletCount() != n {
+		t.Fatalf("faaslet count = %d", inst.FaasletCount())
+	}
+}
+
+func TestPoolCapBoundsIdleFaaslets(t *testing.T) {
+	inst := New(Config{Host: "h1", PoolCap: 2})
+	block := make(chan struct{})
+	inst.RegisterNative("slow", func(ctx *core.Ctx) (int32, error) {
+		<-block
+		return 0, nil
+	})
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		id, _ := inst.Invoke("slow", nil)
+		ids = append(ids, id)
+	}
+	close(block)
+	for _, id := range ids {
+		inst.Await(id)
+	}
+	if inst.PoolSize("slow") > 2 {
+		t.Fatalf("pool exceeded cap: %d", inst.PoolSize("slow"))
+	}
+	if inst.FaasletCount() > 2 {
+		t.Fatalf("live faaslets exceed cap: %d", inst.FaasletCount())
+	}
+}
+
+func TestUnvalidatedModuleRefused(t *testing.T) {
+	inst := New(Config{})
+	mod, err := wavm.Assemble(`(module (func $main (export "main")))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.RegisterModule("fn", mod); err == nil {
+		t.Fatal("unvalidated module deployed")
+	}
+}
+
+func TestSharedStateAcrossCallsOnHost(t *testing.T) {
+	// Counter in the local tier, incremented across calls by pooled
+	// Faaslets: state outlives individual calls (stateful serverless).
+	inst := New(Config{Host: "h1"})
+	inst.State().Global().Set("n", make([]byte, 8))
+	inst.RegisterNative("incr", func(ctx *core.Ctx) (int32, error) {
+		v, err := ctx.State("n", -1)
+		if err != nil {
+			return 1, err
+		}
+		v.LockWrite()
+		x := binary.LittleEndian.Uint64(v.Bytes())
+		binary.LittleEndian.PutUint64(v.Bytes(), x+1)
+		v.UnlockWrite()
+		return 0, nil
+	})
+	for i := 0; i < 10; i++ {
+		if _, ret, err := inst.Call("incr", nil); err != nil || ret != 0 {
+			t.Fatalf("incr %d: %d %v", i, ret, err)
+		}
+	}
+	v, _ := inst.State().Lookup("n")
+	if n := binary.LittleEndian.Uint64(v.Bytes()); n != 10 {
+		t.Fatalf("counter = %d", n)
+	}
+}
+
+func BenchmarkWarmCall(b *testing.B) {
+	inst := New(Config{Host: "h1"})
+	inst.RegisterNative("noop", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	inst.Call("noop", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := inst.Call("noop", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

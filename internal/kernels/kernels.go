@@ -1,0 +1,814 @@
+// Package kernels reproduces the Polybench/C methodology of §6.4 (Fig 9a):
+// a suite of numerical kernels, each implemented twice from one
+// specification — in FC (compiled by the fcc toolchain and executed in the
+// wavm sandbox, the paper's "compiled to WebAssembly" path) and natively in
+// Go. The benchmark harness reports sandbox/native runtime ratios; both
+// versions return a floating-point checksum so the harness can verify the
+// kernels compute identical results before timing them.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"faasm.dev/faasm/internal/fcc"
+	"faasm.dev/faasm/internal/wavm"
+)
+
+// Kernel is one benchmark: FC source plus its native twin.
+type Kernel struct {
+	Name   string
+	N      int
+	FC     string
+	Native func(n int) float64
+}
+
+// seedVal mirrors the deterministic initialiser used in every kernel:
+// a[i] = frac(i*i*0.37 + i*0.11).
+func seedVal(i int) float64 {
+	x := float64(i)*float64(i)*0.37 + float64(i)*0.11
+	return x - math.Floor(x)
+}
+
+// fcPrelude is shared FC helper code: the deterministic initialiser.
+const fcPrelude = `
+func seedval(i i32) f64 {
+	var x f64 = f64(i)*f64(i)*0.37 + f64(i)*0.11;
+	return x - floor(x);
+}
+func fill(a *f64, n i32) {
+	for (var i i32 = 0; i < n; i = i + 1) {
+		a[i] = seedval(i);
+	}
+}
+`
+
+// All returns the kernel suite sized for benchmarking; small enough that
+// the full suite runs in seconds under the interpreter.
+func All() []Kernel {
+	return []Kernel{
+		k2mm(48), k3mm(40), atax(256), bicg(256), cholesky(64),
+		covariance(48), durbin(256), floydWarshall(48), jacobi1d(512),
+		jacobi2d(40), lu(56), mvt(192), seidel2d(40), trisolv(256),
+	}
+}
+
+// ByName finds a kernel.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// CompileKernel builds the sandboxed module for a kernel.
+func CompileKernel(k Kernel) (*wavm.Module, error) {
+	mod, err := fcc.CompileAndValidate(k.FC)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %s: %w", k.Name, err)
+	}
+	return mod, nil
+}
+
+// RunWavm executes the kernel in the sandbox, returning its checksum and
+// the interpreter steps executed.
+func RunWavm(k Kernel) (float64, uint64, error) {
+	mod, err := CompileKernel(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	inst, err := wavm.Instantiate(mod, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := inst.Call("main")
+	if err != nil {
+		return 0, 0, fmt.Errorf("kernels: %s: %w", k.Name, err)
+	}
+	return wavm.DecodeF64(res[0]), inst.Steps, nil
+}
+
+// --- kernel definitions ---
+
+func k2mm(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n); var B *f64 = alloc_f64(n*n);
+	var C *f64 = alloc_f64(n*n); var T *f64 = alloc_f64(n*n);
+	var D *f64 = alloc_f64(n*n);
+	fill(A, n*n); fill(B, n*n); fill(C, n*n);
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < n; j = j + 1) {
+			var acc f64;
+			for (var k i32 = 0; k < n; k = k + 1) {
+				acc = acc + A[i*n+k] * B[k*n+j];
+			}
+			T[i*n+j] = acc;
+		}
+	}
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < n; j = j + 1) {
+			var acc f64;
+			for (var k i32 = 0; k < n; k = k + 1) {
+				acc = acc + T[i*n+k] * C[k*n+j];
+			}
+			D[i*n+j] = acc;
+		}
+	}
+	var s f64;
+	for (var i i32 = 0; i < n*n; i = i + 1) { s = s + D[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		A, B, C := fillMat(n*n, 0), fillMat(n*n, 0), fillMat(n*n, 0)
+		T, D := make([]float64, n*n), make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var acc float64
+				for k := 0; k < n; k++ {
+					acc += A[i*n+k] * B[k*n+j]
+				}
+				T[i*n+j] = acc
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var acc float64
+				for k := 0; k < n; k++ {
+					acc += T[i*n+k] * C[k*n+j]
+				}
+				D[i*n+j] = acc
+			}
+		}
+		return sum(D)
+	}
+	return Kernel{Name: "2mm", N: n, FC: fc, Native: native}
+}
+
+func k3mm(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func mm(n i32, A *f64, B *f64, C *f64) {
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < n; j = j + 1) {
+			var acc f64;
+			for (var k i32 = 0; k < n; k = k + 1) {
+				acc = acc + A[i*n+k] * B[k*n+j];
+			}
+			C[i*n+j] = acc;
+		}
+	}
+}
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n); var B *f64 = alloc_f64(n*n);
+	var C *f64 = alloc_f64(n*n); var D *f64 = alloc_f64(n*n);
+	var E *f64 = alloc_f64(n*n); var F *f64 = alloc_f64(n*n);
+	var G *f64 = alloc_f64(n*n);
+	fill(A, n*n); fill(B, n*n); fill(C, n*n); fill(D, n*n);
+	mm(n, A, B, E);
+	mm(n, C, D, F);
+	mm(n, E, F, G);
+	var s f64;
+	for (var i i32 = 0; i < n*n; i = i + 1) { s = s + G[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		mm := func(A, B, C []float64) {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var acc float64
+					for k := 0; k < n; k++ {
+						acc += A[i*n+k] * B[k*n+j]
+					}
+					C[i*n+j] = acc
+				}
+			}
+		}
+		A, B, C, D := fillMat(n*n, 0), fillMat(n*n, 0), fillMat(n*n, 0), fillMat(n*n, 0)
+		E, F, G := make([]float64, n*n), make([]float64, n*n), make([]float64, n*n)
+		mm(A, B, E)
+		mm(C, D, F)
+		mm(E, F, G)
+		return sum(G)
+	}
+	return Kernel{Name: "3mm", N: n, FC: fc, Native: native}
+}
+
+func atax(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 32
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n);
+	var x *f64 = alloc_f64(n);
+	var t *f64 = alloc_f64(n);
+	var y *f64 = alloc_f64(n);
+	fill(A, n*n); fill(x, n);
+	for (var i i32 = 0; i < n; i = i + 1) {
+		var acc f64;
+		for (var j i32 = 0; j < n; j = j + 1) {
+			acc = acc + A[i*n+j] * x[j];
+		}
+		t[i] = acc;
+	}
+	for (var j i32 = 0; j < n; j = j + 1) {
+		var acc f64;
+		for (var i i32 = 0; i < n; i = i + 1) {
+			acc = acc + A[i*n+j] * t[i];
+		}
+		y[j] = acc;
+	}
+	var s f64;
+	for (var i i32 = 0; i < n; i = i + 1) { s = s + y[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		A, x := fillMat(n*n, 0), fillMat(n, 0)
+		t, y := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			var acc float64
+			for j := 0; j < n; j++ {
+				acc += A[i*n+j] * x[j]
+			}
+			t[i] = acc
+		}
+		for j := 0; j < n; j++ {
+			var acc float64
+			for i := 0; i < n; i++ {
+				acc += A[i*n+j] * t[i]
+			}
+			y[j] = acc
+		}
+		return sum(y)
+	}
+	return Kernel{Name: "atax", N: n, FC: fc, Native: native}
+}
+
+func bicg(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 32
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n);
+	var p *f64 = alloc_f64(n);
+	var r *f64 = alloc_f64(n);
+	var q *f64 = alloc_f64(n);
+	var s_ *f64 = alloc_f64(n);
+	fill(A, n*n); fill(p, n); fill(r, n);
+	for (var i i32 = 0; i < n; i = i + 1) {
+		var acc f64;
+		for (var j i32 = 0; j < n; j = j + 1) {
+			s_[j] = s_[j] + r[i] * A[i*n+j];
+			acc = acc + A[i*n+j] * p[j];
+		}
+		q[i] = acc;
+	}
+	var out f64;
+	for (var i i32 = 0; i < n; i = i + 1) { out = out + q[i] + s_[i]; }
+	return out;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		A, p, r := fillMat(n*n, 0), fillMat(n, 0), fillMat(n, 0)
+		q, s := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			var acc float64
+			for j := 0; j < n; j++ {
+				s[j] += r[i] * A[i*n+j]
+				acc += A[i*n+j] * p[j]
+			}
+			q[i] = acc
+		}
+		return sum(q) + sum(s)
+	}
+	return Kernel{Name: "bicg", N: n, FC: fc, Native: native}
+}
+
+func cholesky(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n);
+	// Symmetric positive definite: A = I*n + small symmetric noise.
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < n; j = j + 1) {
+			var v f64 = seedval(i*n+j) * 0.01;
+			if (i == j) { v = v + f64(n); }
+			A[i*n+j] = v;
+		}
+	}
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < i; j = j + 1) {
+			var acc f64 = A[i*n+j];
+			for (var k i32 = 0; k < j; k = k + 1) {
+				acc = acc - A[i*n+k] * A[j*n+k];
+			}
+			A[i*n+j] = acc / A[j*n+j];
+		}
+		var acc f64 = A[i*n+i];
+		for (var k i32 = 0; k < i; k = k + 1) {
+			acc = acc - A[i*n+k] * A[i*n+k];
+		}
+		A[i*n+i] = sqrt(acc);
+	}
+	var s f64;
+	for (var i i32 = 0; i < n; i = i + 1) { s = s + A[i*n+i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		A := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := seedVal(i*n+j) * 0.01
+				if i == j {
+					v += float64(n)
+				}
+				A[i*n+j] = v
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				acc := A[i*n+j]
+				for k := 0; k < j; k++ {
+					acc -= A[i*n+k] * A[j*n+k]
+				}
+				A[i*n+j] = acc / A[j*n+j]
+			}
+			acc := A[i*n+i]
+			for k := 0; k < i; k++ {
+				acc -= A[i*n+k] * A[i*n+k]
+			}
+			A[i*n+i] = math.Sqrt(acc)
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			s += A[i*n+i]
+		}
+		return s
+	}
+	return Kernel{Name: "cholesky", N: n, FC: fc, Native: native}
+}
+
+func covariance(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var data *f64 = alloc_f64(n*n);
+	var mean *f64 = alloc_f64(n);
+	var cov *f64 = alloc_f64(n*n);
+	fill(data, n*n);
+	for (var j i32 = 0; j < n; j = j + 1) {
+		var acc f64;
+		for (var i i32 = 0; i < n; i = i + 1) { acc = acc + data[i*n+j]; }
+		mean[j] = acc / f64(n);
+	}
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < n; j = j + 1) {
+			data[i*n+j] = data[i*n+j] - mean[j];
+		}
+	}
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = i; j < n; j = j + 1) {
+			var acc f64;
+			for (var k i32 = 0; k < n; k = k + 1) {
+				acc = acc + data[k*n+i] * data[k*n+j];
+			}
+			cov[i*n+j] = acc / f64(n-1);
+			cov[j*n+i] = cov[i*n+j];
+		}
+	}
+	var s f64;
+	for (var i i32 = 0; i < n*n; i = i + 1) { s = s + cov[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		data := fillMat(n*n, 0)
+		mean := make([]float64, n)
+		cov := make([]float64, n*n)
+		for j := 0; j < n; j++ {
+			var acc float64
+			for i := 0; i < n; i++ {
+				acc += data[i*n+j]
+			}
+			mean[j] = acc / float64(n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				data[i*n+j] -= mean[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				var acc float64
+				for k := 0; k < n; k++ {
+					acc += data[k*n+i] * data[k*n+j]
+				}
+				cov[i*n+j] = acc / float64(n-1)
+				cov[j*n+i] = cov[i*n+j]
+			}
+		}
+		return sum(cov)
+	}
+	return Kernel{Name: "covariance", N: n, FC: fc, Native: native}
+}
+
+func durbin(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var r *f64 = alloc_f64(n);
+	var y *f64 = alloc_f64(n);
+	var z *f64 = alloc_f64(n);
+	for (var i i32 = 0; i < n; i = i + 1) { r[i] = seedval(i) * 0.5; }
+	y[0] = 0.0 - r[0];
+	var beta f64 = 1.0;
+	var alpha f64 = 0.0 - r[0];
+	for (var k i32 = 1; k < n; k = k + 1) {
+		beta = (1.0 - alpha*alpha) * beta;
+		var acc f64;
+		for (var i i32 = 0; i < k; i = i + 1) {
+			acc = acc + r[k-i-1] * y[i];
+		}
+		alpha = 0.0 - (r[k] + acc) / beta;
+		for (var i i32 = 0; i < k; i = i + 1) {
+			z[i] = y[i] + alpha * y[k-i-1];
+		}
+		for (var i i32 = 0; i < k; i = i + 1) { y[i] = z[i]; }
+		y[k] = alpha;
+	}
+	var s f64;
+	for (var i i32 = 0; i < n; i = i + 1) { s = s + y[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = seedVal(i) * 0.5
+		}
+		y, z := make([]float64, n), make([]float64, n)
+		y[0] = -r[0]
+		beta, alpha := 1.0, -r[0]
+		for k := 1; k < n; k++ {
+			beta = (1 - alpha*alpha) * beta
+			var acc float64
+			for i := 0; i < k; i++ {
+				acc += r[k-i-1] * y[i]
+			}
+			alpha = -(r[k] + acc) / beta
+			for i := 0; i < k; i++ {
+				z[i] = y[i] + alpha*y[k-i-1]
+			}
+			copy(y[:k], z[:k])
+			y[k] = alpha
+		}
+		return sum(y)
+	}
+	return Kernel{Name: "durbin", N: n, FC: fc, Native: native}
+}
+
+func floydWarshall(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var path *f64 = alloc_f64(n*n);
+	for (var i i32 = 0; i < n*n; i = i + 1) {
+		path[i] = seedval(i) * 100.0 + 1.0;
+	}
+	for (var i i32 = 0; i < n; i = i + 1) { path[i*n+i] = 0.0; }
+	for (var k i32 = 0; k < n; k = k + 1) {
+		for (var i i32 = 0; i < n; i = i + 1) {
+			for (var j i32 = 0; j < n; j = j + 1) {
+				var via f64 = path[i*n+k] + path[k*n+j];
+				if (via < path[i*n+j]) { path[i*n+j] = via; }
+			}
+		}
+	}
+	var s f64;
+	for (var i i32 = 0; i < n*n; i = i + 1) { s = s + path[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		path := make([]float64, n*n)
+		for i := range path {
+			path[i] = seedVal(i)*100 + 1
+		}
+		for i := 0; i < n; i++ {
+			path[i*n+i] = 0
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if via := path[i*n+k] + path[k*n+j]; via < path[i*n+j] {
+						path[i*n+j] = via
+					}
+				}
+			}
+		}
+		return sum(path)
+	}
+	return Kernel{Name: "floyd-warshall", N: n, FC: fc, Native: native}
+}
+
+func jacobi1d(n int) Kernel {
+	const steps = 100
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n);
+	var B *f64 = alloc_f64(n);
+	fill(A, n);
+	for (var t i32 = 0; t < %d; t = t + 1) {
+		for (var i i32 = 1; i < n-1; i = i + 1) {
+			B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+		}
+		for (var i i32 = 1; i < n-1; i = i + 1) { A[i] = B[i]; }
+	}
+	var s f64;
+	for (var i i32 = 0; i < n; i = i + 1) { s = s + A[i]; }
+	return s;
+}`, fcPrelude, n, steps)
+	native := func(n int) float64 {
+		A, B := fillMat(n, 0), make([]float64, n)
+		for t := 0; t < steps; t++ {
+			for i := 1; i < n-1; i++ {
+				B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1])
+			}
+			copy(A[1:n-1], B[1:n-1])
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "jacobi-1d", N: n, FC: fc, Native: native}
+}
+
+func jacobi2d(n int) Kernel {
+	const steps = 20
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n);
+	var B *f64 = alloc_f64(n*n);
+	fill(A, n*n);
+	for (var t i32 = 0; t < %d; t = t + 1) {
+		for (var i i32 = 1; i < n-1; i = i + 1) {
+			for (var j i32 = 1; j < n-1; j = j + 1) {
+				B[i*n+j] = 0.2 * (A[i*n+j] + A[i*n+j-1] + A[i*n+j+1] + A[(i-1)*n+j] + A[(i+1)*n+j]);
+			}
+		}
+		for (var i i32 = 1; i < n-1; i = i + 1) {
+			for (var j i32 = 1; j < n-1; j = j + 1) {
+				A[i*n+j] = B[i*n+j];
+			}
+		}
+	}
+	var s f64;
+	for (var i i32 = 0; i < n*n; i = i + 1) { s = s + A[i]; }
+	return s;
+}`, fcPrelude, n, steps)
+	native := func(n int) float64 {
+		A, B := fillMat(n*n, 0), make([]float64, n*n)
+		for t := 0; t < steps; t++ {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					B[i*n+j] = 0.2 * (A[i*n+j] + A[i*n+j-1] + A[i*n+j+1] + A[(i-1)*n+j] + A[(i+1)*n+j])
+				}
+			}
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					A[i*n+j] = B[i*n+j]
+				}
+			}
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "jacobi-2d", N: n, FC: fc, Native: native}
+}
+
+func lu(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n);
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < n; j = j + 1) {
+			var v f64 = seedval(i*n+j) * 0.01;
+			if (i == j) { v = v + f64(n); }
+			A[i*n+j] = v;
+		}
+	}
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j < i; j = j + 1) {
+			var acc f64 = A[i*n+j];
+			for (var k i32 = 0; k < j; k = k + 1) {
+				acc = acc - A[i*n+k] * A[k*n+j];
+			}
+			A[i*n+j] = acc / A[j*n+j];
+		}
+		for (var j i32 = i; j < n; j = j + 1) {
+			var acc f64 = A[i*n+j];
+			for (var k i32 = 0; k < i; k = k + 1) {
+				acc = acc - A[i*n+k] * A[k*n+j];
+			}
+			A[i*n+j] = acc;
+		}
+	}
+	var s f64;
+	for (var i i32 = 0; i < n*n; i = i + 1) { s = s + A[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		A := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := seedVal(i*n+j) * 0.01
+				if i == j {
+					v += float64(n)
+				}
+				A[i*n+j] = v
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				acc := A[i*n+j]
+				for k := 0; k < j; k++ {
+					acc -= A[i*n+k] * A[k*n+j]
+				}
+				A[i*n+j] = acc / A[j*n+j]
+			}
+			for j := i; j < n; j++ {
+				acc := A[i*n+j]
+				for k := 0; k < i; k++ {
+					acc -= A[i*n+k] * A[k*n+j]
+				}
+				A[i*n+j] = acc
+			}
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "lu", N: n, FC: fc, Native: native}
+}
+
+func mvt(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 32
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n);
+	var x1 *f64 = alloc_f64(n);
+	var x2 *f64 = alloc_f64(n);
+	var y1 *f64 = alloc_f64(n);
+	var y2 *f64 = alloc_f64(n);
+	fill(A, n*n); fill(x1, n); fill(x2, n); fill(y1, n); fill(y2, n);
+	for (var i i32 = 0; i < n; i = i + 1) {
+		var acc f64 = x1[i];
+		for (var j i32 = 0; j < n; j = j + 1) {
+			acc = acc + A[i*n+j] * y1[j];
+		}
+		x1[i] = acc;
+	}
+	for (var i i32 = 0; i < n; i = i + 1) {
+		var acc f64 = x2[i];
+		for (var j i32 = 0; j < n; j = j + 1) {
+			acc = acc + A[j*n+i] * y2[j];
+		}
+		x2[i] = acc;
+	}
+	var s f64;
+	for (var i i32 = 0; i < n; i = i + 1) { s = s + x1[i] + x2[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		A := fillMat(n*n, 0)
+		x1, x2 := fillMat(n, 0), fillMat(n, 0)
+		y1, y2 := fillMat(n, 0), fillMat(n, 0)
+		for i := 0; i < n; i++ {
+			acc := x1[i]
+			for j := 0; j < n; j++ {
+				acc += A[i*n+j] * y1[j]
+			}
+			x1[i] = acc
+		}
+		for i := 0; i < n; i++ {
+			acc := x2[i]
+			for j := 0; j < n; j++ {
+				acc += A[j*n+i] * y2[j]
+			}
+			x2[i] = acc
+		}
+		return sum(x1) + sum(x2)
+	}
+	return Kernel{Name: "mvt", N: n, FC: fc, Native: native}
+}
+
+func seidel2d(n int) Kernel {
+	const steps = 20
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var A *f64 = alloc_f64(n*n);
+	fill(A, n*n);
+	for (var t i32 = 0; t < %d; t = t + 1) {
+		for (var i i32 = 1; i < n-1; i = i + 1) {
+			for (var j i32 = 1; j < n-1; j = j + 1) {
+				A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1]
+					+ A[i*n+j-1] + A[i*n+j] + A[i*n+j+1]
+					+ A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1]) / 9.0;
+			}
+		}
+	}
+	var s f64;
+	for (var i i32 = 0; i < n*n; i = i + 1) { s = s + A[i]; }
+	return s;
+}`, fcPrelude, n, steps)
+	native := func(n int) float64 {
+		A := fillMat(n*n, 0)
+		for t := 0; t < steps; t++ {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1] +
+						A[i*n+j-1] + A[i*n+j] + A[i*n+j+1] +
+						A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1]) / 9
+				}
+			}
+		}
+		return sum(A)
+	}
+	return Kernel{Name: "seidel-2d", N: n, FC: fc, Native: native}
+}
+
+func trisolv(n int) Kernel {
+	fc := fmt.Sprintf(`#memory 16
+%s
+func main() f64 {
+	var n i32 = %d;
+	var L *f64 = alloc_f64(n*n);
+	var b *f64 = alloc_f64(n);
+	var x *f64 = alloc_f64(n);
+	fill(b, n);
+	for (var i i32 = 0; i < n; i = i + 1) {
+		for (var j i32 = 0; j <= i; j = j + 1) {
+			L[i*n+j] = seedval(i*n+j) * 0.1;
+		}
+		L[i*n+i] = L[i*n+i] + 1.0;
+	}
+	for (var i i32 = 0; i < n; i = i + 1) {
+		var acc f64 = b[i];
+		for (var j i32 = 0; j < i; j = j + 1) {
+			acc = acc - L[i*n+j] * x[j];
+		}
+		x[i] = acc / L[i*n+i];
+	}
+	var s f64;
+	for (var i i32 = 0; i < n; i = i + 1) { s = s + x[i]; }
+	return s;
+}`, fcPrelude, n)
+	native := func(n int) float64 {
+		L := make([]float64, n*n)
+		b := fillMat(n, 0)
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				L[i*n+j] = seedVal(i*n+j) * 0.1
+			}
+			L[i*n+i]++
+		}
+		for i := 0; i < n; i++ {
+			acc := b[i]
+			for j := 0; j < i; j++ {
+				acc -= L[i*n+j] * x[j]
+			}
+			x[i] = acc / L[i*n+i]
+		}
+		return sum(x)
+	}
+	return Kernel{Name: "trisolv", N: n, FC: fc, Native: native}
+}
+
+// --- helpers ---
+
+func fillMat(n, base int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = seedVal(base + i)
+	}
+	return out
+}
+
+func sum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"faasm.dev/faasm/internal/wavm"
+)
+
+func instantiate(mod *wavm.Module) (*wavm.Instance, error) {
+	return wavm.Instantiate(mod, nil)
+}
+
+// TestSandboxMatchesNative is the correctness gate for Fig 9a: every kernel
+// computes the same checksum in the wavm sandbox and natively.
+func TestSandboxMatchesNative(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			want := k.Native(k.N)
+			got, steps, err := RunWavm(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if steps == 0 {
+				t.Fatal("no interpreter steps recorded")
+			}
+			diff := math.Abs(got - want)
+			scale := math.Max(math.Abs(want), 1)
+			if diff/scale > 1e-9 {
+				t.Fatalf("checksum mismatch: sandbox %v, native %v", got, want)
+			}
+		})
+	}
+}
+
+func TestKernelNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if seen[k.Name] {
+			t.Fatalf("duplicate kernel %s", k.Name)
+		}
+		seen[k.Name] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("suite has only %d kernels", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("2mm"); !ok {
+		t.Fatal("2mm missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("found nonexistent kernel")
+	}
+}
+
+func TestChecksumsNonTrivial(t *testing.T) {
+	for _, k := range All() {
+		v := k.Native(k.N)
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s checksum degenerate: %v", k.Name, v)
+		}
+	}
+}
+
+func BenchmarkNative2mm(b *testing.B) {
+	k, _ := ByName("2mm")
+	for i := 0; i < b.N; i++ {
+		k.Native(k.N)
+	}
+}
+
+func BenchmarkWavm2mm(b *testing.B) {
+	k, _ := ByName("2mm")
+	mod, err := CompileKernel(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := instantiate(mod)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inst.Call("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

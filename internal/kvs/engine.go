@@ -1,0 +1,324 @@
+// Package kvs implements the global state tier (§4.2): a Redis-like
+// in-memory key-value store holding the authoritative value for every state
+// key, plus the auxiliary structures the runtime needs — sets for the
+// scheduler's warm-host bookkeeping and lease-based global read/write locks
+// for strong consistency.
+//
+// The engine can be reached three ways, matching the deployment modes of the
+// repo: direct (in-process, for unit tests), over TCP with a small line
+// protocol (real distributed mode, see Server/Client), and through the
+// cluster simulator's accounting client which charges transferred bytes to
+// the simulated network (see internal/cluster).
+package kvs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is the interface the state tier programs against; Engine, Client and
+// the simulator's accounting wrapper all implement it.
+type Store interface {
+	// Get returns a copy of the value at key, or nil if absent.
+	Get(key string) ([]byte, error)
+	// Set replaces the value at key.
+	Set(key string, val []byte) error
+	// GetRange returns a copy of val[off:off+n]; reads past the end are
+	// truncated, reads entirely past the end return nil.
+	GetRange(key string, off, n int) ([]byte, error)
+	// SetRange writes val at offset off, zero-extending the value as needed.
+	SetRange(key string, off int, val []byte) error
+	// Append appends val to the value at key, creating it if absent, and
+	// returns the new length.
+	Append(key string, val []byte) (int, error)
+	// Len reports the value's length (0 if absent).
+	Len(key string) (int, error)
+	// Delete removes a key.
+	Delete(key string) error
+	// SAdd adds a member to a set, reporting whether it was new.
+	SAdd(key, member string) (bool, error)
+	// SRem removes a member from a set, reporting whether it was present.
+	SRem(key, member string) (bool, error)
+	// SMembers lists a set's members in sorted order.
+	SMembers(key string) ([]string, error)
+	// Incr atomically adds delta to an integer value, returning the result.
+	Incr(key string, delta int64) (int64, error)
+	// Lock acquires the global lock for key in read or write mode, with a
+	// lease that expires after ttl (protecting against crashed holders).
+	// It blocks until acquired. Returns a token for Unlock.
+	Lock(key string, write bool, ttl time.Duration) (uint64, error)
+	// Unlock releases a previously acquired lock.
+	Unlock(key string, token uint64) error
+}
+
+// Engine is the in-process implementation of Store.
+type Engine struct {
+	mu     sync.Mutex
+	vals   map[string][]byte
+	sets   map[string]map[string]struct{}
+	ints   map[string]int64
+	locks  map[string]*lockState
+	tokens uint64
+	// now is overridable for lease-expiry tests.
+	now func() time.Time
+}
+
+type lockState struct {
+	// writer holds the token of the exclusive holder, 0 if none.
+	writer uint64
+	// readers maps reader tokens to lease expiry.
+	readers map[uint64]time.Time
+	// writerExpiry bounds the writer lease.
+	writerExpiry time.Time
+	cond         *sync.Cond
+}
+
+// NewEngine returns an empty store.
+func NewEngine() *Engine {
+	e := &Engine{
+		vals:  map[string][]byte{},
+		sets:  map[string]map[string]struct{}{},
+		ints:  map[string]int64{},
+		locks: map[string]*lockState{},
+		now:   time.Now,
+	}
+	return e
+}
+
+// Get implements Store.
+func (e *Engine) Get(key string) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.vals[key]
+	if !ok {
+		return nil, nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Set implements Store.
+func (e *Engine) Set(key string, val []byte) error {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	e.mu.Lock()
+	e.vals[key] = cp
+	e.mu.Unlock()
+	return nil
+}
+
+// GetRange implements Store.
+func (e *Engine) GetRange(key string, off, n int) ([]byte, error) {
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("kvs: negative range [%d,%d)", off, off+n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.vals[key]
+	if off >= len(v) {
+		return nil, nil
+	}
+	end := off + n
+	if end > len(v) {
+		end = len(v)
+	}
+	out := make([]byte, end-off)
+	copy(out, v[off:end])
+	return out, nil
+}
+
+// SetRange implements Store.
+func (e *Engine) SetRange(key string, off int, val []byte) error {
+	if off < 0 {
+		return fmt.Errorf("kvs: negative offset %d", off)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.vals[key]
+	if need := off + len(val); need > len(v) {
+		grown := make([]byte, need)
+		copy(grown, v)
+		v = grown
+	}
+	copy(v[off:], val)
+	e.vals[key] = v
+	return nil
+}
+
+// Append implements Store.
+func (e *Engine) Append(key string, val []byte) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.vals[key] = append(e.vals[key], val...)
+	return len(e.vals[key]), nil
+}
+
+// Len implements Store.
+func (e *Engine) Len(key string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.vals[key]), nil
+}
+
+// Delete implements Store.
+func (e *Engine) Delete(key string) error {
+	e.mu.Lock()
+	delete(e.vals, key)
+	delete(e.sets, key)
+	delete(e.ints, key)
+	e.mu.Unlock()
+	return nil
+}
+
+// SAdd implements Store.
+func (e *Engine) SAdd(key, member string) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sets[key]
+	if !ok {
+		s = map[string]struct{}{}
+		e.sets[key] = s
+	}
+	if _, exists := s[member]; exists {
+		return false, nil
+	}
+	s[member] = struct{}{}
+	return true, nil
+}
+
+// SRem implements Store.
+func (e *Engine) SRem(key, member string) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sets[key]
+	if !ok {
+		return false, nil
+	}
+	if _, exists := s[member]; !exists {
+		return false, nil
+	}
+	delete(s, member)
+	return true, nil
+}
+
+// SMembers implements Store.
+func (e *Engine) SMembers(key string) ([]string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.sets[key]
+	out := make([]string, 0, len(s))
+	for m := range s {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Incr implements Store.
+func (e *Engine) Incr(key string, delta int64) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ints[key] += delta
+	return e.ints[key], nil
+}
+
+// Keys returns all value keys (diagnostics and tests).
+func (e *Engine) Keys() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.vals))
+	for k := range e.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes reports the sum of value lengths (memory accounting).
+func (e *Engine) TotalBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var n int64
+	for _, v := range e.vals {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// Lock implements Store. Lock ordering is writer-preferring within a key:
+// pending writers do not starve behind a stream of readers because expired
+// leases are pruned on every wake-up.
+func (e *Engine) Lock(key string, write bool, ttl time.Duration) (uint64, error) {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ls, ok := e.locks[key]
+	if !ok {
+		ls = &lockState{readers: map[uint64]time.Time{}}
+		ls.cond = sync.NewCond(&e.mu)
+		e.locks[key] = ls
+	}
+	for {
+		e.pruneExpired(ls)
+		if write {
+			if ls.writer == 0 && len(ls.readers) == 0 {
+				e.tokens++
+				ls.writer = e.tokens
+				ls.writerExpiry = e.now().Add(ttl)
+				return ls.writer, nil
+			}
+		} else {
+			if ls.writer == 0 {
+				e.tokens++
+				ls.readers[e.tokens] = e.now().Add(ttl)
+				return e.tokens, nil
+			}
+		}
+		// Wake periodically so expired leases are reclaimed even when the
+		// holder crashed and will never call Unlock.
+		wake := time.AfterFunc(50*time.Millisecond, func() {
+			e.mu.Lock()
+			ls.cond.Broadcast()
+			e.mu.Unlock()
+		})
+		ls.cond.Wait()
+		wake.Stop()
+	}
+}
+
+func (e *Engine) pruneExpired(ls *lockState) {
+	now := e.now()
+	if ls.writer != 0 && now.After(ls.writerExpiry) {
+		ls.writer = 0
+	}
+	for tok, exp := range ls.readers {
+		if now.After(exp) {
+			delete(ls.readers, tok)
+		}
+	}
+}
+
+// Unlock implements Store. Unlocking an expired or unknown token is a no-op,
+// mirroring lease semantics.
+func (e *Engine) Unlock(key string, token uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ls, ok := e.locks[key]
+	if !ok {
+		return nil
+	}
+	if ls.writer == token {
+		ls.writer = 0
+	} else {
+		delete(ls.readers, token)
+	}
+	ls.cond.Broadcast()
+	return nil
+}
+
+var _ Store = (*Engine)(nil)

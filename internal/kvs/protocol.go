@@ -1,0 +1,616 @@
+package kvs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"faasm.dev/faasm/internal/metrics"
+)
+
+// The wire protocol is a line-oriented request/response exchange. Keys and
+// members travel quoted (strconv.Quote) so they may contain any bytes;
+// binary payloads follow a declared length:
+//
+//	request:  CMD "key" args... [payloadLen]\n [payload bytes]
+//	response: OK | NIL | INT n | ERR msg | VAL n\n<bytes> | MULTI n\n"m1"\n...
+//
+// It deliberately mirrors the shape of RESP (the paper's global tier is
+// Redis) while staying trivially parseable.
+
+// Server serves an Engine over TCP.
+type Server struct {
+	engine *Engine
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	done   chan struct{}
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0") backed by engine.
+func NewServer(engine *Engine, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvs: listen %s: %w", addr, err)
+	}
+	s := &Server{engine: engine, ln: ln, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 64*1024)
+	w := bufio.NewWriterSize(conn, 64*1024)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(strings.TrimSuffix(line, "\n"), r, w); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one request line; returns an error only for connection-
+// fatal conditions.
+func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
+	fields, err := splitFields(line)
+	if err != nil || len(fields) == 0 {
+		fmt.Fprintf(w, "ERR bad request\n")
+		return nil
+	}
+	reply := func(format string, args ...interface{}) { fmt.Fprintf(w, format, args...) }
+	errReply := func(err error) { reply("ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " ")) }
+
+	readPayload := func(lenField string) ([]byte, error) {
+		n, err := strconv.Atoi(lenField)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad payload length %q", lenField)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+
+	cmd := fields[0]
+	switch {
+	case cmd == "PING":
+		reply("OK\n")
+	case cmd == "GET" && len(fields) == 2:
+		v, err := s.engine.Get(fields[1])
+		if err != nil {
+			errReply(err)
+			return nil
+		}
+		if v == nil {
+			reply("NIL\n")
+		} else {
+			reply("VAL %d\n", len(v))
+			w.Write(v)
+		}
+	case cmd == "SET" && len(fields) == 3:
+		payload, err := readPayload(fields[2])
+		if err != nil {
+			return err
+		}
+		if err := s.engine.Set(fields[1], payload); err != nil {
+			errReply(err)
+		} else {
+			reply("OK\n")
+		}
+	case cmd == "GETRANGE" && len(fields) == 4:
+		off, err1 := strconv.Atoi(fields[2])
+		n, err2 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil {
+			reply("ERR bad range\n")
+			return nil
+		}
+		v, err := s.engine.GetRange(fields[1], off, n)
+		if err != nil {
+			errReply(err)
+			return nil
+		}
+		if v == nil {
+			reply("NIL\n")
+		} else {
+			reply("VAL %d\n", len(v))
+			w.Write(v)
+		}
+	case cmd == "SETRANGE" && len(fields) == 4:
+		off, err1 := strconv.Atoi(fields[2])
+		if err1 != nil {
+			reply("ERR bad offset\n")
+			return nil
+		}
+		payload, err := readPayload(fields[3])
+		if err != nil {
+			return err
+		}
+		if err := s.engine.SetRange(fields[1], off, payload); err != nil {
+			errReply(err)
+		} else {
+			reply("OK\n")
+		}
+	case cmd == "APPEND" && len(fields) == 3:
+		payload, err := readPayload(fields[2])
+		if err != nil {
+			return err
+		}
+		n, err := s.engine.Append(fields[1], payload)
+		if err != nil {
+			errReply(err)
+		} else {
+			reply("INT %d\n", n)
+		}
+	case cmd == "LEN" && len(fields) == 2:
+		n, err := s.engine.Len(fields[1])
+		if err != nil {
+			errReply(err)
+		} else {
+			reply("INT %d\n", n)
+		}
+	case cmd == "DEL" && len(fields) == 2:
+		if err := s.engine.Delete(fields[1]); err != nil {
+			errReply(err)
+		} else {
+			reply("OK\n")
+		}
+	case cmd == "SADD" && len(fields) == 3:
+		added, err := s.engine.SAdd(fields[1], fields[2])
+		if err != nil {
+			errReply(err)
+		} else {
+			reply("INT %d\n", boolInt(added))
+		}
+	case cmd == "SREM" && len(fields) == 3:
+		removed, err := s.engine.SRem(fields[1], fields[2])
+		if err != nil {
+			errReply(err)
+		} else {
+			reply("INT %d\n", boolInt(removed))
+		}
+	case cmd == "SMEMBERS" && len(fields) == 2:
+		members, err := s.engine.SMembers(fields[1])
+		if err != nil {
+			errReply(err)
+			return nil
+		}
+		reply("MULTI %d\n", len(members))
+		for _, m := range members {
+			reply("%s\n", strconv.Quote(m))
+		}
+	case cmd == "INCR" && len(fields) == 3:
+		delta, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			reply("ERR bad delta\n")
+			return nil
+		}
+		v, err := s.engine.Incr(fields[1], delta)
+		if err != nil {
+			errReply(err)
+		} else {
+			reply("INT %d\n", v)
+		}
+	case cmd == "LOCK" && len(fields) == 4:
+		write := fields[2] == "w"
+		ttlMS, err := strconv.Atoi(fields[3])
+		if err != nil {
+			reply("ERR bad ttl\n")
+			return nil
+		}
+		// Blocking acquire: the paper's global locks block the caller. We
+		// must flush nothing until acquired; each connection carries one
+		// outstanding request, so blocking here is safe.
+		tok, err := s.engine.Lock(fields[1], write, time.Duration(ttlMS)*time.Millisecond)
+		if err != nil {
+			errReply(err)
+		} else {
+			reply("INT %d\n", tok)
+		}
+	case cmd == "UNLOCK" && len(fields) == 3:
+		tok, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			reply("ERR bad token\n")
+			return nil
+		}
+		if err := s.engine.Unlock(fields[1], tok); err != nil {
+			errReply(err)
+		} else {
+			reply("OK\n")
+		}
+	default:
+		reply("ERR unknown command %q\n", cmd)
+	}
+	return nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// splitFields splits a request line into fields, unquoting quoted ones.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			// Find the closing quote, honouring escapes.
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, errors.New("unterminated quote")
+			}
+			s, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+			i = j + 1
+		} else {
+			j := i
+			for j < len(line) && line[j] != ' ' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}
+
+// Client is a TCP Store client with a small connection pool, so blocking
+// LOCK calls do not stall unrelated operations. It counts transferred bytes
+// for the network-transfer experiments (Figs 6b, 8b).
+type Client struct {
+	addr string
+	pool chan *clientConn
+	max  int
+
+	Sent     metrics.Counter
+	Received metrics.Counter
+}
+
+type clientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// NewClient returns a client for the server at addr.
+func NewClient(addr string) *Client {
+	const poolSize = 8
+	return &Client{addr: addr, pool: make(chan *clientConn, poolSize), max: poolSize}
+}
+
+func (c *Client) getConn() (*clientConn, error) {
+	select {
+	case cc := <-c.pool:
+		return cc, nil
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("kvs: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64*1024),
+		w:    bufio.NewWriterSize(conn, 64*1024),
+	}, nil
+}
+
+func (c *Client) putConn(cc *clientConn) {
+	select {
+	case c.pool <- cc:
+	default:
+		cc.conn.Close()
+	}
+}
+
+// Close drains and closes pooled connections.
+func (c *Client) Close() error {
+	for {
+		select {
+		case cc := <-c.pool:
+			cc.conn.Close()
+		default:
+			return nil
+		}
+	}
+}
+
+// roundTrip sends one request and parses the status line. Payload handling
+// is done by the caller via the returned reader.
+func (c *Client) roundTrip(req string, payload []byte, handle func(status string, r *bufio.Reader) error) error {
+	cc, err := c.getConn()
+	if err != nil {
+		return err
+	}
+	ok := false
+	defer func() {
+		if ok {
+			c.putConn(cc)
+		} else {
+			cc.conn.Close()
+		}
+	}()
+	if _, err := cc.w.WriteString(req); err != nil {
+		return err
+	}
+	if _, err := cc.w.Write(payload); err != nil {
+		return err
+	}
+	if err := cc.w.Flush(); err != nil {
+		return err
+	}
+	c.Sent.Add(int64(len(req) + len(payload)))
+	status, err := cc.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	c.Received.Add(int64(len(status)))
+	if err := handle(strings.TrimSuffix(status, "\n"), cc.r); err != nil {
+		return err
+	}
+	ok = true
+	return nil
+}
+
+func parseIntReply(status string) (int64, error) {
+	if !strings.HasPrefix(status, "INT ") {
+		return 0, replyError(status)
+	}
+	return strconv.ParseInt(status[4:], 10, 64)
+}
+
+func replyError(status string) error {
+	if strings.HasPrefix(status, "ERR ") {
+		return fmt.Errorf("kvs: server: %s", status[4:])
+	}
+	return fmt.Errorf("kvs: unexpected reply %q", status)
+}
+
+func (c *Client) readVal(status string, r *bufio.Reader) ([]byte, error) {
+	if status == "NIL" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(status, "VAL ") {
+		return nil, replyError(status)
+	}
+	n, err := strconv.Atoi(status[4:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("kvs: bad VAL length %q", status)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	c.Received.Add(int64(n))
+	return buf, nil
+}
+
+// Get implements Store.
+func (c *Client) Get(key string) ([]byte, error) {
+	var out []byte
+	err := c.roundTrip(fmt.Sprintf("GET %s\n", strconv.Quote(key)), nil, func(status string, r *bufio.Reader) error {
+		v, err := c.readVal(status, r)
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// Set implements Store.
+func (c *Client) Set(key string, val []byte) error {
+	return c.roundTrip(fmt.Sprintf("SET %s %d\n", strconv.Quote(key), len(val)), val, expectOK)
+}
+
+func expectOK(status string, _ *bufio.Reader) error {
+	if status != "OK" {
+		return replyError(status)
+	}
+	return nil
+}
+
+// GetRange implements Store.
+func (c *Client) GetRange(key string, off, n int) ([]byte, error) {
+	var out []byte
+	err := c.roundTrip(fmt.Sprintf("GETRANGE %s %d %d\n", strconv.Quote(key), off, n), nil,
+		func(status string, r *bufio.Reader) error {
+			v, err := c.readVal(status, r)
+			out = v
+			return err
+		})
+	return out, err
+}
+
+// SetRange implements Store.
+func (c *Client) SetRange(key string, off int, val []byte) error {
+	return c.roundTrip(fmt.Sprintf("SETRANGE %s %d %d\n", strconv.Quote(key), off, len(val)), val, expectOK)
+}
+
+// Append implements Store.
+func (c *Client) Append(key string, val []byte) (int, error) {
+	var out int
+	err := c.roundTrip(fmt.Sprintf("APPEND %s %d\n", strconv.Quote(key), len(val)), val,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			out = int(n)
+			return err
+		})
+	return out, err
+}
+
+// Len implements Store.
+func (c *Client) Len(key string) (int, error) {
+	var out int
+	err := c.roundTrip(fmt.Sprintf("LEN %s\n", strconv.Quote(key)), nil,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			out = int(n)
+			return err
+		})
+	return out, err
+}
+
+// Delete implements Store.
+func (c *Client) Delete(key string) error {
+	return c.roundTrip(fmt.Sprintf("DEL %s\n", strconv.Quote(key)), nil, expectOK)
+}
+
+// SAdd implements Store.
+func (c *Client) SAdd(key, member string) (bool, error) {
+	var out bool
+	err := c.roundTrip(fmt.Sprintf("SADD %s %s\n", strconv.Quote(key), strconv.Quote(member)), nil,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			out = n == 1
+			return err
+		})
+	return out, err
+}
+
+// SRem implements Store.
+func (c *Client) SRem(key, member string) (bool, error) {
+	var out bool
+	err := c.roundTrip(fmt.Sprintf("SREM %s %s\n", strconv.Quote(key), strconv.Quote(member)), nil,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			out = n == 1
+			return err
+		})
+	return out, err
+}
+
+// SMembers implements Store.
+func (c *Client) SMembers(key string) ([]string, error) {
+	var out []string
+	err := c.roundTrip(fmt.Sprintf("SMEMBERS %s\n", strconv.Quote(key)), nil,
+		func(status string, r *bufio.Reader) error {
+			if !strings.HasPrefix(status, "MULTI ") {
+				return replyError(status)
+			}
+			n, err := strconv.Atoi(status[6:])
+			if err != nil || n < 0 {
+				return fmt.Errorf("kvs: bad MULTI count %q", status)
+			}
+			for i := 0; i < n; i++ {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				c.Received.Add(int64(len(line)))
+				m, err := strconv.Unquote(strings.TrimSuffix(line, "\n"))
+				if err != nil {
+					return err
+				}
+				out = append(out, m)
+			}
+			return nil
+		})
+	return out, err
+}
+
+// Incr implements Store.
+func (c *Client) Incr(key string, delta int64) (int64, error) {
+	var out int64
+	err := c.roundTrip(fmt.Sprintf("INCR %s %d\n", strconv.Quote(key), delta), nil,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			out = n
+			return err
+		})
+	return out, err
+}
+
+// Lock implements Store. The call blocks server-side until acquired.
+func (c *Client) Lock(key string, write bool, ttl time.Duration) (uint64, error) {
+	mode := "r"
+	if write {
+		mode = "w"
+	}
+	var out uint64
+	err := c.roundTrip(fmt.Sprintf("LOCK %s %s %d\n", strconv.Quote(key), mode, ttl.Milliseconds()), nil,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			out = uint64(n)
+			return err
+		})
+	return out, err
+}
+
+// Unlock implements Store.
+func (c *Client) Unlock(key string, token uint64) error {
+	return c.roundTrip(fmt.Sprintf("UNLOCK %s %d\n", strconv.Quote(key), token), nil, expectOK)
+}
+
+var _ Store = (*Client)(nil)

@@ -1,0 +1,304 @@
+// Package mbus implements the message bus of Fig 1: the channel through
+// which Faaslets communicate with their parent runtime and each other —
+// receiving function calls, sharing work, invoking and awaiting chained
+// calls, and being told to spawn or terminate.
+//
+// It has two parts: named Endpoints carrying Messages (the transport), and
+// the CallTable tracking the lifecycle of every function call so that
+// chain_call / await_call / get_call_output (Table 2) can be implemented on
+// top of it.
+package mbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// MsgType enumerates bus message kinds.
+type MsgType int
+
+// Message kinds.
+const (
+	MsgCall MsgType = iota
+	MsgResult
+	MsgSpawn
+	MsgTerminate
+	MsgShare // work sharing between runtime instances (§5.1)
+)
+
+// Message is one bus datagram.
+type Message struct {
+	Type     MsgType
+	CallID   uint64
+	Function string
+	Payload  []byte
+	From     string
+}
+
+// Bus routes messages between named endpoints.
+type Bus struct {
+	mu        sync.Mutex
+	endpoints map[string]chan Message
+	closed    bool
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("mbus: bus closed")
+
+// New creates an empty bus.
+func New() *Bus {
+	return &Bus{endpoints: map[string]chan Message{}}
+}
+
+// endpointBuffer bounds each inbox; senders block when a receiver lags,
+// providing natural backpressure.
+const endpointBuffer = 1024
+
+// Register creates (or returns) the inbox for name.
+func (b *Bus) Register(name string) (<-chan Message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	ch, ok := b.endpoints[name]
+	if !ok {
+		ch = make(chan Message, endpointBuffer)
+		b.endpoints[name] = ch
+	}
+	return ch, nil
+}
+
+// Unregister removes an endpoint, closing its inbox.
+func (b *Bus) Unregister(name string) {
+	b.mu.Lock()
+	ch, ok := b.endpoints[name]
+	delete(b.endpoints, name)
+	b.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// Send delivers msg to the named endpoint, blocking if its inbox is full.
+func (b *Bus) Send(to string, msg Message) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	ch, ok := b.endpoints[to]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mbus: no endpoint %q", to)
+	}
+	ch <- msg
+	return nil
+}
+
+// TrySend delivers without blocking, reporting whether it was enqueued.
+func (b *Bus) TrySend(to string, msg Message) (bool, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false, ErrClosed
+	}
+	ch, ok := b.endpoints[to]
+	b.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("mbus: no endpoint %q", to)
+	}
+	select {
+	case ch <- msg:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Endpoints lists registered endpoint names.
+func (b *Bus) Endpoints() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.endpoints))
+	for n := range b.endpoints {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Close shuts the bus; all inboxes are closed.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	eps := b.endpoints
+	b.endpoints = map[string]chan Message{}
+	b.mu.Unlock()
+	for _, ch := range eps {
+		close(ch)
+	}
+}
+
+// CallStatus is the lifecycle state of a chained call.
+type CallStatus int
+
+// Call states.
+const (
+	CallPending CallStatus = iota
+	CallRunning
+	CallSucceeded
+	CallFailed
+)
+
+func (s CallStatus) String() string {
+	switch s {
+	case CallPending:
+		return "pending"
+	case CallRunning:
+		return "running"
+	case CallSucceeded:
+		return "succeeded"
+	case CallFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// CallRecord is the table entry for one function call.
+type CallRecord struct {
+	ID       uint64
+	Function string
+	Input    []byte
+	Output   []byte
+	Status   CallStatus
+	Err      string
+	// ReturnCode is the guest's integer result, as awaited by await_call.
+	ReturnCode int32
+}
+
+// CallTable tracks in-flight and completed calls on one runtime instance.
+type CallTable struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	calls map[uint64]*CallRecord
+	next  atomic.Uint64
+}
+
+// NewCallTable creates an empty table.
+func NewCallTable() *CallTable {
+	t := &CallTable{calls: map[uint64]*CallRecord{}}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Create registers a new pending call, returning its ID.
+func (t *CallTable) Create(function string, input []byte) uint64 {
+	id := t.next.Add(1)
+	t.mu.Lock()
+	t.calls[id] = &CallRecord{
+		ID:       id,
+		Function: function,
+		Input:    append([]byte(nil), input...),
+		Status:   CallPending,
+	}
+	t.mu.Unlock()
+	return id
+}
+
+// Start marks a call running.
+func (t *CallTable) Start(id uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.calls[id]
+	if !ok {
+		return fmt.Errorf("mbus: unknown call %d", id)
+	}
+	r.Status = CallRunning
+	return nil
+}
+
+// Complete finishes a call with output and return code (err non-nil marks
+// failure), waking all awaiters.
+func (t *CallTable) Complete(id uint64, output []byte, ret int32, err error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.calls[id]
+	if !ok {
+		return fmt.Errorf("mbus: unknown call %d", id)
+	}
+	r.Output = append([]byte(nil), output...)
+	r.ReturnCode = ret
+	if err != nil {
+		r.Status = CallFailed
+		r.Err = err.Error()
+	} else {
+		r.Status = CallSucceeded
+	}
+	t.cond.Broadcast()
+	return nil
+}
+
+// Await blocks until the call finishes or fails, returning its return code
+// (await_call in Table 2). Failure yields a non-zero code and the error.
+func (t *CallTable) Await(id uint64) (int32, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		r, ok := t.calls[id]
+		if !ok {
+			return -1, fmt.Errorf("mbus: unknown call %d", id)
+		}
+		switch r.Status {
+		case CallSucceeded:
+			return r.ReturnCode, nil
+		case CallFailed:
+			return r.ReturnCode, fmt.Errorf("mbus: call %d failed: %s", id, r.Err)
+		}
+		t.cond.Wait()
+	}
+}
+
+// Output returns a finished call's output bytes (get_call_output).
+func (t *CallTable) Output(id uint64) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.calls[id]
+	if !ok {
+		return nil, fmt.Errorf("mbus: unknown call %d", id)
+	}
+	if r.Status != CallSucceeded && r.Status != CallFailed {
+		return nil, fmt.Errorf("mbus: call %d still %s", id, r.Status)
+	}
+	return append([]byte(nil), r.Output...), nil
+}
+
+// Get returns a snapshot of the record.
+func (t *CallTable) Get(id uint64) (CallRecord, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.calls[id]
+	if !ok {
+		return CallRecord{}, false
+	}
+	return *r, true
+}
+
+// Delete discards a call record (GC after chaining completes).
+func (t *CallTable) Delete(id uint64) {
+	t.mu.Lock()
+	delete(t.calls, id)
+	t.mu.Unlock()
+}
+
+// Len reports the number of live records.
+func (t *CallTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.calls)
+}

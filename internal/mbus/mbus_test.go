@@ -1,0 +1,217 @@
+package mbus
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendReceive(t *testing.T) {
+	b := New()
+	inbox, err := b.Register("faaslet-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("faaslet-1", Message{Type: MsgCall, Function: "echo", Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-inbox
+	if msg.Type != MsgCall || msg.Function != "echo" || string(msg.Payload) != "hi" {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestSendToUnknownEndpoint(t *testing.T) {
+	b := New()
+	if err := b.Send("ghost", Message{}); err == nil {
+		t.Fatal("send to missing endpoint succeeded")
+	}
+	if _, err := b.TrySend("ghost", Message{}); err == nil {
+		t.Fatal("trysend to missing endpoint succeeded")
+	}
+}
+
+func TestTrySendBackpressure(t *testing.T) {
+	b := New()
+	b.Register("slow")
+	var lastOK bool
+	for i := 0; i < endpointBuffer+1; i++ {
+		ok, err := b.TrySend("slow", Message{CallID: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastOK = ok
+	}
+	if lastOK {
+		t.Fatal("full inbox accepted message")
+	}
+}
+
+func TestUnregisterClosesInbox(t *testing.T) {
+	b := New()
+	inbox, _ := b.Register("f")
+	b.Unregister("f")
+	if _, open := <-inbox; open {
+		t.Fatal("inbox still open")
+	}
+	if err := b.Send("f", Message{}); err == nil {
+		t.Fatal("send to unregistered endpoint succeeded")
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	b := New()
+	inbox, _ := b.Register("f")
+	b.Close()
+	if _, open := <-inbox; open {
+		t.Fatal("inbox open after close")
+	}
+	if err := b.Send("f", Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if _, err := b.Register("g"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: %v", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestCallLifecycle(t *testing.T) {
+	ct := NewCallTable()
+	id := ct.Create("wordcount", []byte("input"))
+	if id == 0 {
+		t.Fatal("zero call id")
+	}
+	rec, ok := ct.Get(id)
+	if !ok || rec.Status != CallPending || string(rec.Input) != "input" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if err := ct.Start(id); err != nil {
+		t.Fatal(err)
+	}
+	// Output before completion is an error.
+	if _, err := ct.Output(id); err == nil {
+		t.Fatal("output of running call")
+	}
+	if err := ct.Complete(id, []byte("result"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	ret, err := ct.Await(id)
+	if err != nil || ret != 0 {
+		t.Fatalf("await: %d %v", ret, err)
+	}
+	out, err := ct.Output(id)
+	if err != nil || string(out) != "result" {
+		t.Fatalf("output: %q %v", out, err)
+	}
+}
+
+func TestAwaitBlocksUntilComplete(t *testing.T) {
+	ct := NewCallTable()
+	id := ct.Create("f", nil)
+	got := make(chan int32)
+	go func() {
+		ret, _ := ct.Await(id)
+		got <- ret
+	}()
+	select {
+	case <-got:
+		t.Fatal("await returned before completion")
+	case <-time.After(20 * time.Millisecond):
+	}
+	ct.Complete(id, nil, 7, nil)
+	select {
+	case ret := <-got:
+		if ret != 7 {
+			t.Fatalf("ret = %d", ret)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("await never woke")
+	}
+}
+
+func TestAwaitFailedCall(t *testing.T) {
+	ct := NewCallTable()
+	id := ct.Create("f", nil)
+	ct.Complete(id, nil, 1, errors.New("guest trapped"))
+	ret, err := ct.Await(id)
+	if err == nil || ret != 1 {
+		t.Fatalf("await failed call: %d %v", ret, err)
+	}
+	if !strings.Contains(err.Error(), "guest trapped") {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestManyAwaiters(t *testing.T) {
+	ct := NewCallTable()
+	id := ct.Create("f", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ret, err := ct.Await(id); err != nil || ret != 3 {
+				t.Errorf("awaiter got %d %v", ret, err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	ct.Complete(id, nil, 3, nil)
+	wg.Wait()
+}
+
+func TestUnknownCallOps(t *testing.T) {
+	ct := NewCallTable()
+	if err := ct.Start(99); err == nil {
+		t.Fatal("start unknown")
+	}
+	if err := ct.Complete(99, nil, 0, nil); err == nil {
+		t.Fatal("complete unknown")
+	}
+	if _, err := ct.Await(99); err == nil {
+		t.Fatal("await unknown")
+	}
+	if _, err := ct.Output(99); err == nil {
+		t.Fatal("output unknown")
+	}
+}
+
+func TestDeleteAndLen(t *testing.T) {
+	ct := NewCallTable()
+	a := ct.Create("f", nil)
+	ct.Create("g", nil)
+	if ct.Len() != 2 {
+		t.Fatalf("len = %d", ct.Len())
+	}
+	ct.Delete(a)
+	if ct.Len() != 1 {
+		t.Fatalf("len after delete = %d", ct.Len())
+	}
+}
+
+func TestCallIDsUnique(t *testing.T) {
+	ct := NewCallTable()
+	const n = 100
+	ids := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/10; j++ {
+				ids <- ct.Create("f", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[uint64]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate call id %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics implements the measurement primitives used by the
+// evaluation harness: monotonic counters, latency recorders with quantile and
+// CDF extraction, and the billable-memory (GB-second) accounting defined in
+// §6.1 of the paper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a concurrency-safe monotonic counter (e.g. bytes transferred).
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by n (n may be negative for corrections).
+func (c *Counter) Add(n int64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.v = 0
+	c.mu.Unlock()
+}
+
+// Latencies records a set of latency samples and answers distribution
+// queries. It keeps raw samples; experiment sizes here are modest.
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record appends one sample.
+func (l *Latencies) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.sorted = false
+	l.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+func (l *Latencies) sortLocked() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using nearest-rank, or 0 if
+// no samples were recorded.
+func (l *Latencies) Quantile(q float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sortLocked()
+	if q <= 0 {
+		return l.samples[0]
+	}
+	if q >= 1 {
+		return l.samples[len(l.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(l.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Median returns the 50th percentile.
+func (l *Latencies) Median() time.Duration { return l.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (l *Latencies) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Max returns the largest sample.
+func (l *Latencies) Max() time.Duration { return l.Quantile(1) }
+
+// FractionBelow returns the fraction of samples strictly below d.
+func (l *Latencies) FractionBelow(d time.Duration) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sortLocked()
+	i := sort.Search(len(l.samples), func(i int) bool { return l.samples[i] >= d })
+	return float64(i) / float64(len(l.samples))
+}
+
+// CDF returns (latency, cumulative fraction) pairs at n evenly spaced ranks,
+// suitable for plotting Fig 7b-style curves.
+func (l *Latencies) CDF(n int) []CDFPoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 || n <= 0 {
+		return nil
+	}
+	l.sortLocked()
+	pts := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		frac := float64(i) / float64(n)
+		idx := int(math.Ceil(frac*float64(len(l.samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		pts = append(pts, CDFPoint{Latency: l.samples[idx], Fraction: frac})
+	}
+	return pts
+}
+
+// CDFPoint is one point of a latency CDF.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// BillableMemory accumulates GB-seconds: the product of each instance's peak
+// memory footprint and its runtime, as billed by serverless platforms (§6.1).
+type BillableMemory struct {
+	mu        sync.Mutex
+	gbSeconds float64
+}
+
+// Charge adds one instance execution: peakBytes held for dur.
+func (b *BillableMemory) Charge(peakBytes int64, dur time.Duration) {
+	gb := float64(peakBytes) / 1e9
+	b.mu.Lock()
+	b.gbSeconds += gb * dur.Seconds()
+	b.mu.Unlock()
+}
+
+// GBSeconds returns the accumulated billable memory.
+func (b *BillableMemory) GBSeconds() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gbSeconds
+}
+
+// Reset zeroes the accumulator.
+func (b *BillableMemory) Reset() {
+	b.mu.Lock()
+	b.gbSeconds = 0
+	b.mu.Unlock()
+}
+
+// HumanBytes renders a byte count with binary-ish units matching the paper's
+// presentation (KB/MB/GB at powers of 1000, as cloud billing does).
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1f GB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1f MB", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1f KB", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

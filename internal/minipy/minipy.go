@@ -1,0 +1,813 @@
+// Package minipy implements a small dynamic-language runtime, the repo's
+// stand-in for CPython in the paper's Fig 9b and §6.5 experiments. The
+// paper measures the cost of hosting a dynamic language runtime inside a
+// Faaslet (compiled to WebAssembly); we reproduce the setup by running the
+// same interpreter over a pluggable object heap:
+//
+//   - native mode: the heap is a plain byte slice — the "native CPython"
+//     side of Fig 9b;
+//   - faaslet mode: the heap lives in the Faaslet's linear memory, so every
+//     object access pays the sandbox's bounds-checked accessor path — the
+//     "CPython in a Faaslet" side.
+//
+// Programs are dynamically typed ASTs (ints, floats, strings, lists,
+// functions) built programmatically by the benchmark suite in bench.go.
+package minipy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"faasm.dev/faasm/internal/wamem"
+)
+
+// Heap is the interpreter's object memory. Strings and lists live here;
+// scalar values stay in tagged registers.
+type Heap interface {
+	// Alloc reserves n bytes, returning the address.
+	Alloc(n int) (int32, error)
+	ReadU64(addr int32) (uint64, error)
+	WriteU64(addr int32, v uint64) error
+	ReadBytes(addr int32, n int) ([]byte, error)
+	WriteBytes(addr int32, b []byte) error
+}
+
+// SliceHeap is the native-mode heap: a growable byte slice.
+type SliceHeap struct {
+	buf  []byte
+	next int32
+}
+
+// NewSliceHeap creates a native heap.
+func NewSliceHeap() *SliceHeap { return &SliceHeap{buf: make([]byte, 1<<16), next: 8} }
+
+// Alloc implements Heap.
+func (h *SliceHeap) Alloc(n int) (int32, error) {
+	addr := h.next
+	h.next += int32((n + 7) &^ 7)
+	for int(h.next) > len(h.buf) {
+		h.buf = append(h.buf, make([]byte, len(h.buf))...)
+	}
+	return addr, nil
+}
+
+// ReadU64 implements Heap.
+func (h *SliceHeap) ReadU64(addr int32) (uint64, error) {
+	return leU64(h.buf[addr:]), nil
+}
+
+// WriteU64 implements Heap.
+func (h *SliceHeap) WriteU64(addr int32, v uint64) error {
+	putU64(h.buf[addr:], v)
+	return nil
+}
+
+// ReadBytes implements Heap.
+func (h *SliceHeap) ReadBytes(addr int32, n int) ([]byte, error) {
+	return h.buf[addr : addr+int32(n)], nil
+}
+
+// WriteBytes implements Heap.
+func (h *SliceHeap) WriteBytes(addr int32, b []byte) error {
+	copy(h.buf[addr:], b)
+	return nil
+}
+
+// MemHeap is the faaslet-mode heap over a linear memory: every access is
+// bounds-checked by wamem, the sandbox's SFI cost.
+type MemHeap struct {
+	mem  *wamem.Memory
+	next int32
+}
+
+// NewMemHeap creates a heap inside mem, starting after base.
+func NewMemHeap(mem *wamem.Memory, base int32) *MemHeap {
+	return &MemHeap{mem: mem, next: base + 8}
+}
+
+// Alloc implements Heap.
+func (h *MemHeap) Alloc(n int) (int32, error) {
+	addr := h.next
+	h.next += int32((n + 7) &^ 7)
+	if uint32(h.next) > h.mem.Size() {
+		need := (int(h.next) - int(h.mem.Size()) + wamem.PageSize - 1) / wamem.PageSize
+		if _, err := h.mem.Grow(need); err != nil {
+			return 0, err
+		}
+	}
+	return addr, nil
+}
+
+// ReadU64 implements Heap.
+func (h *MemHeap) ReadU64(addr int32) (uint64, error) { return h.mem.ReadU64(uint32(addr)) }
+
+// WriteU64 implements Heap.
+func (h *MemHeap) WriteU64(addr int32, v uint64) error { return h.mem.WriteU64(uint32(addr), v) }
+
+// ReadBytes implements Heap.
+func (h *MemHeap) ReadBytes(addr int32, n int) ([]byte, error) {
+	return h.mem.ReadBytes(uint32(addr), n)
+}
+
+// WriteBytes implements Heap.
+func (h *MemHeap) WriteBytes(addr int32, b []byte) error {
+	return h.mem.WriteBytes(uint32(addr), b)
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Kind tags a dynamic value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KNone Kind = iota
+	KInt
+	KFloat
+	KBool
+	KStr  // heap: [len u64][bytes]
+	KList // heap: [len u64][cap u64][16-byte boxed elements]
+)
+
+// Val is one dynamic value.
+type Val struct {
+	Kind Kind
+	I    int64
+	F    float64
+	Addr int32
+}
+
+// None is the unit value.
+var None = Val{Kind: KNone}
+
+// IntV boxes an int.
+func IntV(i int64) Val { return Val{Kind: KInt, I: i} }
+
+// FloatV boxes a float.
+func FloatV(f float64) Val { return Val{Kind: KFloat, F: f} }
+
+// BoolV boxes a bool.
+func BoolV(b bool) Val {
+	if b {
+		return Val{Kind: KBool, I: 1}
+	}
+	return Val{Kind: KBool}
+}
+
+// Truthy implements dynamic truthiness.
+func (v Val) Truthy() bool {
+	switch v.Kind {
+	case KNone:
+		return false
+	case KInt, KBool:
+		return v.I != 0
+	case KFloat:
+		return v.F != 0
+	default:
+		return true
+	}
+}
+
+// Interp is one interpreter instance bound to a heap.
+type Interp struct {
+	heap  Heap
+	funcs map[string]*FuncDef
+	// Steps counts AST nodes evaluated (the interpreter's own work metric).
+	Steps uint64
+}
+
+// New creates an interpreter.
+func New(heap Heap) *Interp {
+	return &Interp{heap: heap, funcs: map[string]*FuncDef{}}
+}
+
+// FuncDef is a user function.
+type FuncDef struct {
+	Name   string
+	Params int // parameters occupy slots 0..Params-1
+	Slots  int // total local slots
+	Body   []Node
+}
+
+// Define registers a function.
+func (ip *Interp) Define(f *FuncDef) { ip.funcs[f.Name] = f }
+
+// Call runs a defined function.
+func (ip *Interp) Call(name string, args ...Val) (Val, error) {
+	f, ok := ip.funcs[name]
+	if !ok {
+		return None, fmt.Errorf("minipy: no function %q", name)
+	}
+	if len(args) != f.Params {
+		return None, fmt.Errorf("minipy: %s wants %d args", name, f.Params)
+	}
+	frame := make([]Val, f.Slots)
+	copy(frame, args)
+	v, err := ip.execBlock(f.Body, frame)
+	if errors.Is(err, errReturn) {
+		return v, nil
+	}
+	if err != nil {
+		return None, err
+	}
+	return None, nil
+}
+
+// errReturn unwinds a return through block execution.
+var errReturn = errors.New("return")
+
+// errBreak / errContinue unwind loop control.
+var (
+	errBreak    = errors.New("break")
+	errContinue = errors.New("continue")
+)
+
+// Node is an AST node.
+type Node interface{ node() }
+
+// Expressions.
+type (
+	// Const is a literal.
+	Const struct{ V Val }
+	// StrLit allocates a string literal on the heap at first evaluation.
+	StrLit struct {
+		S    string
+		addr int32
+	}
+	// Local reads a slot.
+	Local struct{ Slot int }
+	// BinOp applies a dynamic binary operator: + - * / % < <= > >= == != and or min max
+	BinOp struct {
+		Op   string
+		L, R Node
+	}
+	// UnOp applies - or not.
+	UnOp struct {
+		Op string
+		X  Node
+	}
+	// CallN invokes a user function.
+	CallN struct {
+		Name string
+		Args []Node
+	}
+	// Builtin invokes an intrinsic: len, append, list, getidx, setidx,
+	// str, concat, sqrt, abs, float, int, substr, chr
+	Builtin struct {
+		Name string
+		Args []Node
+	}
+)
+
+// Statements.
+type (
+	// SetLocal assigns a slot.
+	SetLocal struct {
+		Slot int
+		X    Node
+	}
+	// ExprStmt evaluates for effect.
+	ExprStmt struct{ X Node }
+	// If branches.
+	If struct {
+		Cond       Node
+		Then, Else []Node
+	}
+	// While loops.
+	While struct {
+		Cond Node
+		Body []Node
+	}
+	// ForRange iterates Slot over [From, To).
+	ForRange struct {
+		Slot     int
+		From, To Node
+		Body     []Node
+	}
+	// Return exits the function with a value.
+	Return struct{ X Node }
+	// Break exits the innermost loop.
+	Break struct{}
+	// Continue skips to the next iteration.
+	Continue struct{}
+)
+
+func (*Const) node()    {}
+func (*StrLit) node()   {}
+func (*Local) node()    {}
+func (*BinOp) node()    {}
+func (*UnOp) node()     {}
+func (*CallN) node()    {}
+func (*Builtin) node()  {}
+func (*SetLocal) node() {}
+func (*ExprStmt) node() {}
+func (*If) node()       {}
+func (*While) node()    {}
+func (*ForRange) node() {}
+func (*Return) node()   {}
+func (*Break) node()    {}
+func (*Continue) node() {}
+
+func (ip *Interp) execBlock(stmts []Node, frame []Val) (Val, error) {
+	for _, s := range stmts {
+		if v, err := ip.exec(s, frame); err != nil {
+			return v, err
+		}
+	}
+	return None, nil
+}
+
+func (ip *Interp) exec(s Node, frame []Val) (Val, error) {
+	ip.Steps++
+	switch st := s.(type) {
+	case *SetLocal:
+		v, err := ip.eval(st.X, frame)
+		if err != nil {
+			return None, err
+		}
+		frame[st.Slot] = v
+		return None, nil
+	case *ExprStmt:
+		_, err := ip.eval(st.X, frame)
+		return None, err
+	case *If:
+		c, err := ip.eval(st.Cond, frame)
+		if err != nil {
+			return None, err
+		}
+		if c.Truthy() {
+			return ip.execBlock(st.Then, frame)
+		}
+		return ip.execBlock(st.Else, frame)
+	case *While:
+		for {
+			c, err := ip.eval(st.Cond, frame)
+			if err != nil {
+				return None, err
+			}
+			if !c.Truthy() {
+				return None, nil
+			}
+			if v, err := ip.execBlock(st.Body, frame); err != nil {
+				if errors.Is(err, errBreak) {
+					return None, nil
+				}
+				if errors.Is(err, errContinue) {
+					continue
+				}
+				return v, err
+			}
+		}
+	case *ForRange:
+		from, err := ip.eval(st.From, frame)
+		if err != nil {
+			return None, err
+		}
+		to, err := ip.eval(st.To, frame)
+		if err != nil {
+			return None, err
+		}
+		for i := from.I; i < to.I; i++ {
+			frame[st.Slot] = IntV(i)
+			if v, err := ip.execBlock(st.Body, frame); err != nil {
+				if errors.Is(err, errBreak) {
+					return None, nil
+				}
+				if errors.Is(err, errContinue) {
+					continue
+				}
+				return v, err
+			}
+		}
+		return None, nil
+	case *Return:
+		v, err := ip.eval(st.X, frame)
+		if err != nil {
+			return None, err
+		}
+		return v, errReturn
+	case *Break:
+		return None, errBreak
+	case *Continue:
+		return None, errContinue
+	default:
+		// Bare expressions act as statements.
+		_, err := ip.eval(s, frame)
+		return None, err
+	}
+}
+
+func (ip *Interp) eval(e Node, frame []Val) (Val, error) {
+	ip.Steps++
+	switch x := e.(type) {
+	case *Const:
+		return x.V, nil
+	case *StrLit:
+		if x.addr == 0 {
+			addr, err := ip.allocStr([]byte(x.S))
+			if err != nil {
+				return None, err
+			}
+			x.addr = addr
+		}
+		return Val{Kind: KStr, Addr: x.addr}, nil
+	case *Local:
+		return frame[x.Slot], nil
+	case *UnOp:
+		v, err := ip.eval(x.X, frame)
+		if err != nil {
+			return None, err
+		}
+		switch x.Op {
+		case "-":
+			switch v.Kind {
+			case KInt:
+				return IntV(-v.I), nil
+			case KFloat:
+				return FloatV(-v.F), nil
+			}
+			return None, fmt.Errorf("minipy: cannot negate %v", v.Kind)
+		case "not":
+			return BoolV(!v.Truthy()), nil
+		}
+		return None, fmt.Errorf("minipy: unknown unary %q", x.Op)
+	case *BinOp:
+		l, err := ip.eval(x.L, frame)
+		if err != nil {
+			return None, err
+		}
+		r, err := ip.eval(x.R, frame)
+		if err != nil {
+			return None, err
+		}
+		return ip.binop(x.Op, l, r)
+	case *CallN:
+		if _, ok := ip.funcs[x.Name]; !ok {
+			return None, fmt.Errorf("minipy: no function %q", x.Name)
+		}
+		args := make([]Val, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ip.eval(a, frame)
+			if err != nil {
+				return None, err
+			}
+			args[i] = v
+		}
+		return ip.Call(x.Name, args...)
+	case *Builtin:
+		return ip.builtin(x, frame)
+	}
+	return None, fmt.Errorf("minipy: unknown node %T", e)
+}
+
+// binop implements dynamic dispatch with int→float promotion.
+func (ip *Interp) binop(op string, l, r Val) (Val, error) {
+	if l.Kind == KStr && r.Kind == KStr && op == "+" {
+		return ip.strConcat(l, r)
+	}
+	if l.Kind == KInt && r.Kind == KInt {
+		switch op {
+		case "+":
+			return IntV(l.I + r.I), nil
+		case "-":
+			return IntV(l.I - r.I), nil
+		case "*":
+			return IntV(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return None, errors.New("minipy: division by zero")
+			}
+			return IntV(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return None, errors.New("minipy: modulo by zero")
+			}
+			return IntV(l.I % r.I), nil
+		case "<":
+			return BoolV(l.I < r.I), nil
+		case "<=":
+			return BoolV(l.I <= r.I), nil
+		case ">":
+			return BoolV(l.I > r.I), nil
+		case ">=":
+			return BoolV(l.I >= r.I), nil
+		case "==":
+			return BoolV(l.I == r.I), nil
+		case "!=":
+			return BoolV(l.I != r.I), nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if lok && rok {
+		switch op {
+		case "+":
+			return FloatV(lf + rf), nil
+		case "-":
+			return FloatV(lf - rf), nil
+		case "*":
+			return FloatV(lf * rf), nil
+		case "/":
+			return FloatV(lf / rf), nil
+		case "<":
+			return BoolV(lf < rf), nil
+		case "<=":
+			return BoolV(lf <= rf), nil
+		case ">":
+			return BoolV(lf > rf), nil
+		case ">=":
+			return BoolV(lf >= rf), nil
+		case "==":
+			return BoolV(lf == rf), nil
+		case "!=":
+			return BoolV(lf != rf), nil
+		}
+	}
+	return None, fmt.Errorf("minipy: bad operands for %q: %v %v", op, l.Kind, r.Kind)
+}
+
+func toFloat(v Val) (float64, bool) {
+	switch v.Kind {
+	case KInt, KBool:
+		return float64(v.I), true
+	case KFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// --- heap object layouts ---
+
+// boxSize is a boxed value's heap footprint: kind u64 + payload u64.
+const boxSize = 16
+
+func (ip *Interp) writeBox(addr int32, v Val) error {
+	if err := ip.heap.WriteU64(addr, uint64(v.Kind)|uint64(uint32(v.Addr))<<32); err != nil {
+		return err
+	}
+	var payload uint64
+	switch v.Kind {
+	case KFloat:
+		payload = math.Float64bits(v.F)
+	default:
+		payload = uint64(v.I)
+	}
+	return ip.heap.WriteU64(addr+8, payload)
+}
+
+func (ip *Interp) readBox(addr int32) (Val, error) {
+	hdr, err := ip.heap.ReadU64(addr)
+	if err != nil {
+		return None, err
+	}
+	payload, err := ip.heap.ReadU64(addr + 8)
+	if err != nil {
+		return None, err
+	}
+	v := Val{Kind: Kind(hdr & 0xff), Addr: int32(uint32(hdr >> 32))}
+	if v.Kind == KFloat {
+		v.F = math.Float64frombits(payload)
+	} else {
+		v.I = int64(payload)
+	}
+	return v, nil
+}
+
+func (ip *Interp) allocStr(b []byte) (int32, error) {
+	addr, err := ip.heap.Alloc(8 + len(b))
+	if err != nil {
+		return 0, err
+	}
+	if err := ip.heap.WriteU64(addr, uint64(len(b))); err != nil {
+		return 0, err
+	}
+	if err := ip.heap.WriteBytes(addr+8, b); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+func (ip *Interp) strBytes(v Val) ([]byte, error) {
+	n, err := ip.heap.ReadU64(v.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return ip.heap.ReadBytes(v.Addr+8, int(n))
+}
+
+func (ip *Interp) strConcat(l, r Val) (Val, error) {
+	lb, err := ip.strBytes(l)
+	if err != nil {
+		return None, err
+	}
+	rb, err := ip.strBytes(r)
+	if err != nil {
+		return None, err
+	}
+	joined := make([]byte, 0, len(lb)+len(rb))
+	joined = append(joined, lb...)
+	joined = append(joined, rb...)
+	addr, err := ip.allocStr(joined)
+	if err != nil {
+		return None, err
+	}
+	return Val{Kind: KStr, Addr: addr}, nil
+}
+
+func (ip *Interp) newList(capacity int) (Val, error) {
+	if capacity < 4 {
+		capacity = 4
+	}
+	addr, err := ip.heap.Alloc(16 + capacity*boxSize)
+	if err != nil {
+		return None, err
+	}
+	if err := ip.heap.WriteU64(addr, 0); err != nil {
+		return None, err
+	}
+	if err := ip.heap.WriteU64(addr+8, uint64(capacity)); err != nil {
+		return None, err
+	}
+	return Val{Kind: KList, Addr: addr}, nil
+}
+
+func (ip *Interp) listLen(v Val) (int, error) {
+	n, err := ip.heap.ReadU64(v.Addr)
+	return int(n), err
+}
+
+func (ip *Interp) listGet(v Val, i int) (Val, error) {
+	n, err := ip.listLen(v)
+	if err != nil {
+		return None, err
+	}
+	if i < 0 || i >= n {
+		return None, fmt.Errorf("minipy: list index %d out of range %d", i, n)
+	}
+	return ip.readBox(v.Addr + 16 + int32(i*boxSize))
+}
+
+func (ip *Interp) listSet(v Val, i int, x Val) error {
+	n, err := ip.listLen(v)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= n {
+		return fmt.Errorf("minipy: list index %d out of range %d", i, n)
+	}
+	return ip.writeBox(v.Addr+16+int32(i*boxSize), x)
+}
+
+// listAppend returns the (possibly moved) list value.
+func (ip *Interp) listAppend(v Val, x Val) (Val, error) {
+	n, err := ip.listLen(v)
+	if err != nil {
+		return None, err
+	}
+	capU, err := ip.heap.ReadU64(v.Addr + 8)
+	if err != nil {
+		return None, err
+	}
+	capacity := int(capU)
+	if n == capacity {
+		// Grow by doubling: allocate and copy boxes.
+		grown, err := ip.newList(capacity * 2)
+		if err != nil {
+			return None, err
+		}
+		raw, err := ip.heap.ReadBytes(v.Addr+16, n*boxSize)
+		if err != nil {
+			return None, err
+		}
+		if err := ip.heap.WriteBytes(grown.Addr+16, raw); err != nil {
+			return None, err
+		}
+		if err := ip.heap.WriteU64(grown.Addr, uint64(n)); err != nil {
+			return None, err
+		}
+		v = grown
+	}
+	if err := ip.writeBox(v.Addr+16+int32(n*boxSize), x); err != nil {
+		return None, err
+	}
+	if err := ip.heap.WriteU64(v.Addr, uint64(n+1)); err != nil {
+		return None, err
+	}
+	return v, nil
+}
+
+func (ip *Interp) builtin(x *Builtin, frame []Val) (Val, error) {
+	args := make([]Val, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ip.eval(a, frame)
+		if err != nil {
+			return None, err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "list":
+		// list(n) → list of n None slots; list() → empty.
+		if len(args) == 1 {
+			n := int(args[0].I)
+			lst, err := ip.newList(n)
+			if err != nil {
+				return None, err
+			}
+			if err := ip.heap.WriteU64(lst.Addr, uint64(n)); err != nil {
+				return None, err
+			}
+			zero := IntV(0)
+			for i := 0; i < n; i++ {
+				if err := ip.writeBox(lst.Addr+16+int32(i*boxSize), zero); err != nil {
+					return None, err
+				}
+			}
+			return lst, nil
+		}
+		return ip.newList(0)
+	case "len":
+		switch args[0].Kind {
+		case KList:
+			n, err := ip.listLen(args[0])
+			return IntV(int64(n)), err
+		case KStr:
+			n, err := ip.heap.ReadU64(args[0].Addr)
+			return IntV(int64(n)), err
+		}
+		return None, fmt.Errorf("minipy: len of %v", args[0].Kind)
+	case "getidx":
+		return ip.listGet(args[0], int(args[1].I))
+	case "setidx":
+		return None, ip.listSet(args[0], int(args[1].I), args[2])
+	case "append":
+		return ip.listAppend(args[0], args[1])
+	case "sqrt":
+		f, _ := toFloat(args[0])
+		return FloatV(math.Sqrt(f)), nil
+	case "abs":
+		if args[0].Kind == KInt {
+			if args[0].I < 0 {
+				return IntV(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		f, _ := toFloat(args[0])
+		return FloatV(math.Abs(f)), nil
+	case "float":
+		f, _ := toFloat(args[0])
+		return FloatV(f), nil
+	case "int":
+		switch args[0].Kind {
+		case KFloat:
+			return IntV(int64(args[0].F)), nil
+		default:
+			return IntV(args[0].I), nil
+		}
+	case "str":
+		var s string
+		switch args[0].Kind {
+		case KInt, KBool:
+			s = fmt.Sprintf("%d", args[0].I)
+		case KFloat:
+			s = fmt.Sprintf("%g", args[0].F)
+		case KStr:
+			return args[0], nil
+		case KNone:
+			s = "None"
+		default:
+			s = "<obj>"
+		}
+		addr, err := ip.allocStr([]byte(s))
+		if err != nil {
+			return None, err
+		}
+		return Val{Kind: KStr, Addr: addr}, nil
+	case "chr":
+		addr, err := ip.allocStr([]byte{byte(args[0].I)})
+		if err != nil {
+			return None, err
+		}
+		return Val{Kind: KStr, Addr: addr}, nil
+	}
+	return None, fmt.Errorf("minipy: unknown builtin %q", x.Name)
+}
+
+// StrValue extracts a string result (tests and benchmarks).
+func (ip *Interp) StrValue(v Val) (string, error) {
+	if v.Kind != KStr {
+		return "", fmt.Errorf("minipy: not a string: %v", v.Kind)
+	}
+	b, err := ip.strBytes(v)
+	return string(b), err
+}

@@ -1,0 +1,190 @@
+package minipy
+
+import (
+	"testing"
+
+	"faasm.dev/faasm/internal/wamem"
+)
+
+// runProgram executes p on the given heap.
+func runProgram(t *testing.T, p Program, heap Heap) Val {
+	t.Helper()
+	ip := New(heap)
+	p.Build(ip)
+	v, err := ip.Call(p.Entry, IntV(p.Arg))
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return v
+}
+
+func TestProgramsAgreeAcrossHeaps(t *testing.T) {
+	// The Fig 9b correctness gate: every program computes the same result
+	// on the native heap and on the bounds-checked linear-memory heap.
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			native := runProgram(t, p, NewSliceHeap())
+			mem := wamem.MustNew(4, 0)
+			sandboxed := runProgram(t, p, NewMemHeap(mem, 0))
+			if native.Kind != sandboxed.Kind {
+				t.Fatalf("kinds differ: %v vs %v", native.Kind, sandboxed.Kind)
+			}
+			if native.Kind == KFloat {
+				if diff := native.F - sandboxed.F; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("results differ: %v vs %v", native.F, sandboxed.F)
+				}
+			} else if native.I != sandboxed.I {
+				t.Fatalf("results differ: %v vs %v", native.I, sandboxed.I)
+			}
+		})
+	}
+}
+
+func TestProgramsDeterministic(t *testing.T) {
+	for _, p := range Programs() {
+		a := runProgram(t, p, NewSliceHeap())
+		b := runProgram(t, p, NewSliceHeap())
+		if a != b {
+			t.Fatalf("%s not deterministic", p.Name)
+		}
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "f", Params: 2, Slots: 2, Body: []Node{
+		ret(bin("+", lv(0), lv(1))),
+	}})
+	v, err := ip.Call("f", IntV(2), IntV(40))
+	if err != nil || v.I != 42 {
+		t.Fatalf("int add: %+v %v", v, err)
+	}
+	// int + float promotes.
+	v, err = ip.Call("f", IntV(1), FloatV(0.5))
+	if err != nil || v.Kind != KFloat || v.F != 1.5 {
+		t.Fatalf("promotion: %+v %v", v, err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "f", Params: 0, Slots: 0, Body: []Node{
+		ret(bin("/", ci(1), ci(0))),
+	}})
+	if _, err := ip.Call("f"); err == nil {
+		t.Fatal("division by zero succeeded")
+	}
+}
+
+func TestListOps(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "f", Params: 0, Slots: 2, Body: []Node{
+		setl(0, blt("list")),
+		forr(1, ci(0), ci(100),
+			setl(0, blt("append", lv(0), bin("*", lv(1), lv(1)))),
+		),
+		ret(bin("+", blt("len", lv(0)), blt("getidx", lv(0), ci(99)))),
+	}})
+	v, err := ip.Call("f")
+	if err != nil || v.I != 100+99*99 {
+		t.Fatalf("list ops: %+v %v", v, err)
+	}
+}
+
+func TestListIndexOutOfRange(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "f", Params: 0, Slots: 1, Body: []Node{
+		setl(0, blt("list", ci(3))),
+		ret(blt("getidx", lv(0), ci(7))),
+	}})
+	if _, err := ip.Call("f"); err == nil {
+		t.Fatal("out-of-range index succeeded")
+	}
+}
+
+func TestStringsOnHeap(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "f", Params: 0, Slots: 1, Body: []Node{
+		setl(0, bin("+", &StrLit{S: "abc"}, blt("str", ci(42)))),
+		ret(lv(0)),
+	}})
+	v, err := ip.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ip.StrValue(v)
+	if err != nil || s != "abc42" {
+		t.Fatalf("string concat: %q %v", s, err)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "f", Params: 0, Slots: 2, Body: []Node{
+		setl(0, ci(0)), // i
+		setl(1, ci(0)), // acc
+		&While{Cond: bin("<", lv(0), ci(100)), Body: []Node{
+			setl(0, bin("+", lv(0), ci(1))),
+			&If{Cond: bin("==", bin("%", lv(0), ci(2)), ci(0)), Then: []Node{&Continue{}}},
+			&If{Cond: bin(">", lv(0), ci(10)), Then: []Node{&Break{}}},
+			setl(1, bin("+", lv(1), lv(0))),
+		}},
+		ret(lv(1)), // 1+3+5+7+9 = 25
+	}})
+	v, err := ip.Call("f")
+	if err != nil || v.I != 25 {
+		t.Fatalf("loop control: %+v %v", v, err)
+	}
+}
+
+func TestUserFunctionCalls(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "fib", Params: 1, Slots: 1, Body: []Node{
+		&If{Cond: bin("<", lv(0), ci(2)), Then: []Node{ret(lv(0))}},
+		ret(bin("+",
+			&CallN{Name: "fib", Args: []Node{bin("-", lv(0), ci(1))}},
+			&CallN{Name: "fib", Args: []Node{bin("-", lv(0), ci(2))}})),
+	}})
+	v, err := ip.Call("fib", IntV(12))
+	if err != nil || v.I != 144 {
+		t.Fatalf("fib: %+v %v", v, err)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	ip := New(NewSliceHeap())
+	ip.Define(&FuncDef{Name: "f", Params: 0, Slots: 1, Body: []Node{
+		forr(0, ci(0), ci(1000), &ExprStmt{X: ci(1)}),
+		ret(ci(0)),
+	}})
+	ip.Call("f")
+	if ip.Steps < 1000 {
+		t.Fatalf("steps = %d", ip.Steps)
+	}
+}
+
+func BenchmarkNbodyNativeHeap(b *testing.B) {
+	p, _ := ProgramByName("nbody")
+	ip := New(NewSliceHeap())
+	p.Build(ip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Call(p.Entry, IntV(p.Arg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNbodyMemHeap(b *testing.B) {
+	p, _ := ProgramByName("nbody")
+	mem := wamem.MustNew(4, 0)
+	ip := New(NewMemHeap(mem, 0))
+	p.Build(ip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Call(p.Entry, IntV(p.Arg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

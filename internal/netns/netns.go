@@ -1,0 +1,305 @@
+// Package netns implements the Faaslet network isolation of §3.1: each
+// Faaslet owns a virtual network interface inside its own namespace, with
+// iptables-like policy (client-side IPv4/IPv6 only — no AF_UNIX, no
+// listening sockets) and tc-like traffic shaping (token-bucket ingress and
+// egress rate limits), so co-located tenants get fair and bounded network
+// access.
+//
+// The host interface's socket calls (Table 2) are translated through the
+// Faaslet's Interface: allowed operations are forwarded to real host
+// sockets; disallowed flags or address families fail exactly where the
+// paper's do.
+package netns
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"faasm.dev/faasm/internal/vtime"
+)
+
+// Address families (POSIX numbering, as the guest would pass them).
+const (
+	AFInet  = 2
+	AFInet6 = 10
+	AFUnix  = 1
+)
+
+// Socket types.
+const (
+	SockStream = 1
+	SockDgram  = 2
+)
+
+// Errors.
+var (
+	ErrAddressFamily = errors.New("netns: address family not permitted")
+	ErrSocketType    = errors.New("netns: socket type not permitted")
+	ErrBadSocket     = errors.New("netns: bad socket descriptor")
+	ErrListenDenied  = errors.New("netns: server-side operations not permitted")
+	ErrNotConnected  = errors.New("netns: socket not connected")
+)
+
+// Policy is the namespace's iptables-equivalent rule set.
+type Policy struct {
+	// AllowConnect, when non-nil, filters dial targets (host:port).
+	AllowConnect func(addr string) bool
+	// EgressBytesPerSec / IngressBytesPerSec are the tc rate limits;
+	// 0 means unlimited.
+	EgressBytesPerSec  int64
+	IngressBytesPerSec int64
+	// Burst is the token bucket depth; defaults to one second of rate.
+	Burst int64
+}
+
+// Dialer abstracts the host connection for tests and the simulator.
+type Dialer func(network, addr string) (net.Conn, error)
+
+// Interface is one Faaslet's virtual NIC.
+type Interface struct {
+	mu      sync.Mutex
+	policy  Policy
+	dial    Dialer
+	clock   vtime.Clock
+	sockets map[int32]*socket
+	nextFD  int32
+
+	egress  *tokenBucket
+	ingress *tokenBucket
+
+	// Sent/Received count bytes through this interface.
+	Sent     int64
+	Received int64
+}
+
+type socket struct {
+	family int
+	typ    int
+	conn   net.Conn
+	addr   string
+}
+
+// New creates an interface with the given policy. A nil dialer uses
+// net.Dial; a nil clock uses the wall clock.
+func New(policy Policy, dial Dialer, clock vtime.Clock) *Interface {
+	if dial == nil {
+		dial = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, 5*time.Second)
+		}
+	}
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	ifc := &Interface{
+		policy:  policy,
+		dial:    dial,
+		clock:   clock,
+		sockets: map[int32]*socket{},
+		nextFD:  1000, // distinct range from file descriptors
+	}
+	if policy.EgressBytesPerSec > 0 {
+		ifc.egress = newTokenBucket(policy.EgressBytesPerSec, policy.Burst, clock)
+	}
+	if policy.IngressBytesPerSec > 0 {
+		ifc.ingress = newTokenBucket(policy.IngressBytesPerSec, policy.Burst, clock)
+	}
+	return ifc
+}
+
+// Socket implements the socket() host call: client-side IPv4/IPv6
+// stream/datagram sockets only.
+func (ifc *Interface) Socket(family, typ int) (int32, error) {
+	if family != AFInet && family != AFInet6 {
+		return 0, fmt.Errorf("%w: %d", ErrAddressFamily, family)
+	}
+	if typ != SockStream && typ != SockDgram {
+		return 0, fmt.Errorf("%w: %d", ErrSocketType, typ)
+	}
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	fd := ifc.nextFD
+	ifc.nextFD++
+	ifc.sockets[fd] = &socket{family: family, typ: typ}
+	return fd, nil
+}
+
+// Connect implements connect(): dials through the namespace.
+func (ifc *Interface) Connect(fd int32, addr string) error {
+	ifc.mu.Lock()
+	s, ok := ifc.sockets[fd]
+	dial := ifc.dial
+	allow := ifc.policy.AllowConnect
+	ifc.mu.Unlock()
+	if !ok {
+		return ErrBadSocket
+	}
+	if allow != nil && !allow(addr) {
+		return fmt.Errorf("netns: connect to %s denied by namespace policy", addr)
+	}
+	network := "tcp"
+	if s.typ == SockDgram {
+		network = "udp"
+	}
+	conn, err := dial(network, addr)
+	if err != nil {
+		return fmt.Errorf("netns: connect %s: %w", addr, err)
+	}
+	ifc.mu.Lock()
+	s.conn = conn
+	s.addr = addr
+	ifc.mu.Unlock()
+	return nil
+}
+
+// Bind implements bind(). Only the wildcard client bind is permitted;
+// listening is a server-side operation and always denied.
+func (ifc *Interface) Bind(fd int32, addr string) error {
+	ifc.mu.Lock()
+	_, ok := ifc.sockets[fd]
+	ifc.mu.Unlock()
+	if !ok {
+		return ErrBadSocket
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("netns: bind %s: %w", addr, err)
+	}
+	if port != "0" || (host != "" && host != "0.0.0.0" && host != "::") {
+		return ErrListenDenied
+	}
+	return nil
+}
+
+// Send implements send(): shaped, counted, forwarded.
+func (ifc *Interface) Send(fd int32, data []byte) (int, error) {
+	ifc.mu.Lock()
+	s, ok := ifc.sockets[fd]
+	eg := ifc.egress
+	ifc.mu.Unlock()
+	if !ok {
+		return 0, ErrBadSocket
+	}
+	if s.conn == nil {
+		return 0, ErrNotConnected
+	}
+	if eg != nil {
+		eg.take(int64(len(data)))
+	}
+	n, err := s.conn.Write(data)
+	ifc.mu.Lock()
+	ifc.Sent += int64(n)
+	ifc.mu.Unlock()
+	return n, err
+}
+
+// Recv implements recv(): shaped, counted, forwarded.
+func (ifc *Interface) Recv(fd int32, buf []byte) (int, error) {
+	ifc.mu.Lock()
+	s, ok := ifc.sockets[fd]
+	ig := ifc.ingress
+	ifc.mu.Unlock()
+	if !ok {
+		return 0, ErrBadSocket
+	}
+	if s.conn == nil {
+		return 0, ErrNotConnected
+	}
+	n, err := s.conn.Read(buf)
+	if n > 0 && ig != nil {
+		ig.take(int64(n))
+	}
+	ifc.mu.Lock()
+	ifc.Received += int64(n)
+	ifc.mu.Unlock()
+	return n, err
+}
+
+// CloseSocket implements close() on a socket descriptor.
+func (ifc *Interface) CloseSocket(fd int32) error {
+	ifc.mu.Lock()
+	s, ok := ifc.sockets[fd]
+	delete(ifc.sockets, fd)
+	ifc.mu.Unlock()
+	if !ok {
+		return ErrBadSocket
+	}
+	if s.conn != nil {
+		return s.conn.Close()
+	}
+	return nil
+}
+
+// Reset closes all sockets (per-call Faaslet reset).
+func (ifc *Interface) Reset() {
+	ifc.mu.Lock()
+	socks := ifc.sockets
+	ifc.sockets = map[int32]*socket{}
+	ifc.mu.Unlock()
+	for _, s := range socks {
+		if s.conn != nil {
+			s.conn.Close()
+		}
+	}
+}
+
+// OpenSockets reports live sockets (leak tests).
+func (ifc *Interface) OpenSockets() int {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	return len(ifc.sockets)
+}
+
+// tokenBucket is the tc-equivalent shaper: take blocks until enough tokens
+// have accumulated at the configured rate.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   int64 // tokens (bytes) per second
+	burst  int64
+	tokens float64
+	last   time.Time
+	clock  vtime.Clock
+}
+
+func newTokenBucket(rate, burst int64, clock vtime.Clock) *tokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: float64(burst), last: clock.Now(), clock: clock}
+}
+
+// take consumes n tokens, sleeping on the bucket's clock until available.
+// Requests larger than the burst are admitted in burst-sized chunks.
+func (tb *tokenBucket) take(n int64) {
+	for n > 0 {
+		chunk := n
+		if chunk > tb.burst {
+			chunk = tb.burst
+		}
+		tb.takeChunk(chunk)
+		n -= chunk
+	}
+}
+
+func (tb *tokenBucket) takeChunk(n int64) {
+	for {
+		tb.mu.Lock()
+		now := tb.clock.Now()
+		elapsed := now.Sub(tb.last).Seconds()
+		tb.last = now
+		tb.tokens += elapsed * float64(tb.rate)
+		if tb.tokens > float64(tb.burst) {
+			tb.tokens = float64(tb.burst)
+		}
+		if tb.tokens >= float64(n) {
+			tb.tokens -= float64(n)
+			tb.mu.Unlock()
+			return
+		}
+		need := (float64(n) - tb.tokens) / float64(tb.rate)
+		tb.mu.Unlock()
+		tb.clock.Sleep(time.Duration(need * float64(time.Second)))
+	}
+}

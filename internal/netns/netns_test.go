@@ -1,0 +1,180 @@
+package netns
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer starts a TCP echo server, returning its address.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					c.Write(buf[:n])
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientSideSendRecv(t *testing.T) {
+	addr := echoServer(t)
+	ifc := New(Policy{}, nil, nil)
+	fd, err := ifc.Socket(AFInet, SockStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ifc.Connect(fd, addr); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello through the namespace")
+	if _, err := ifc.Send(fd, msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	n, err := ifc.Recv(fd, buf)
+	if err != nil || string(buf[:n]) != string(msg) {
+		t.Fatalf("recv: %q %v", buf[:n], err)
+	}
+	if ifc.Sent != int64(len(msg)) || ifc.Received != int64(len(msg)) {
+		t.Fatalf("accounting: sent=%d recv=%d", ifc.Sent, ifc.Received)
+	}
+	if err := ifc.CloseSocket(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAFUnixDenied(t *testing.T) {
+	ifc := New(Policy{}, nil, nil)
+	if _, err := ifc.Socket(AFUnix, SockStream); !errors.Is(err, ErrAddressFamily) {
+		t.Fatalf("AF_UNIX: %v", err)
+	}
+	if _, err := ifc.Socket(99, SockStream); !errors.Is(err, ErrAddressFamily) {
+		t.Fatalf("bogus family: %v", err)
+	}
+	if _, err := ifc.Socket(AFInet, 77); !errors.Is(err, ErrSocketType) {
+		t.Fatalf("bogus type: %v", err)
+	}
+}
+
+func TestListenDenied(t *testing.T) {
+	ifc := New(Policy{}, nil, nil)
+	fd, _ := ifc.Socket(AFInet, SockStream)
+	// Binding to a concrete port implies serving: denied.
+	if err := ifc.Bind(fd, "0.0.0.0:8080"); !errors.Is(err, ErrListenDenied) {
+		t.Fatalf("bind to port: %v", err)
+	}
+	// Wildcard client bind is allowed.
+	if err := ifc.Bind(fd, "0.0.0.0:0"); err != nil {
+		t.Fatalf("client bind: %v", err)
+	}
+}
+
+func TestPolicyFiltersConnect(t *testing.T) {
+	addr := echoServer(t)
+	ifc := New(Policy{
+		AllowConnect: func(a string) bool { return strings.HasPrefix(a, "10.") },
+	}, nil, nil)
+	fd, _ := ifc.Socket(AFInet, SockStream)
+	if err := ifc.Connect(fd, addr); err == nil {
+		t.Fatal("policy did not block connect")
+	}
+}
+
+func TestBadSocketOps(t *testing.T) {
+	ifc := New(Policy{}, nil, nil)
+	if err := ifc.Connect(99, "x"); !errors.Is(err, ErrBadSocket) {
+		t.Fatalf("connect bad fd: %v", err)
+	}
+	if _, err := ifc.Send(99, nil); !errors.Is(err, ErrBadSocket) {
+		t.Fatalf("send bad fd: %v", err)
+	}
+	fd, _ := ifc.Socket(AFInet, SockStream)
+	if _, err := ifc.Send(fd, []byte("x")); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("send unconnected: %v", err)
+	}
+}
+
+func TestResetClosesSockets(t *testing.T) {
+	addr := echoServer(t)
+	ifc := New(Policy{}, nil, nil)
+	fd, _ := ifc.Socket(AFInet, SockStream)
+	if err := ifc.Connect(fd, addr); err != nil {
+		t.Fatal(err)
+	}
+	ifc.Reset()
+	if ifc.OpenSockets() != 0 {
+		t.Fatal("reset left sockets")
+	}
+	if _, err := ifc.Send(fd, []byte("x")); !errors.Is(err, ErrBadSocket) {
+		t.Fatalf("fd survived reset: %v", err)
+	}
+}
+
+func TestEgressShaping(t *testing.T) {
+	addr := echoServer(t)
+	// 64 KB/s with a 16 KB burst: sending 48 KB must take ≥ ~0.5s.
+	ifc := New(Policy{EgressBytesPerSec: 64 * 1024, Burst: 16 * 1024}, nil, nil)
+	fd, _ := ifc.Socket(AFInet, SockStream)
+	if err := ifc.Connect(fd, addr); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	payload := make([]byte, 16*1024)
+	for i := 0; i < 3; i++ {
+		if _, err := ifc.Send(fd, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// First burst is free; the remaining 32 KB at 64 KB/s needs ≥ 500ms
+	// minus scheduling slop.
+	if elapsed < 400*time.Millisecond {
+		t.Fatalf("shaping too permissive: 48KB in %v", elapsed)
+	}
+}
+
+func TestShapingLargeSingleWrite(t *testing.T) {
+	addr := echoServer(t)
+	// A single write larger than the burst must be chunk-admitted, not
+	// deadlock.
+	ifc := New(Policy{EgressBytesPerSec: 1 << 20, Burst: 4 * 1024}, nil, nil)
+	fd, _ := ifc.Socket(AFInet, SockStream)
+	if err := ifc.Connect(fd, addr); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ifc.Send(fd, make([]byte, 64*1024))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversized send wedged")
+	}
+}

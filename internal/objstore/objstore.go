@@ -1,0 +1,141 @@
+// Package objstore implements the shared object store of §5.2: the place
+// the upload service writes generated object files and Proto-Faaslet
+// snapshots, and the backing store for the virtual filesystem's global
+// (read-only) file tier. The paper notes the implementation is specific to
+// the underlying platform (e.g. S3); here it is an in-memory store with an
+// optional directory-backed persistence mode so cmd/faasmd instances on one
+// machine can share uploads.
+package objstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a content store keyed by hierarchical names ("wasm/fn", used by
+// upload) with byte-blob values.
+type Store struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	// dir, when non-empty, mirrors blobs to files for cross-process sharing.
+	dir string
+}
+
+// NewMemory returns an in-memory store.
+func NewMemory() *Store {
+	return &Store{blobs: map[string][]byte{}}
+}
+
+// NewDir returns a store persisted under dir (created if needed). Existing
+// files are loaded lazily on Get.
+func NewDir(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: %w", err)
+	}
+	return &Store{blobs: map[string][]byte{}, dir: dir}, nil
+}
+
+// validKey rejects path traversal in persisted mode.
+func validKey(key string) error {
+	if key == "" || strings.Contains(key, "..") || strings.HasPrefix(key, "/") {
+		return fmt.Errorf("objstore: invalid key %q", key)
+	}
+	return nil
+}
+
+// Put stores a blob under key, replacing any existing blob.
+func (s *Store) Put(key string, blob []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.mu.Lock()
+	s.blobs[key] = cp
+	s.mu.Unlock()
+	if s.dir != "" {
+		path := filepath.Join(s.dir, filepath.FromSlash(key))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("objstore: %w", err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return fmt.Errorf("objstore: %w", err)
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the blob at key, or (nil, false) if absent.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if validKey(key) != nil {
+		return nil, false
+	}
+	s.mu.RLock()
+	blob, ok := s.blobs[key]
+	s.mu.RUnlock()
+	if ok {
+		out := make([]byte, len(blob))
+		copy(out, blob)
+		return out, true
+	}
+	if s.dir != "" {
+		path := filepath.Join(s.dir, filepath.FromSlash(key))
+		b, err := os.ReadFile(path)
+		if err == nil {
+			s.mu.Lock()
+			s.blobs[key] = b
+			s.mu.Unlock()
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Exists reports whether key is present.
+func (s *Store) Exists(key string) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Delete removes a blob.
+func (s *Store) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.blobs, key)
+	s.mu.Unlock()
+	if s.dir != "" {
+		os.Remove(filepath.Join(s.dir, filepath.FromSlash(key)))
+	}
+	return nil
+}
+
+// List returns keys with the given prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.blobs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the blob's length, or -1 if absent.
+func (s *Store) Size(key string) int {
+	b, ok := s.Get(key)
+	if !ok {
+		return -1
+	}
+	return len(b)
+}

@@ -1,0 +1,82 @@
+package objstore
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemoryPutGet(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("wasm/fn", []byte("object")); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.Get("wasm/fn")
+	if !ok || string(b) != "object" {
+		t.Fatalf("get: %q %v", b, ok)
+	}
+	// Returned blob is a copy: mutating it must not corrupt the store.
+	b[0] = 'X'
+	b2, _ := s.Get("wasm/fn")
+	if string(b2) != "object" {
+		t.Fatal("store aliased caller's slice")
+	}
+	if s.Size("wasm/fn") != 6 || s.Size("missing") != -1 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	s := NewMemory()
+	for _, k := range []string{"", "../etc/passwd", "/abs"} {
+		if err := s.Put(k, nil); err == nil {
+			t.Errorf("accepted key %q", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Errorf("get succeeded for %q", k)
+		}
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	s := NewMemory()
+	s.Put("proto/a", []byte("1"))
+	s.Put("proto/b", []byte("2"))
+	s.Put("wasm/c", []byte("3"))
+	l := s.List("proto/")
+	if len(l) != 2 || l[0] != "proto/a" || l[1] != "proto/b" {
+		t.Fatalf("list = %v", l)
+	}
+	if err := s.Delete("proto/a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("proto/a") {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDir(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte{1, 2, 3, 0, 255}
+	if err := s1.Put("wasm/nested/fn", blob); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory sees the blob.
+	s2, err := NewDir(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("wasm/nested/fn")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("cross-process get: %v %v", got, ok)
+	}
+	s1.Delete("wasm/nested/fn")
+	s3, _ := NewDir(filepath.Join(dir, "store"))
+	if _, ok := s3.Get("wasm/nested/fn"); ok {
+		t.Fatal("delete did not remove file")
+	}
+}

@@ -1,0 +1,213 @@
+// Package sched implements the distributed shared-state scheduler of §5.1.
+// FAASM runs one local scheduler per runtime instance; the set of warm hosts
+// for every function lives in the global state tier, and each scheduler
+// queries and atomically updates that set while deciding — the
+// Omega-style [71] shared-state design the paper adopts.
+//
+// The decision rule, verbatim from the paper: execute locally if this host
+// has a warm Faaslet and capacity; otherwise share the call with another
+// warm host if one exists; otherwise cold-start locally (and advertise this
+// host as warm). The goal is co-locating functions with the state they
+// need, minimising data shipping.
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"faasm.dev/faasm/internal/kvs"
+)
+
+// Placement says where a call should run.
+type Placement int
+
+// Placements.
+const (
+	// PlaceLocalWarm executes on this host using a warm Faaslet.
+	PlaceLocalWarm Placement = iota
+	// PlaceForward shares the call with another warm host.
+	PlaceForward
+	// PlaceLocalCold cold-starts a Faaslet on this host.
+	PlaceLocalCold
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceLocalWarm:
+		return "local-warm"
+	case PlaceForward:
+		return "forward"
+	case PlaceLocalCold:
+		return "local-cold"
+	}
+	return "unknown"
+}
+
+// Decision is one scheduling outcome.
+type Decision struct {
+	Placement Placement
+	// TargetHost is the peer to share with when Placement == PlaceForward.
+	TargetHost string
+}
+
+// warmSetKey is the global-tier key holding a function's warm hosts.
+func warmSetKey(fn string) string { return "sched/warm/" + fn }
+
+// Scheduler is one host's local scheduler.
+type Scheduler struct {
+	host     string
+	store    kvs.Store
+	capacity int
+
+	mu sync.Mutex
+	// warm counts this host's idle warm Faaslets per function.
+	warm map[string]int
+	// inflight counts executing calls on this host.
+	inflight int
+	// rrState round-robins forwarding across peers.
+	rr int
+
+	// Decisions made, per placement, for the evaluation.
+	Stats struct {
+		LocalWarm int64
+		Forwarded int64
+		ColdStart int64
+	}
+}
+
+// New creates a scheduler for host with the given concurrent-execution
+// capacity (0 means effectively unlimited).
+func New(host string, store kvs.Store, capacity int) *Scheduler {
+	if capacity <= 0 {
+		capacity = 1 << 30
+	}
+	return &Scheduler{host: host, store: store, capacity: capacity, warm: map[string]int{}}
+}
+
+// Host returns this scheduler's host name.
+func (s *Scheduler) Host() string { return s.host }
+
+// Schedule decides where a call to fn should run.
+func (s *Scheduler) Schedule(fn string) (Decision, error) {
+	s.mu.Lock()
+	warmHere := s.warm[fn] > 0
+	hasCapacity := s.inflight < s.capacity
+	s.mu.Unlock()
+
+	if warmHere && hasCapacity {
+		s.mu.Lock()
+		s.Stats.LocalWarm++
+		s.mu.Unlock()
+		return Decision{Placement: PlaceLocalWarm}, nil
+	}
+
+	// Query the shared warm set for another host.
+	hosts, err := s.store.SMembers(warmSetKey(fn))
+	if err != nil {
+		return Decision{}, fmt.Errorf("sched: warm set for %s: %w", fn, err)
+	}
+	var peers []string
+	for _, h := range hosts {
+		if h != s.host {
+			peers = append(peers, h)
+		}
+	}
+	if len(peers) > 0 {
+		// Share with a warm peer. Round-robin across them so load spreads.
+		s.mu.Lock()
+		target := peers[s.rr%len(peers)]
+		s.rr++
+		s.Stats.Forwarded++
+		s.mu.Unlock()
+		return Decision{Placement: PlaceForward, TargetHost: target}, nil
+	}
+
+	if warmHere {
+		// Warm but at capacity with nowhere to share: still run locally
+		// (queueing), matching the paper's behaviour under saturation.
+		s.mu.Lock()
+		s.Stats.LocalWarm++
+		s.mu.Unlock()
+		return Decision{Placement: PlaceLocalWarm}, nil
+	}
+
+	// Cold start here and advertise this host as warm for fn. SAdd is the
+	// atomic update of the shared scheduler state.
+	if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
+		return Decision{}, fmt.Errorf("sched: advertise warm %s: %w", fn, err)
+	}
+	s.mu.Lock()
+	s.Stats.ColdStart++
+	s.mu.Unlock()
+	return Decision{Placement: PlaceLocalCold}, nil
+}
+
+// NoteWarm records that this host now holds n more idle warm Faaslets for
+// fn (e.g. after a cold start completes or a call finishes), keeping the
+// global warm set in sync.
+func (s *Scheduler) NoteWarm(fn string, n int) error {
+	s.mu.Lock()
+	s.warm[fn] += n
+	nowWarm := s.warm[fn] > 0
+	s.mu.Unlock()
+	if nowWarm {
+		if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NoteEvicted records that this host dropped its warm Faaslets for fn,
+// removing it from the shared warm set when none remain.
+func (s *Scheduler) NoteEvicted(fn string, n int) error {
+	s.mu.Lock()
+	s.warm[fn] -= n
+	if s.warm[fn] < 0 {
+		s.warm[fn] = 0
+	}
+	empty := s.warm[fn] == 0
+	s.mu.Unlock()
+	if empty {
+		if _, err := s.store.SRem(warmSetKey(fn), s.host); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WarmCount reports this host's idle warm Faaslets for fn.
+func (s *Scheduler) WarmCount(fn string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.warm[fn]
+}
+
+// WarmHosts lists the cluster's warm hosts for fn from the shared state.
+func (s *Scheduler) WarmHosts(fn string) ([]string, error) {
+	return s.store.SMembers(warmSetKey(fn))
+}
+
+// Begin marks a call executing on this host (capacity accounting).
+func (s *Scheduler) Begin() {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+}
+
+// End marks a call finished.
+func (s *Scheduler) End() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight < 0 {
+		s.inflight = 0
+	}
+	s.mu.Unlock()
+}
+
+// Inflight reports executing calls.
+func (s *Scheduler) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}

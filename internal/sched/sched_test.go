@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"testing"
+
+	"faasm.dev/faasm/internal/kvs"
+)
+
+func TestColdStartAdvertisesWarm(t *testing.T) {
+	store := kvs.NewEngine()
+	s := New("host-1", store, 10)
+	d, err := s.Schedule("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Placement != PlaceLocalCold {
+		t.Fatalf("first call placement = %v", d.Placement)
+	}
+	hosts, _ := s.WarmHosts("fn")
+	if len(hosts) != 1 || hosts[0] != "host-1" {
+		t.Fatalf("warm set = %v", hosts)
+	}
+	if s.Stats.ColdStart != 1 {
+		t.Fatal("cold start not counted")
+	}
+}
+
+func TestWarmLocalPreferred(t *testing.T) {
+	store := kvs.NewEngine()
+	s := New("host-1", store, 10)
+	s.Schedule("fn") // cold
+	s.NoteWarm("fn", 1)
+	d, _ := s.Schedule("fn")
+	if d.Placement != PlaceLocalWarm {
+		t.Fatalf("warm placement = %v", d.Placement)
+	}
+}
+
+func TestForwardToWarmPeer(t *testing.T) {
+	store := kvs.NewEngine()
+	a := New("host-a", store, 10)
+	b := New("host-b", store, 10)
+	// Host B is warm for fn.
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	// Host A has nothing: it must share with B rather than cold-start.
+	d, err := a.Schedule("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Placement != PlaceForward || d.TargetHost != "host-b" {
+		t.Fatalf("decision = %+v", d)
+	}
+	if a.Stats.Forwarded != 1 {
+		t.Fatal("forward not counted")
+	}
+}
+
+func TestForwardRoundRobinAcrossPeers(t *testing.T) {
+	store := kvs.NewEngine()
+	for _, h := range []string{"host-b", "host-c"} {
+		p := New(h, store, 10)
+		p.Schedule("fn")
+		p.NoteWarm("fn", 1)
+	}
+	a := New("host-a", store, 10)
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		d, _ := a.Schedule("fn")
+		if d.Placement != PlaceForward {
+			t.Fatalf("placement = %v", d.Placement)
+		}
+		seen[d.TargetHost]++
+	}
+	if seen["host-b"] != 5 || seen["host-c"] != 5 {
+		t.Fatalf("round robin skew: %v", seen)
+	}
+}
+
+func TestAtCapacitySharesInsteadOfQueueing(t *testing.T) {
+	store := kvs.NewEngine()
+	a := New("host-a", store, 1)
+	b := New("host-b", store, 10)
+	a.Schedule("fn")
+	a.NoteWarm("fn", 1)
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	// Saturate host A.
+	a.Begin()
+	d, _ := a.Schedule("fn")
+	if d.Placement != PlaceForward || d.TargetHost != "host-b" {
+		t.Fatalf("saturated placement = %+v", d)
+	}
+	a.End()
+	// With capacity back, it prefers local again.
+	d, _ = a.Schedule("fn")
+	if d.Placement != PlaceLocalWarm {
+		t.Fatalf("freed placement = %v", d.Placement)
+	}
+}
+
+func TestSaturatedWithNoPeersRunsLocally(t *testing.T) {
+	store := kvs.NewEngine()
+	a := New("host-a", store, 1)
+	a.Schedule("fn")
+	a.NoteWarm("fn", 1)
+	a.Begin()
+	d, _ := a.Schedule("fn")
+	if d.Placement != PlaceLocalWarm {
+		t.Fatalf("lone saturated host placement = %v", d.Placement)
+	}
+}
+
+func TestEvictionClearsWarmSet(t *testing.T) {
+	store := kvs.NewEngine()
+	a := New("host-a", store, 10)
+	a.Schedule("fn")
+	a.NoteWarm("fn", 2)
+	a.NoteEvicted("fn", 1)
+	hosts, _ := a.WarmHosts("fn")
+	if len(hosts) != 1 {
+		t.Fatalf("partial evict removed warm entry: %v", hosts)
+	}
+	a.NoteEvicted("fn", 1)
+	hosts, _ = a.WarmHosts("fn")
+	if len(hosts) != 0 {
+		t.Fatalf("full evict left warm entry: %v", hosts)
+	}
+	// A peer now cold-starts rather than forwarding to a dead host.
+	b := New("host-b", store, 10)
+	d, _ := b.Schedule("fn")
+	if d.Placement != PlaceLocalCold {
+		t.Fatalf("post-evict placement = %v", d.Placement)
+	}
+}
+
+func TestInflightAccounting(t *testing.T) {
+	s := New("h", kvs.NewEngine(), 4)
+	s.Begin()
+	s.Begin()
+	if s.Inflight() != 2 {
+		t.Fatalf("inflight = %d", s.Inflight())
+	}
+	s.End()
+	s.End()
+	s.End() // extra End clamps at zero
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight after ends = %d", s.Inflight())
+	}
+}

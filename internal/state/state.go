@@ -1,0 +1,429 @@
+// Package state implements the two-tier state architecture of §4: a local
+// tier holding replicas of state values in shared memory segments (so
+// co-located Faaslets access them in place, with zero copies), and a global
+// tier — the distributed KVS — holding the authoritative value for every
+// key.
+//
+// Faaslets write changes from the local to the global tier with a push and
+// read from the global to the local tier with a pull. Values may be
+// accessed in chunks: a pull of a byte range replicates only the covering
+// chunks of the value into the local tier (Fig 4's state value C), which is
+// how the SparseMatrix DDO avoids transferring whole matrices.
+//
+// Consistency follows §4.2: every state API function implicitly takes the
+// value's local read or write lock (but direct pointer access does not),
+// and strong cross-host consistency is available through the global
+// lease-based locks exposed by LockGlobal/UnlockGlobal.
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/metrics"
+	"faasm.dev/faasm/internal/wamem"
+)
+
+// ChunkSize is the pull/push granularity for partial state access.
+const ChunkSize = 4096
+
+// ErrUnknownSize is returned when a value's size cannot be determined (not
+// present globally and no explicit size given).
+var ErrUnknownSize = errors.New("state: value size unknown")
+
+// ErrSizeMismatch is returned when an operation disagrees with the value's
+// established size.
+var ErrSizeMismatch = errors.New("state: size mismatch")
+
+// DefaultLockTTL bounds global lock leases.
+const DefaultLockTTL = 30 * time.Second
+
+// LocalTier is one host's local state tier: the registry of state-value
+// replicas living in shared memory.
+type LocalTier struct {
+	mu     sync.Mutex
+	values map[string]*Value
+	global kvs.Store
+
+	// Pulled/Pushed count global-tier transfer bytes for the experiments.
+	Pulled metrics.Counter
+	Pushed metrics.Counter
+}
+
+// NewLocalTier creates a local tier over the given global store.
+func NewLocalTier(global kvs.Store) *LocalTier {
+	return &LocalTier{values: map[string]*Value{}, global: global}
+}
+
+// Global exposes the underlying global-tier store.
+func (lt *LocalTier) Global() kvs.Store { return lt.global }
+
+// Value returns the host-wide replica handle for key, creating its metadata
+// on first use. size < 0 means "discover from the global tier"; size ≥ 0
+// fixes the value size (creating the key locally if it is new). All
+// co-located Faaslets share the returned *Value — that is the point.
+func (lt *LocalTier) Value(key string, size int) (*Value, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if v, ok := lt.values[key]; ok {
+		if size >= 0 && size != v.size {
+			return nil, fmt.Errorf("%w: %s is %d bytes, requested %d", ErrSizeMismatch, key, v.size, size)
+		}
+		return v, nil
+	}
+	if size < 0 {
+		n, err := lt.global.Len(key)
+		if err != nil {
+			return nil, fmt.Errorf("state: size of %s: %w", key, err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownSize, key)
+		}
+		size = n
+	}
+	v := &Value{
+		key:    key,
+		size:   size,
+		seg:    wamem.NewSegment(size),
+		tier:   lt,
+		chunks: make([]bool, (size+ChunkSize-1)/ChunkSize),
+	}
+	lt.values[key] = v
+	return v, nil
+}
+
+// Lookup returns the replica for key if one exists on this host.
+func (lt *LocalTier) Lookup(key string) (*Value, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	v, ok := lt.values[key]
+	return v, ok
+}
+
+// Evict drops a local replica (its shared segment stays alive for Faaslets
+// that already mapped it, but new accesses re-replicate).
+func (lt *LocalTier) Evict(key string) {
+	lt.mu.Lock()
+	delete(lt.values, key)
+	lt.mu.Unlock()
+}
+
+// Keys lists locally replicated keys.
+func (lt *LocalTier) Keys() []string {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make([]string, 0, len(lt.values))
+	for k := range lt.values {
+		out = append(out, k)
+	}
+	return out
+}
+
+// LocalBytes reports the local tier's memory footprint: the shared segments
+// backing replicated values. Because co-located Faaslets share them, this is
+// counted once per host, not once per function — the heart of Fig 6c.
+func (lt *LocalTier) LocalBytes() int64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	var n int64
+	for _, v := range lt.values {
+		n += int64(v.seg.Len())
+	}
+	return n
+}
+
+// Append appends data to the global value directly (append_state in
+// Table 2): appends are an authoritative global-tier operation used for
+// collecting results, not a replica mutation.
+func (lt *LocalTier) Append(key string, data []byte) error {
+	if _, err := lt.global.Append(key, data); err != nil {
+		return err
+	}
+	lt.Pushed.Add(int64(len(data)))
+	return nil
+}
+
+// ReadAll fetches the full authoritative value from the global tier.
+func (lt *LocalTier) ReadAll(key string) ([]byte, error) {
+	b, err := lt.global.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	lt.Pulled.Add(int64(len(b)))
+	return b, nil
+}
+
+// LockGlobal acquires the global read/write lock for key
+// (lock_state_global_read/write), returning the lease token.
+func (lt *LocalTier) LockGlobal(key string, write bool) (uint64, error) {
+	return lt.global.Lock("lock/"+key, write, DefaultLockTTL)
+}
+
+// UnlockGlobal releases a global lock.
+func (lt *LocalTier) UnlockGlobal(key string, token uint64) error {
+	return lt.global.Unlock("lock/"+key, token)
+}
+
+// Value is one state value's local replica. The bytes live in a shared
+// wamem.Segment so Faaslets can map them straight into their linear address
+// spaces.
+type Value struct {
+	key  string
+	size int
+	seg  *wamem.Segment
+	tier *LocalTier
+
+	// lock is the local read/write lock of §4.2.
+	lock sync.RWMutex
+
+	// mu guards the chunk-presence bitmap.
+	mu     sync.Mutex
+	chunks []bool
+	all    bool
+}
+
+// Key returns the state key.
+func (v *Value) Key() string { return v.key }
+
+// Size returns the value's logical size in bytes.
+func (v *Value) Size() int { return v.size }
+
+// Segment returns the shared segment backing the replica, for mapping into
+// Faaslet memory. The value occupies bytes [0, Size).
+func (v *Value) Segment() *wamem.Segment { return v.seg }
+
+// Bytes returns the replica's backing bytes. Direct access skips the
+// implicit locking — callers coordinate with LockRead/LockWrite, exactly as
+// the paper requires of pointer-based access.
+func (v *Value) Bytes() []byte { return v.seg.Bytes()[:v.size] }
+
+// LockRead takes the local read lock (lock_state_read).
+func (v *Value) LockRead() { v.lock.RLock() }
+
+// UnlockRead releases the local read lock.
+func (v *Value) UnlockRead() { v.lock.RUnlock() }
+
+// LockWrite takes the local write lock (lock_state_write).
+func (v *Value) LockWrite() { v.lock.Lock() }
+
+// UnlockWrite releases the local write lock.
+func (v *Value) UnlockWrite() { v.lock.Unlock() }
+
+// chunkRange returns the chunk indices covering [off, off+n).
+func (v *Value) chunkRange(off, n int) (int, int) {
+	lo := off / ChunkSize
+	hi := (off + n + ChunkSize - 1) / ChunkSize
+	if hi > len(v.chunks) {
+		hi = len(v.chunks)
+	}
+	return lo, hi
+}
+
+// missing reports whether any chunk in [off, off+n) has not been pulled.
+func (v *Value) missing(off, n int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.all {
+		return false
+	}
+	lo, hi := v.chunkRange(off, n)
+	for i := lo; i < hi; i++ {
+		if !v.chunks[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *Value) markPulled(off, n int) {
+	v.mu.Lock()
+	lo, hi := v.chunkRange(off, n)
+	for i := lo; i < hi; i++ {
+		v.chunks[i] = true
+	}
+	all := true
+	for _, c := range v.chunks {
+		if !c {
+			all = false
+			break
+		}
+	}
+	v.all = all
+	v.mu.Unlock()
+}
+
+func (v *Value) markAll() {
+	v.mu.Lock()
+	for i := range v.chunks {
+		v.chunks[i] = true
+	}
+	v.all = true
+	v.mu.Unlock()
+}
+
+// Pull replicates the full authoritative value into the local tier
+// (pull_state). It takes the local write lock, per §4.2.
+func (v *Value) Pull() error {
+	v.lock.Lock()
+	defer v.lock.Unlock()
+	data, err := v.tier.global.GetRange(v.key, 0, v.size)
+	if err != nil {
+		return fmt.Errorf("state: pull %s: %w", v.key, err)
+	}
+	copy(v.seg.Bytes(), data)
+	v.tier.Pulled.Add(int64(len(data)))
+	v.markAll()
+	return nil
+}
+
+// PullChunk replicates only the chunks covering [off, off+n)
+// (pull_state_offset). Already-present chunks are not re-fetched.
+func (v *Value) PullChunk(off, n int) error {
+	if err := v.checkRange(off, n); err != nil {
+		return err
+	}
+	if !v.missing(off, n) {
+		return nil
+	}
+	v.lock.Lock()
+	defer v.lock.Unlock()
+	if !v.missing(off, n) { // raced with another puller
+		return nil
+	}
+	lo, hi := v.chunkRange(off, n)
+	start := lo * ChunkSize
+	end := hi * ChunkSize
+	if end > v.size {
+		end = v.size
+	}
+	data, err := v.tier.global.GetRange(v.key, start, end-start)
+	if err != nil {
+		return fmt.Errorf("state: pull chunk %s[%d:%d]: %w", v.key, start, end, err)
+	}
+	copy(v.seg.Bytes()[start:], data)
+	v.tier.Pulled.Add(int64(len(data)))
+	v.markPulled(off, n)
+	return nil
+}
+
+// EnsurePulled lazily pulls the range if any part is missing — the implicit
+// pull DDOs perform when data is first accessed (§4.1).
+func (v *Value) EnsurePulled(off, n int) error {
+	if v.missing(off, n) {
+		return v.PullChunk(off, n)
+	}
+	return nil
+}
+
+// Push writes the full local replica to the global tier (push_state).
+func (v *Value) Push() error {
+	v.lock.RLock()
+	defer v.lock.RUnlock()
+	if err := v.tier.global.SetRange(v.key, 0, v.seg.Bytes()[:v.size]); err != nil {
+		return fmt.Errorf("state: push %s: %w", v.key, err)
+	}
+	v.tier.Pushed.Add(int64(v.size))
+	v.markAll() // our copy now matches the authority
+	return nil
+}
+
+// PushChunk writes [off, off+n) of the replica to the global tier
+// (push_state_offset).
+func (v *Value) PushChunk(off, n int) error {
+	if err := v.checkRange(off, n); err != nil {
+		return err
+	}
+	v.lock.RLock()
+	defer v.lock.RUnlock()
+	if err := v.tier.global.SetRange(v.key, off, v.seg.Bytes()[off:off+n]); err != nil {
+		return fmt.Errorf("state: push chunk %s[%d:%d]: %w", v.key, off, off+n, err)
+	}
+	v.tier.Pushed.Add(int64(n))
+	v.markPulled(off, n)
+	return nil
+}
+
+// Set overwrites the local replica (set_state), with the implicit write
+// lock. The global tier is unchanged until a push.
+func (v *Value) Set(data []byte) error {
+	if len(data) != v.size {
+		return fmt.Errorf("%w: set %d bytes into %d-byte value", ErrSizeMismatch, len(data), v.size)
+	}
+	v.lock.Lock()
+	copy(v.seg.Bytes(), data)
+	v.markAll()
+	v.lock.Unlock()
+	return nil
+}
+
+// SetAt writes data at offset (set_state_offset) under the implicit write
+// lock.
+func (v *Value) SetAt(off int, data []byte) error {
+	if err := v.checkRange(off, len(data)); err != nil {
+		return err
+	}
+	v.lock.Lock()
+	copy(v.seg.Bytes()[off:], data)
+	v.markPulled(off, len(data))
+	v.lock.Unlock()
+	return nil
+}
+
+// Get returns a copy of the replica (get_state semantics with copy), lazily
+// pulling if the replica has never been populated.
+func (v *Value) Get() ([]byte, error) {
+	if err := v.EnsurePulled(0, v.size); err != nil {
+		return nil, err
+	}
+	v.lock.RLock()
+	out := make([]byte, v.size)
+	copy(out, v.seg.Bytes())
+	v.lock.RUnlock()
+	return out, nil
+}
+
+// GetAt returns a copy of [off, off+n) (get_state_offset), lazily pulling
+// the covering chunks.
+func (v *Value) GetAt(off, n int) ([]byte, error) {
+	if err := v.checkRange(off, n); err != nil {
+		return nil, err
+	}
+	if err := v.EnsurePulled(off, n); err != nil {
+		return nil, err
+	}
+	v.lock.RLock()
+	out := make([]byte, n)
+	copy(out, v.seg.Bytes()[off:off+n])
+	v.lock.RUnlock()
+	return out, nil
+}
+
+func (v *Value) checkRange(off, n int) error {
+	if off < 0 || n < 0 || off+n > v.size {
+		return fmt.Errorf("state: range [%d,%d) outside %d-byte value %s", off, off+n, v.size, v.key)
+	}
+	return nil
+}
+
+// ConsistentUpdate performs the §4.2 strongly consistent read-modify-write:
+// global write lock → pull → mutate → push → unlock.
+func (v *Value) ConsistentUpdate(mutate func(data []byte) error) error {
+	tok, err := v.tier.LockGlobal(v.key, true)
+	if err != nil {
+		return err
+	}
+	defer v.tier.UnlockGlobal(v.key, tok)
+	if err := v.Pull(); err != nil {
+		return err
+	}
+	v.lock.Lock()
+	err = mutate(v.seg.Bytes()[:v.size])
+	v.lock.Unlock()
+	if err != nil {
+		return err
+	}
+	return v.Push()
+}

@@ -1,0 +1,359 @@
+package state
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/wamem"
+)
+
+func newTier() (*LocalTier, *kvs.Engine) {
+	e := kvs.NewEngine()
+	return NewLocalTier(e), e
+}
+
+func TestValueSizeDiscovery(t *testing.T) {
+	lt, e := newTier()
+	e.Set("weights", make([]byte, 1000))
+	v, err := lt.Value("weights", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 1000 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	// Unknown key without size: error.
+	if _, err := lt.Value("ghost", -1); !errors.Is(err, ErrUnknownSize) {
+		t.Fatalf("ghost: %v", err)
+	}
+	// Size conflict on re-lookup: error.
+	if _, err := lt.Value("weights", 2000); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("mismatch: %v", err)
+	}
+	// Same size: same handle.
+	v2, err := lt.Value("weights", 1000)
+	if err != nil || v2 != v {
+		t.Fatal("replica not shared")
+	}
+}
+
+func TestPullPushRoundTrip(t *testing.T) {
+	lt, e := newTier()
+	authoritative := []byte("the global truth here")
+	e.Set("k", authoritative)
+	v, err := lt.Value("k", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Bytes(), authoritative) {
+		t.Fatalf("pulled %q", v.Bytes())
+	}
+	// Mutate locally, push, verify global.
+	copy(v.Bytes(), []byte("THE"))
+	if err := v.Push(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := e.Get("k")
+	if string(g[:3]) != "THE" {
+		t.Fatalf("global after push: %q", g)
+	}
+}
+
+func TestLocalWritesInvisibleUntilPush(t *testing.T) {
+	lt, e := newTier()
+	e.Set("k", []byte("aaaa"))
+	v, _ := lt.Value("k", -1)
+	v.Pull()
+	v.Set([]byte("bbbb"))
+	g, _ := e.Get("k")
+	if string(g) != "aaaa" {
+		t.Fatal("local set leaked to global tier before push")
+	}
+	v.Push()
+	g, _ = e.Get("k")
+	if string(g) != "bbbb" {
+		t.Fatal("push did not update global tier")
+	}
+}
+
+func TestSharedSegmentBetweenFaaslets(t *testing.T) {
+	// Two Faaslets on the same host map the same replica segment and see
+	// each other's writes with no pull/push — §3.3's sharing property
+	// threaded through the state tier.
+	lt, e := newTier()
+	e.Set("shared", make([]byte, 64))
+	v, _ := lt.Value("shared", -1)
+	v.Pull()
+
+	memA := wamem.MustNew(1, 0)
+	memB := wamem.MustNew(2, 0)
+	baseA, err := memA.MapShared(v.Segment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseB, _ := memB.MapShared(v.Segment())
+
+	if err := memA.WriteU64(baseA+8, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got, err := memB.ReadU64(baseB + 8)
+	if err != nil || got != 12345 {
+		t.Fatalf("cross-faaslet read: %d %v", got, err)
+	}
+	// And the state API sees it too.
+	if binary.LittleEndian.Uint64(v.Bytes()[8:]) != 12345 {
+		t.Fatal("state API does not see mapped write")
+	}
+}
+
+func TestChunkedPullTransfersOnlyNeededBytes(t *testing.T) {
+	lt, e := newTier()
+	big := make([]byte, 100*ChunkSize)
+	for i := range big {
+		big[i] = byte(i / ChunkSize)
+	}
+	e.Set("matrix", big)
+	v, _ := lt.Value("matrix", -1)
+
+	// Pull a slice in the middle.
+	got, err := v.GetAt(10*ChunkSize+100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 {
+		t.Fatalf("chunk content = %d", got[0])
+	}
+	pulled := lt.Pulled.Value()
+	if pulled > 2*ChunkSize {
+		t.Fatalf("pulled %d bytes for a 50-byte read", pulled)
+	}
+	// Re-reading the same range transfers nothing more.
+	if _, err := v.GetAt(10*ChunkSize+100, 50); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Pulled.Value() != pulled {
+		t.Fatal("re-read re-pulled")
+	}
+}
+
+func TestPushChunk(t *testing.T) {
+	lt, e := newTier()
+	e.Set("v", make([]byte, 3*ChunkSize))
+	v, _ := lt.Value("v", -1)
+	v.Pull()
+	copy(v.Bytes()[ChunkSize:], []byte("chunk1"))
+	if err := v.PushChunk(ChunkSize, 6); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := e.Get("v")
+	if string(g[ChunkSize:ChunkSize+6]) != "chunk1" {
+		t.Fatal("chunk push missed")
+	}
+	// Other chunks unchanged.
+	if g[0] != 0 {
+		t.Fatal("push chunk touched other bytes")
+	}
+	if lt.Pushed.Value() != 6 {
+		t.Fatalf("pushed bytes = %d", lt.Pushed.Value())
+	}
+}
+
+func TestSetAtAndGetRangeChecks(t *testing.T) {
+	lt, e := newTier()
+	e.Set("v", make([]byte, 100))
+	v, _ := lt.Value("v", -1)
+	if err := v.SetAt(90, []byte("0123456789A")); err == nil {
+		t.Fatal("overflow SetAt accepted")
+	}
+	if _, err := v.GetAt(-1, 5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := v.GetAt(0, -5); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	if err := v.Set(make([]byte, 99)); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("short set: %v", err)
+	}
+}
+
+func TestNewValueWithExplicitSize(t *testing.T) {
+	lt, e := newTier()
+	v, err := lt.Value("fresh", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Set(bytes.Repeat([]byte{7}, 256))
+	if err := v.Push(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := e.Get("fresh")
+	if len(g) != 256 || g[0] != 7 {
+		t.Fatalf("pushed fresh value: %d bytes", len(g))
+	}
+}
+
+func TestAppendGoesStraightToGlobal(t *testing.T) {
+	lt, e := newTier()
+	lt.Append("results", []byte("a"))
+	lt.Append("results", []byte("b"))
+	g, _ := e.Get("results")
+	if string(g) != "ab" {
+		t.Fatalf("appended: %q", g)
+	}
+	all, err := lt.ReadAll("results")
+	if err != nil || string(all) != "ab" {
+		t.Fatalf("readall: %q %v", all, err)
+	}
+}
+
+func TestLocalLockMutualExclusion(t *testing.T) {
+	lt, e := newTier()
+	e.Set("v", make([]byte, 8))
+	v, _ := lt.Value("v", -1)
+	v.Pull()
+	// Many goroutines increment a counter in the value under the local
+	// write lock: no lost updates.
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v.LockWrite()
+				n := binary.LittleEndian.Uint64(v.Bytes())
+				binary.LittleEndian.PutUint64(v.Bytes(), n+1)
+				v.UnlockWrite()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := binary.LittleEndian.Uint64(v.Bytes()); n != workers*per {
+		t.Fatalf("lost updates: %d", n)
+	}
+}
+
+func TestConsistentUpdateAcrossTiers(t *testing.T) {
+	// Two local tiers (two hosts) updating one global counter with
+	// ConsistentUpdate must not lose increments — §4.2's global
+	// consistency recipe.
+	e := kvs.NewEngine()
+	host1 := NewLocalTier(e)
+	host2 := NewLocalTier(e)
+	e.Set("counter", make([]byte, 8))
+
+	var wg sync.WaitGroup
+	const per = 50
+	for _, lt := range []*LocalTier{host1, host2} {
+		wg.Add(1)
+		go func(lt *LocalTier) {
+			defer wg.Done()
+			v, err := lt.Value("counter", -1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				err := v.ConsistentUpdate(func(data []byte) error {
+					n := binary.LittleEndian.Uint64(data)
+					binary.LittleEndian.PutUint64(data, n+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(lt)
+	}
+	wg.Wait()
+	g, _ := e.Get("counter")
+	if n := binary.LittleEndian.Uint64(g); n != 2*per {
+		t.Fatalf("cross-host lost updates: %d != %d", n, 2*per)
+	}
+}
+
+func TestEvictAndKeys(t *testing.T) {
+	lt, e := newTier()
+	e.Set("a", []byte("x"))
+	lt.Value("a", -1)
+	if len(lt.Keys()) != 1 {
+		t.Fatal("key not registered")
+	}
+	if lt.LocalBytes() == 0 {
+		t.Fatal("no local bytes accounted")
+	}
+	lt.Evict("a")
+	if len(lt.Keys()) != 0 {
+		t.Fatal("evict failed")
+	}
+}
+
+func TestConcurrentChunkPulls(t *testing.T) {
+	lt, e := newTier()
+	data := make([]byte, 50*ChunkSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	e.Set("m", data)
+	v, _ := lt.Value("m", -1)
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := 0; c < 50; c++ {
+				off := ((c*7 + w) % 50) * ChunkSize
+				got, err := v.GetAt(off, ChunkSize)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, data[off:off+ChunkSize]) {
+					t.Errorf("chunk at %d corrupt", off)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every chunk pulled at most once despite 10 racing readers.
+	if lt.Pulled.Value() > int64(len(data)) {
+		t.Fatalf("pulled %d bytes for a %d-byte value", lt.Pulled.Value(), len(data))
+	}
+}
+
+func BenchmarkLocalGet(b *testing.B) {
+	lt, e := newTier()
+	e.Set("v", make([]byte, 64*1024))
+	v, _ := lt.Value("v", -1)
+	v.Pull()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.GetAt(1024, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharedBytesAccess(b *testing.B) {
+	// Direct pointer-style access: the zero-copy path.
+	lt, e := newTier()
+	e.Set("v", make([]byte, 64*1024))
+	v, _ := lt.Value("v", -1)
+	v.Pull()
+	buf := v.Bytes()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		sink ^= buf[i%len(buf)]
+	}
+	_ = sink
+}

@@ -1,0 +1,286 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func newFS() *FS {
+	return New(NewMapGlobal(map[string][]byte{
+		"lib/python/os.py": []byte("import sys"),
+		"lib/python/sys.py": []byte("builtin"),
+		"data/model.bin":   {1, 2, 3, 4},
+	}))
+}
+
+func TestReadGlobalFile(t *testing.T) {
+	fs := newFS()
+	b, err := fs.ReadFile("lib/python/os.py")
+	if err != nil || string(b) != "import sys" {
+		t.Fatalf("read global: %q %v", b, err)
+	}
+	if fs.BytesPulled != int64(len("import sys")) {
+		t.Fatalf("pulled bytes = %d", fs.BytesPulled)
+	}
+	// Second open must hit the local copy, not re-pull.
+	if _, err := fs.ReadFile("lib/python/os.py"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.BytesPulled != int64(len("import sys")) {
+		t.Fatal("re-pulled an already-cached file")
+	}
+}
+
+func TestWriteLocalDoesNotTouchGlobal(t *testing.T) {
+	g := NewMapGlobal(map[string][]byte{"shared.txt": []byte("original")})
+	fsA := New(g)
+	fsB := New(g)
+	fd, err := fsA.Open("shared.txt", ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsA.Write(fd, []byte("LOCAL")); err != nil {
+		t.Fatal(err)
+	}
+	fsA.Close(fd)
+	// Faaslet B still sees the global contents.
+	b, err := fsB.ReadFile("shared.txt")
+	if err != nil || string(b) != "original" {
+		t.Fatalf("global polluted: %q %v", b, err)
+	}
+	// And A sees its local version.
+	a, _ := fsA.ReadFile("shared.txt")
+	if string(a) != "LOCALnal" {
+		t.Fatalf("local copy: %q", a)
+	}
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	fs := newFS()
+	if err := fs.WriteFile("out/result.json", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile("out/result.json")
+	if err != nil || string(b) != `{"ok":true}` {
+		t.Fatalf("read back: %q %v", b, err)
+	}
+}
+
+func TestOpenMissingWithoutCreate(t *testing.T) {
+	fs := newFS()
+	if _, err := fs.Open("nope.txt", ORdonly); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+}
+
+func TestSeekAndPartialReads(t *testing.T) {
+	fs := newFS()
+	fs.WriteFile("f", []byte("0123456789"))
+	fd, err := fs.Open("f", ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := fs.Read(fd, buf)
+	if err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("read1: %d %q %v", n, buf, err)
+	}
+	pos, err := fs.Seek(fd, -2, SeekCur)
+	if err != nil || pos != 2 {
+		t.Fatalf("seek cur: %d %v", pos, err)
+	}
+	n, _ = fs.Read(fd, buf)
+	if string(buf[:n]) != "2345" {
+		t.Fatalf("read after seek: %q", buf[:n])
+	}
+	pos, err = fs.Seek(fd, -1, SeekEnd)
+	if err != nil || pos != 9 {
+		t.Fatalf("seek end: %d %v", pos, err)
+	}
+	n, _ = fs.Read(fd, buf)
+	if n != 1 || buf[0] != '9' {
+		t.Fatalf("tail read: %d %q", n, buf[:n])
+	}
+	if _, err := fs.Read(fd, buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if _, err := fs.Seek(fd, -100, SeekSet); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+}
+
+func TestAppendMode(t *testing.T) {
+	fs := newFS()
+	fs.WriteFile("log", []byte("a"))
+	fd, err := fs.Open("log", OWronly|OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Write(fd, []byte("b"))
+	fs.Write(fd, []byte("c"))
+	fs.Close(fd)
+	b, _ := fs.ReadFile("log")
+	if string(b) != "abc" {
+		t.Fatalf("append: %q", b)
+	}
+}
+
+func TestTrunc(t *testing.T) {
+	fs := newFS()
+	fs.WriteFile("f", []byte("long contents"))
+	fd, err := fs.Open("f", OWronly|OTrunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Write(fd, []byte("x"))
+	fs.Close(fd)
+	b, _ := fs.ReadFile("f")
+	if string(b) != "x" {
+		t.Fatalf("trunc: %q", b)
+	}
+}
+
+func TestDupIndependentPositions(t *testing.T) {
+	fs := newFS()
+	fs.WriteFile("f", []byte("abcdef"))
+	fd, _ := fs.Open("f", ORdonly)
+	buf := make([]byte, 2)
+	fs.Read(fd, buf)
+	dup, err := fs.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dup starts at the original's position but advances independently.
+	fs.Read(dup, buf)
+	if string(buf) != "cd" {
+		t.Fatalf("dup read: %q", buf)
+	}
+	fs.Read(fd, buf)
+	if string(buf) != "cd" {
+		t.Fatalf("orig read after dup: %q", buf)
+	}
+}
+
+func TestUnforgeableHandles(t *testing.T) {
+	fs := newFS()
+	// A guessed descriptor must not grant access.
+	if _, err := fs.Read(12345, make([]byte, 1)); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("forged fd: %v", err)
+	}
+	fd, _ := fs.Open("data/model.bin", ORdonly)
+	fs.Close(fd)
+	if _, err := fs.Read(fd, make([]byte, 1)); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("use-after-close: %v", err)
+	}
+	if err := fs.Close(fd); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestPermissionBits(t *testing.T) {
+	fs := newFS()
+	fs.WriteFile("f", []byte("data"))
+	rd, _ := fs.Open("f", ORdonly)
+	if _, err := fs.Write(rd, []byte("x")); !errors.Is(err, ErrNotWritable) {
+		t.Fatalf("write to O_RDONLY: %v", err)
+	}
+	wr, _ := fs.Open("f", OWronly)
+	if _, err := fs.Read(wr, make([]byte, 1)); !errors.Is(err, ErrNotReadable) {
+		t.Fatalf("read from O_WRONLY: %v", err)
+	}
+}
+
+func TestFDLimit(t *testing.T) {
+	fs := newFS()
+	fs.WriteFile("f", nil)
+	var last error
+	for i := 0; i < MaxOpenFiles+10; i++ {
+		_, last = fs.Open("f", ORdonly)
+		if last != nil {
+			break
+		}
+	}
+	if !errors.Is(last, ErrTooManyFiles) {
+		t.Fatalf("expected fd exhaustion, got %v", last)
+	}
+}
+
+func TestStat(t *testing.T) {
+	fs := newFS()
+	info, err := fs.Stat("data/model.bin")
+	if err != nil || info.Size != 4 || info.Local {
+		t.Fatalf("global stat: %+v %v", info, err)
+	}
+	fs.WriteFile("local.txt", []byte("xyz"))
+	info, err = fs.Stat("local.txt")
+	if err != nil || info.Size != 3 || !info.Local {
+		t.Fatalf("local stat: %+v %v", info, err)
+	}
+	if _, err := fs.Stat("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing stat: %v", err)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	fs := newFS()
+	fs.WriteFile("secret.txt", []byte("tenant A's data"))
+	fd, _ := fs.Open("secret.txt", ORdonly)
+	fs.Reset()
+	// The descriptor is dead and the file is gone: no cross-tenant leaks.
+	if _, err := fs.Read(fd, make([]byte, 1)); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("fd survived reset: %v", err)
+	}
+	if _, err := fs.Stat("secret.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("local file survived reset")
+	}
+	if fs.OpenCount() != 0 || fs.LocalBytes() != 0 {
+		t.Fatal("reset left residue")
+	}
+	// Global files are still reachable after reset.
+	if _, err := fs.ReadFile("lib/python/os.py"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathNormalisation(t *testing.T) {
+	fs := newFS()
+	b, err := fs.ReadFile("/lib//python/./os.py")
+	if err != nil || string(b) != "import sys" {
+		t.Fatalf("normalised read: %q %v", b, err)
+	}
+	// Traversal segments are stripped, not resolved: "../" can never escape
+	// the namespace, it simply vanishes.
+	if got := normPath("../../etc/passwd"); got != "etc/passwd" {
+		t.Fatalf("traversal normalised to %q", got)
+	}
+}
+
+func TestLargeFileGrowth(t *testing.T) {
+	fs := newFS()
+	fd, _ := fs.Open("big", OCreate|ORdwr)
+	// Sparse write far past the end zero-fills.
+	if _, err := fs.Seek(fd, 1000, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	fs.Write(fd, []byte("end"))
+	info, _ := fs.FStat(fd)
+	if info.Size != 1003 {
+		t.Fatalf("sparse size = %d", info.Size)
+	}
+	fs.Seek(fd, 0, SeekSet)
+	head := make([]byte, 4)
+	fs.Read(fd, head)
+	if !bytes.Equal(head, []byte{0, 0, 0, 0}) {
+		t.Fatalf("hole not zero-filled: %v", head)
+	}
+}
+
+func TestListFiles(t *testing.T) {
+	g := NewMapGlobal(map[string][]byte{"a/1": nil, "a/2": nil, "b/1": nil})
+	files := g.ListFiles("a/")
+	if len(files) != 2 || files[0] != "a/1" || files[1] != "a/2" {
+		t.Fatalf("list = %v", files)
+	}
+}

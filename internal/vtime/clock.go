@@ -1,0 +1,160 @@
+// Package vtime provides the clock abstraction used throughout the runtime.
+//
+// Real deployments use the wall clock. The cluster simulator uses a
+// deterministic event-driven virtual clock so that macro experiments
+// (training runs, latency distributions, cold-start storms) are reproducible
+// and fast regardless of the host machine.
+package vtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the runtime and the simulator.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the caller for d of this clock's time.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// Now returns the wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep blocks for wall-clock duration d.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a deterministic discrete-event clock. Goroutines that sleep on a
+// Virtual clock are suspended until the simulation driver advances time past
+// their deadline. Virtual time only moves when Advance or Run is called.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64
+}
+
+// NewVirtual returns a virtual clock starting at the zero time plus one hour,
+// so that subtracting small durations never underflows.
+func NewVirtual() *Virtual {
+	return &Virtual{now: time.Unix(0, 0).Add(time.Hour)}
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      int64
+	ch       chan struct{}
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep blocks until the virtual clock advances past now+d. A non-positive
+// duration returns immediately.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	w := &waiter{deadline: v.now.Add(d), seq: v.seq, ch: make(chan struct{})}
+	v.seq++
+	heap.Push(&v.waiters, w)
+	v.mu.Unlock()
+	<-w.ch
+}
+
+// Advance moves virtual time forward by d, waking every sleeper whose
+// deadline has passed, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.advanceToLocked(target)
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves virtual time to t if t is later than the current time.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	v.advanceToLocked(t)
+	v.mu.Unlock()
+}
+
+func (v *Virtual) advanceToLocked(target time.Time) {
+	for v.waiters.Len() > 0 {
+		next := v.waiters[0]
+		if next.deadline.After(target) {
+			break
+		}
+		heap.Pop(&v.waiters)
+		if next.deadline.After(v.now) {
+			v.now = next.deadline
+		}
+		close(next.ch)
+	}
+	if target.After(v.now) {
+		v.now = target
+	}
+}
+
+// NextDeadline reports the earliest pending sleeper deadline, if any.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.waiters.Len() == 0 {
+		return time.Time{}, false
+	}
+	return v.waiters[0].deadline, true
+}
+
+// Pending reports the number of goroutines blocked in Sleep.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.waiters.Len()
+}
+
+// RunUntilIdle repeatedly advances to the next sleeper deadline until no
+// sleepers remain. The settle callback, if non-nil, is invoked after each
+// advance to let the caller yield to worker goroutines (e.g. runtime.Gosched
+// loops); RunUntilIdle already yields between steps.
+func (v *Virtual) RunUntilIdle(settle func()) {
+	for {
+		t, ok := v.NextDeadline()
+		if !ok {
+			return
+		}
+		v.AdvanceTo(t)
+		if settle != nil {
+			settle()
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(t0) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestVirtualSleepWakesByDeadline(t *testing.T) {
+	v := NewVirtual()
+	woke := make([]atomic.Bool, 3)
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			v.Sleep(d)
+			woke[i].Store(true)
+		}(i, d)
+	}
+	for v.Pending() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	// Stepped advances: each step releases exactly the sleepers whose
+	// deadlines have passed.
+	v.Advance(15 * time.Millisecond)
+	waitTrue(t, &woke[1])
+	if woke[0].Load() || woke[2].Load() {
+		t.Fatal("later sleepers woke early")
+	}
+	v.Advance(10 * time.Millisecond)
+	waitTrue(t, &woke[2])
+	if woke[0].Load() {
+		t.Fatal("latest sleeper woke early")
+	}
+	v.Advance(10 * time.Millisecond)
+	waitTrue(t, &woke[0])
+	wg.Wait()
+}
+
+func waitTrue(t *testing.T, b *atomic.Bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never woke")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestVirtualSleepZeroReturnsImmediately(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("zero sleep blocked")
+	}
+}
+
+func TestVirtualAdvancePartial(t *testing.T) {
+	v := NewVirtual()
+	var woke atomic.Bool
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		v.Sleep(100 * time.Millisecond)
+		woke.Store(true)
+	}()
+	<-ready
+	for v.Pending() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(50 * time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	if woke.Load() {
+		t.Fatal("woke before deadline")
+	}
+	v.Advance(60 * time.Millisecond)
+	for !woke.Load() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestVirtualNowMonotonicUnderAdvance(t *testing.T) {
+	v := NewVirtual()
+	t0 := v.Now()
+	v.Advance(time.Minute)
+	if got := v.Now().Sub(t0); got != time.Minute {
+		t.Fatalf("advanced %v", got)
+	}
+	v.AdvanceTo(t0) // going backwards is a no-op
+	if v.Now().Sub(t0) != time.Minute {
+		t.Fatal("AdvanceTo moved time backwards")
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	v := NewVirtual()
+	var count atomic.Int32
+	var wg sync.WaitGroup
+	for i := 1; i <= 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i) * time.Second)
+			count.Add(1)
+		}(i)
+	}
+	for v.Pending() != 5 {
+		time.Sleep(time.Millisecond)
+	}
+	v.RunUntilIdle(func() { time.Sleep(time.Millisecond) })
+	wg.Wait()
+	if count.Load() != 5 {
+		t.Fatalf("woke %d of 5", count.Load())
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	v := NewVirtual()
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("deadline with no sleepers")
+	}
+	go v.Sleep(time.Hour)
+	for v.Pending() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	d, ok := v.NextDeadline()
+	if !ok || d.Sub(v.Now()) != time.Hour {
+		t.Fatalf("deadline = %v ok=%v", d, ok)
+	}
+	v.Advance(2 * time.Hour)
+}

@@ -1,0 +1,94 @@
+package dmatmul
+
+import (
+	"testing"
+	"time"
+
+	"faasm.dev/faasm/internal/cluster"
+)
+
+func runMultiply(t *testing.T, mode cluster.Mode, p Params) ([]float64, cluster.Stats, []float64) {
+	t.Helper()
+	a, b := Generate(p)
+	c := cluster.New(cluster.Config{
+		Mode: mode, Hosts: 2, TimeScale: 5000,
+		ContainerColdStart: 2 * time.Millisecond,
+	})
+	defer c.Shutdown()
+	if err := Seed(c, p, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(c); err != nil {
+		t.Fatal(err)
+	}
+	_, ret, err := c.Call("mm-main", MainInput(p))
+	if err != nil || ret != 0 {
+		t.Fatalf("%v multiply: ret=%d err=%v", mode, ret, err)
+	}
+	blob, err := c.GetState(KeyC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DecodeResult(blob, p.N), c.Stats(), Reference(p, a, b)
+}
+
+func TestDistributedMatmulCorrectFaasm(t *testing.T) {
+	p := Params{N: 64, Depth: 2, Seed: 3}
+	got, _, want := runMultiply(t, cluster.ModeFaasm, p)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("faasm result off by %g", d)
+	}
+}
+
+func TestDistributedMatmulCorrectKnative(t *testing.T) {
+	p := Params{N: 64, Depth: 2, Seed: 3}
+	got, _, want := runMultiply(t, cluster.ModeBaseline, p)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("knative result off by %g", d)
+	}
+}
+
+func TestDepthOneStructure(t *testing.T) {
+	p := Params{N: 32, Depth: 1, Seed: 5}
+	got, _, want := runMultiply(t, cluster.ModeFaasm, p)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("depth-1 result off by %g", d)
+	}
+}
+
+func TestFaasmTrafficAdvantage(t *testing.T) {
+	// Fig 8b: FAASM moves less data (shared chunk replicas, no per-function
+	// duplication of A/B blocks).
+	p := Params{N: 64, Depth: 2, Seed: 3}
+	_, fstats, _ := runMultiply(t, cluster.ModeFaasm, p)
+	_, kstats, _ := runMultiply(t, cluster.ModeBaseline, p)
+	if fstats.NetworkBytes >= kstats.NetworkBytes {
+		t.Fatalf("faasm %d bytes >= knative %d", fstats.NetworkBytes, kstats.NetworkBytes)
+	}
+}
+
+func TestIndivisibleDimensionRejected(t *testing.T) {
+	p := Params{N: 30, Depth: 2}
+	a, b := Generate(p)
+	c := cluster.New(cluster.Config{Mode: cluster.ModeFaasm, Hosts: 1, TimeScale: 5000})
+	defer c.Shutdown()
+	Seed(c, p, a, b)
+	Register(c)
+	_, ret, _ := c.Call("mm-main", MainInput(p))
+	if ret == 0 {
+		t.Fatal("indivisible N accepted")
+	}
+}
+
+func TestInputRoundTrips(t *testing.T) {
+	m := multInput{N: 1, S: 2, I: 3, J: 4, K: 5, Out: 6}
+	got, err := decodeMult(encodeMult(m))
+	if err != nil || got != m {
+		t.Fatalf("mult round trip: %+v %v", got, err)
+	}
+	g := mergeInput{N: 1, S: 2, I: 3, J: 4, Base: 5, Count: 6}
+	got2, err := decodeMerge(encodeMerge(g))
+	if err != nil || got2 != g {
+		t.Fatalf("merge round trip: %+v %v", got2, err)
+	}
+}

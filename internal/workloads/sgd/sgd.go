@@ -1,0 +1,328 @@
+// Package sgd implements the machine-learning training workload of §6.2:
+// distributed stochastic gradient descent with the HOGWILD! algorithm,
+// the paper's Listing 1 expressed with distributed data objects. Workers
+// read disjoint column ranges of a sparse training matrix (implicitly
+// pulling only the needed chunks), update a shared weights vector without
+// locks, and push it to the global tier sporadically — the inconsistency is
+// tolerated by SGD, exactly as the paper argues.
+//
+// The Reuters RCV1 dataset is proprietary-ish to obtain offline, so the
+// generator below synthesises a dataset with RCV1's shape: a configurable
+// number of examples over a large sparse feature space with a ground-truth
+// linear separator, which preserves the workload's data-movement profile
+// (what Figs 6a–6c measure).
+package sgd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"faasm.dev/faasm/internal/ddo"
+	"faasm.dev/faasm/internal/hostapi"
+)
+
+// Params sizes a training run.
+type Params struct {
+	Examples   int
+	Features   int
+	NNZ        int // non-zeros per example
+	Epochs     int
+	Workers    int
+	LearnRate  float64
+	PushEvery  int // examples between weight pushes (VectorAsync cadence)
+	Seed       int64
+}
+
+// DefaultParams returns a laptop-scale configuration with RCV1's shape
+// (RCV1: ~800 K examples, 47 K features, ~76 nnz; scaled down ~100×).
+func DefaultParams() Params {
+	return Params{
+		Examples:  8192,
+		Features:  4096,
+		NNZ:       32,
+		Epochs:    3,
+		Workers:   8,
+		LearnRate: 0.1,
+		PushEvery: 256,
+		Seed:      42,
+	}
+}
+
+// State keys.
+const (
+	KeyX       = "sgd/X" // sparse matrix prefix (vals/rows/colptr)
+	KeyY       = "sgd/y"
+	KeyWeights = "sgd/weights"
+)
+
+// Dataset is a generated training set plus its ground truth.
+type Dataset struct {
+	Params Params
+	Vals   []byte
+	Rows   []byte
+	Colptr []byte
+	Labels []byte
+	truth  []float64
+}
+
+// Generate builds a synthetic linearly separable sparse dataset.
+func Generate(p Params) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	truth := make([]float64, p.Features)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	entries := make([][]ddo.SparseEntry, p.Examples)
+	labels := make([]byte, p.Examples*8)
+	for j := 0; j < p.Examples; j++ {
+		cols := make([]ddo.SparseEntry, 0, p.NNZ)
+		seen := map[int]bool{}
+		dot := 0.0
+		for k := 0; k < p.NNZ; k++ {
+			row := rng.Intn(p.Features)
+			if seen[row] {
+				continue
+			}
+			seen[row] = true
+			val := rng.Float64()
+			cols = append(cols, ddo.SparseEntry{Row: row, Val: val})
+			dot += truth[row] * val
+		}
+		entries[j] = cols
+		label := -1.0
+		if dot > 0 {
+			label = 1.0
+		}
+		binary.LittleEndian.PutUint64(labels[j*8:], math.Float64bits(label))
+	}
+	vals, rows, colptr := ddo.BuildSparseCSC(entries)
+	return &Dataset{Params: p, Vals: vals, Rows: rows, Colptr: colptr, Labels: labels, truth: truth}
+}
+
+// Bytes reports the dataset's total state footprint.
+func (d *Dataset) Bytes() int64 {
+	return int64(len(d.Vals) + len(d.Rows) + len(d.Colptr) + len(d.Labels))
+}
+
+// Seeder abstracts cluster/global-tier setup.
+type Seeder interface {
+	SetState(key string, val []byte) error
+}
+
+// Seed loads the dataset and zeroed weights into the global tier.
+func (d *Dataset) Seed(s Seeder) error {
+	valsKey, rowsKey, cpKey := ddo.SparseKeys(KeyX)
+	if err := s.SetState(valsKey, d.Vals); err != nil {
+		return err
+	}
+	if err := s.SetState(rowsKey, d.Rows); err != nil {
+		return err
+	}
+	if err := s.SetState(cpKey, d.Colptr); err != nil {
+		return err
+	}
+	if err := s.SetState(KeyY, d.Labels); err != nil {
+		return err
+	}
+	return s.SetState(KeyWeights, make([]byte, d.Params.Features*8))
+}
+
+// updateInput is the weight_update wire format.
+type updateInput struct {
+	From, To  int32
+	Features  int32
+	Examples  int32
+	LR        float64
+	PushEvery int32
+}
+
+func encodeUpdate(u updateInput) []byte {
+	b := make([]byte, 28)
+	binary.LittleEndian.PutUint32(b[0:], uint32(u.From))
+	binary.LittleEndian.PutUint32(b[4:], uint32(u.To))
+	binary.LittleEndian.PutUint32(b[8:], uint32(u.Features))
+	binary.LittleEndian.PutUint32(b[12:], uint32(u.Examples))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(u.LR))
+	binary.LittleEndian.PutUint32(b[24:], uint32(u.PushEvery))
+	return b
+}
+
+func decodeUpdate(b []byte) (updateInput, error) {
+	if len(b) != 28 {
+		return updateInput{}, fmt.Errorf("sgd: bad update input (%d bytes)", len(b))
+	}
+	return updateInput{
+		From:      int32(binary.LittleEndian.Uint32(b[0:])),
+		To:        int32(binary.LittleEndian.Uint32(b[4:])),
+		Features:  int32(binary.LittleEndian.Uint32(b[8:])),
+		Examples:  int32(binary.LittleEndian.Uint32(b[12:])),
+		LR:        math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		PushEvery: int32(binary.LittleEndian.Uint32(b[24:])),
+	}, nil
+}
+
+// WeightUpdate is the worker guest: the weight_update of Listing 1.
+func WeightUpdate(api hostapi.API) (int32, error) {
+	in, err := decodeUpdate(api.Input())
+	if err != nil {
+		return 1, err
+	}
+	X, err := ddo.OpenSparseMatrix(api, KeyX, int(in.Examples))
+	if err != nil {
+		return 2, err
+	}
+	cols, err := X.Columns(int(in.From), int(in.To))
+	if err != nil {
+		return 3, err
+	}
+	yBuf, err := api.StateViewChunk(KeyY, int(in.From)*8, int(in.To-in.From)*8)
+	if err != nil {
+		return 4, err
+	}
+	w, err := ddo.OpenVector(api, KeyWeights, int(in.Features))
+	if err != nil {
+		return 5, err
+	}
+	sincePush := 0
+	for j := int(in.From); j < int(in.To); j++ {
+		y := math.Float64frombits(binary.LittleEndian.Uint64(yBuf[(j-int(in.From))*8:]))
+		// Logistic regression gradient on one example.
+		var z float64
+		cols.Col(j, func(row int, val float64) {
+			z += w.At(row) * val
+		})
+		p := 1 / (1 + math.Exp(-z))
+		target := 0.0
+		if y > 0 {
+			target = 1.0
+		}
+		g := p - target
+		cols.Col(j, func(row int, val float64) {
+			w.Add(row, -in.LR*g*val) // HOGWILD: unsynchronised on purpose
+		})
+		sincePush++
+		if in.PushEvery > 0 && sincePush >= int(in.PushEvery) {
+			if err := w.Push(); err != nil {
+				return 6, err
+			}
+			sincePush = 0
+		}
+	}
+	if err := w.Push(); err != nil {
+		return 7, err
+	}
+	return 0, nil
+}
+
+// mainInput is sgd_main's wire format.
+type mainInput struct {
+	Workers   int32
+	Epochs    int32
+	Examples  int32
+	Features  int32
+	LR        float64
+	PushEvery int32
+}
+
+// EncodeMain packs the sgd_main input.
+func EncodeMain(p Params) []byte {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint32(b[0:], uint32(p.Workers))
+	binary.LittleEndian.PutUint32(b[4:], uint32(p.Epochs))
+	binary.LittleEndian.PutUint32(b[8:], uint32(p.Examples))
+	binary.LittleEndian.PutUint32(b[12:], uint32(p.Features))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(p.LearnRate))
+	binary.LittleEndian.PutUint32(b[24:], uint32(p.PushEvery))
+	return b
+}
+
+func decodeMain(b []byte) (mainInput, error) {
+	if len(b) != 32 {
+		return mainInput{}, fmt.Errorf("sgd: bad main input (%d bytes)", len(b))
+	}
+	return mainInput{
+		Workers:   int32(binary.LittleEndian.Uint32(b[0:])),
+		Epochs:    int32(binary.LittleEndian.Uint32(b[4:])),
+		Examples:  int32(binary.LittleEndian.Uint32(b[8:])),
+		Features:  int32(binary.LittleEndian.Uint32(b[12:])),
+		LR:        math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		PushEvery: int32(binary.LittleEndian.Uint32(b[24:])),
+	}, nil
+}
+
+// Main is the sgd_main guest of Listing 1: for each epoch it chains
+// weight_update across workers on disjoint example ranges and awaits them.
+func Main(api hostapi.API) (int32, error) {
+	in, err := decodeMain(api.Input())
+	if err != nil {
+		return 1, err
+	}
+	workers := int(in.Workers)
+	per := (int(in.Examples) + workers - 1) / workers
+	for e := 0; e < int(in.Epochs); e++ {
+		ids := make([]uint64, 0, workers)
+		for wkr := 0; wkr < workers; wkr++ {
+			from := wkr * per
+			to := from + per
+			if to > int(in.Examples) {
+				to = int(in.Examples)
+			}
+			if from >= to {
+				break
+			}
+			id, err := api.Chain("sgd-update", encodeUpdate(updateInput{
+				From: int32(from), To: int32(to),
+				Features: in.Features, Examples: in.Examples,
+				LR: in.LR, PushEvery: in.PushEvery,
+			}))
+			if err != nil {
+				return 2, err
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if ret, err := api.Await(id); err != nil || ret != 0 {
+				return 3, fmt.Errorf("sgd: worker failed: ret=%d err=%v", ret, err)
+			}
+		}
+	}
+	return 0, nil
+}
+
+// Register deploys both guests on a platform.
+func Register(reg interface {
+	Register(fn string, g hostapi.Guest) error
+}) error {
+	if err := reg.Register("sgd-update", WeightUpdate); err != nil {
+		return err
+	}
+	return reg.Register("sgd-main", Main)
+}
+
+// Accuracy evaluates trained weights against the dataset's ground truth.
+func (d *Dataset) Accuracy(weightBytes []byte) float64 {
+	w := make([]float64, d.Params.Features)
+	for i := range w {
+		if (i+1)*8 <= len(weightBytes) {
+			w[i] = math.Float64frombits(binary.LittleEndian.Uint64(weightBytes[i*8:]))
+		}
+	}
+	correct := 0
+	for j := 0; j < d.Params.Examples; j++ {
+		lo := int(binary.LittleEndian.Uint64(d.Colptr[j*8:]))
+		hi := int(binary.LittleEndian.Uint64(d.Colptr[(j+1)*8:]))
+		var z float64
+		for k := lo; k < hi; k++ {
+			row := int(binary.LittleEndian.Uint32(d.Rows[k*4:]))
+			val := math.Float64frombits(binary.LittleEndian.Uint64(d.Vals[k*8:]))
+			z += w[row] * val
+		}
+		y := math.Float64frombits(binary.LittleEndian.Uint64(d.Labels[j*8:]))
+		if (z > 0) == (y > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Params.Examples)
+}
