@@ -7,10 +7,14 @@ package faasm_test
 // iteration, so ns/op approximates one complete experiment pass.
 
 import (
+	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 
 	"faasm.dev/faasm/internal/experiments"
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/shardkvs"
 )
 
 var quick = experiments.Options{Quick: true}
@@ -60,3 +64,55 @@ func BenchmarkFig9bPython(b *testing.B) { benchReport(b, experiments.Fig9b) }
 
 // BenchmarkFig10Churn regenerates Fig 10 (creation latency vs churn).
 func BenchmarkFig10Churn(b *testing.B) { benchReport(b, experiments.Fig10) }
+
+// BenchmarkStateScale regenerates the state-tier scaling experiment
+// (sharded vs single global store).
+func BenchmarkStateScale(b *testing.B) { benchReport(b, experiments.StateScale) }
+
+// BenchmarkShardedVsSingleStore compares raw global-tier throughput under
+// concurrent mixed load: the paper's single engine against consistent-hash
+// rings of 4 and 8 shards, and a replicated ring.
+func BenchmarkShardedVsSingleStore(b *testing.B) {
+	stores := []struct {
+		name string
+		mk   func() kvs.Store
+	}{
+		{"single-engine", func() kvs.Store { return kvs.NewEngine() }},
+		{"4-shards", func() kvs.Store { return shardkvs.NewLocal(4, shardkvs.Options{}) }},
+		{"8-shards", func() kvs.Store { return shardkvs.NewLocal(8, shardkvs.Options{}) }},
+		{"4-shards-r2", func() kvs.Store {
+			return shardkvs.NewLocal(4, shardkvs.Options{Replication: 2})
+		}},
+	}
+	val := make([]byte, 4096)
+	for _, sc := range stores {
+		b.Run(sc.name, func(b *testing.B) {
+			s := sc.mk()
+			var seq atomic.Uint64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					key := fmt.Sprintf("bench-%d", i%512)
+					switch i % 3 {
+					case 0:
+						if err := s.Set(key, val); err != nil {
+							b.Error(err)
+							return
+						}
+					case 1:
+						if _, err := s.Get(key); err != nil {
+							b.Error(err)
+							return
+						}
+					default:
+						if _, err := s.Incr("ctr-"+key, 1); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}

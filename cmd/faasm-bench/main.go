@@ -42,9 +42,10 @@ func main() {
 		"fig9a":         experiments.Fig9a,
 		"fig9b":         experiments.Fig9b,
 		"fig10":         experiments.Fig10,
+		"state-scale":   experiments.StateScale,
 	}
 	order := []string{"table1", "table3", "table3-python", "fig6", "fig6-small",
-		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10"}
+		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "state-scale"}
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
@@ -68,5 +69,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: faasm-bench [-quick] [-csv] <experiment>...
-experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10`)
+experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale`)
 }

@@ -4,9 +4,10 @@
 // and optionally connects to a shared kvs global tier so multiple faasmd
 // processes form a cluster.
 //
-//	faasmd -listen :8090                      # standalone, in-process tier
-//	faasmd -listen :8090 -store 10.0.0.5:6500 # join a shared global tier
-//	faasmd -kvs :6500                         # also serve the global tier
+//	faasmd -listen :8090                           # standalone, in-process tier
+//	faasmd -listen :8090 -state 10.0.0.5:6500      # join a shared global tier
+//	faasmd -listen :8090 -state a:6500,b:6500      # sharded global tier (ring)
+//	faasmd -kvs :6500                              # also serve one tier shard
 //
 // Endpoints:
 //
@@ -26,28 +27,51 @@ import (
 	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/objstore"
+	"faasm.dev/faasm/internal/shardkvs"
 	"faasm.dev/faasm/internal/upload"
 )
 
 func main() {
 	listen := flag.String("listen", ":8090", "HTTP listen address")
-	storeAddr := flag.String("store", "", "kvs global tier address (empty = in-process)")
-	kvsListen := flag.String("kvs", "", "also serve a kvs global tier on this address")
+	stateAddrs := flag.String("state", "", "comma-separated kvs shard endpoints (empty = in-process; >1 shards the tier)")
+	storeAddr := flag.String("store", "", "deprecated alias for -state")
+	stateReplicas := flag.Int("state-replicas", 1, "copies per key when the tier is sharded")
+	kvsListen := flag.String("kvs", "", "also serve a kvs global-tier shard on this address")
 	host := flag.String("host", "faasmd-0", "this instance's cluster name")
 	flag.Parse()
 
+	endpoints := *stateAddrs
+	if endpoints == "" {
+		endpoints = *storeAddr
+	}
+
 	var store kvs.Store
+	var served *kvs.Engine
 	if *kvsListen != "" {
-		engine := kvs.NewEngine()
-		srv, err := kvs.NewServer(engine, *kvsListen)
+		served = kvs.NewEngine()
+		srv, err := kvs.NewServer(served, *kvsListen)
 		if err != nil {
 			log.Fatalf("kvs listen: %v", err)
 		}
-		log.Printf("global tier serving on %s", srv.Addr())
-		store = engine
-	} else if *storeAddr != "" {
-		store = kvs.NewClient(*storeAddr)
-	} else {
+		log.Printf("global tier shard serving on %s", srv.Addr())
+	}
+	switch addrs := shardkvs.SplitEndpoints(endpoints); {
+	case len(addrs) > 1:
+		ring, err := shardkvs.AttachRemote(addrs, shardkvs.Options{Replication: *stateReplicas})
+		if err != nil {
+			log.Fatalf("state tier: %v", err)
+		}
+		// Fail fast on unreachable shards rather than limping into traffic.
+		if _, err := ring.ShardKeyCounts(); err != nil {
+			log.Fatalf("state tier: %v", err)
+		}
+		log.Printf("global tier sharded across %d endpoints (replication %d)", len(addrs), *stateReplicas)
+		store = ring
+	case len(addrs) == 1:
+		store = kvs.NewClient(addrs[0])
+	case served != nil:
+		store = served
+	default:
 		store = kvs.NewEngine()
 	}
 

@@ -1,0 +1,3 @@
+module faasm.dev/faasm
+
+go 1.22

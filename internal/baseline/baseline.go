@@ -282,7 +282,7 @@ type containerAPI struct {
 	output []byte
 }
 
-func (a *containerAPI) Input() []byte      { return a.input }
+func (a *containerAPI) Input() []byte        { return a.input }
 func (a *containerAPI) WriteOutput(b []byte) { a.output = append([]byte(nil), b...) }
 
 // Chain goes through the platform's HTTP API: fixed latency plus payload

@@ -90,7 +90,7 @@ func TestPrivateStateCopiesPerContainer(t *testing.T) {
 		}
 	}
 	// Two containers, each with a 1000-byte private copy + 8 MB overhead.
-	wantMem := 2*(DefaultContainerOverhead+1000)
+	wantMem := 2 * (DefaultContainerOverhead + 1000)
 	if got := p.MemUsed(); got != wantMem {
 		t.Fatalf("mem used = %d, want %d (duplicated copies)", got, wantMem)
 	}

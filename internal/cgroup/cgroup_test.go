@@ -76,7 +76,7 @@ func TestOverFairShare(t *testing.T) {
 func TestSingleGroupNeverThrottled(t *testing.T) {
 	c := NewController(nil)
 	c.Create("only")
-	c.Charge("only", 1 << 30)
+	c.Charge("only", 1<<30)
 	if c.OverFairShare("only") {
 		t.Fatal("lone group throttled")
 	}

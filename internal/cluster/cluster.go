@@ -22,6 +22,7 @@ import (
 	"faasm.dev/faasm/internal/hostapi"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/metrics"
+	"faasm.dev/faasm/internal/shardkvs"
 	"faasm.dev/faasm/internal/simnet"
 	"faasm.dev/faasm/internal/vtime"
 )
@@ -63,14 +64,22 @@ type Config struct {
 	HostMemBytes       int64
 	// Capacity bounds concurrent executions per host (0 = unlimited).
 	Capacity int
+	// StateShards sizes the global state tier: 1 (default) keeps the
+	// paper's single Redis-like engine, >1 shards the key space across
+	// that many engines with a consistent-hash ring (internal/shardkvs).
+	StateShards int
+	// StateReplicas is the copies kept per key when sharded (default 1).
+	StateReplicas int
 }
 
 // Cluster is a live experiment cluster.
 type Cluster struct {
-	cfg    Config
-	Clock  vtime.Clock
-	Net    *simnet.Network
-	Engine *kvs.Engine
+	cfg   Config
+	Clock vtime.Clock
+	Net   *simnet.Network
+	// State is the global tier: one kvs.Engine, or a shardkvs.Ring when
+	// cfg.StateShards > 1.
+	State kvs.Store
 
 	faasm []*frt.Instance
 	base  []*baseline.Platform
@@ -100,11 +109,17 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{cfg: cfg}
 	c.Clock = vtime.NewScaled(cfg.TimeScale)
 	c.Net = simnet.New(cfg.BandwidthBps, cfg.Latency, c.Clock)
-	c.Engine = kvs.NewEngine()
+	if cfg.StateShards > 1 {
+		c.State = shardkvs.NewLocal(cfg.StateShards, shardkvs.Options{
+			Replication: cfg.StateReplicas,
+		})
+	} else {
+		c.State = kvs.NewEngine()
+	}
 
 	for h := 0; h < cfg.Hosts; h++ {
 		host := fmt.Sprintf("host-%d", h)
-		store := simnet.NewStore(c.Engine, c.Net, host)
+		store := simnet.NewStore(c.State, c.Net, host)
 		switch cfg.Mode {
 		case ModeFaasm:
 			cold := cfg.FaasmColdStart
@@ -205,12 +220,12 @@ func (c *Cluster) Register(fn string, g hostapi.Guest) error {
 // SetState seeds the global tier directly (experiment setup, not charged to
 // the network).
 func (c *Cluster) SetState(key string, val []byte) error {
-	return c.Engine.Set(key, val)
+	return c.State.Set(key, val)
 }
 
 // GetState reads the global tier directly (verification, not charged).
 func (c *Cluster) GetState(key string) ([]byte, error) {
-	return c.Engine.Get(key)
+	return c.State.Get(key)
 }
 
 // Call executes one function synchronously, entering round-robin.

@@ -187,7 +187,7 @@ func TestProtoCrossHostDistribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The proto must exist in the global tier for peers to restore.
-	blob, _ := c.Engine.Get("proto/f")
+	blob, _ := c.GetState("proto/f")
 	if blob == nil {
 		t.Fatal("proto not published to global tier")
 	}
@@ -229,6 +229,51 @@ func TestChainedFanOutAcrossCluster(t *testing.T) {
 	}
 	if out[0] != 55 { // 1+2+...+10
 		t.Fatalf("sum = %d", out[0])
+	}
+}
+
+func TestShardedStateTierSameResults(t *testing.T) {
+	// The sharded global tier must be a drop-in: identical guest code and
+	// identical answers, on both platforms, across shard counts and with
+	// replication. Proto-Faaslet distribution also rides the sharded tier.
+	for _, cfg := range []Config{
+		{Mode: ModeFaasm, Hosts: 2, TimeScale: 2000, StateShards: 4},
+		{Mode: ModeFaasm, Hosts: 3, TimeScale: 2000, StateShards: 4, StateReplicas: 2, UseProto: true},
+		{Mode: ModeBaseline, Hosts: 2, TimeScale: 2000, StateShards: 2,
+			ContainerColdStart: 5 * time.Millisecond},
+	} {
+		c := New(cfg)
+		c.SetState("n", make([]byte, 8))
+		c.Register("incr-push", func(api hostapi.API) (int32, error) {
+			if err := api.LockGlobal("n", true); err != nil {
+				return 1, err
+			}
+			defer api.UnlockGlobal("n")
+			if err := api.StatePull("n"); err != nil {
+				return 2, err
+			}
+			buf, err := api.StateView("n", 8)
+			if err != nil {
+				return 3, err
+			}
+			binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)+1)
+			return 0, api.StatePush("n")
+		})
+		for i := 0; i < 6; i++ {
+			if _, ret, err := c.Call("incr-push", nil); err != nil || ret != 0 {
+				t.Fatalf("shards=%d incr %d: %d %v", cfg.StateShards, i, ret, err)
+			}
+		}
+		g, _ := c.GetState("n")
+		if got := binary.LittleEndian.Uint64(g); got != 6 {
+			t.Fatalf("shards=%d replicas=%d: count = %d", cfg.StateShards, cfg.StateReplicas, got)
+		}
+		if cfg.UseProto {
+			if blob, _ := c.GetState("proto/incr-push"); blob == nil {
+				t.Fatal("proto not published through sharded tier")
+			}
+		}
+		c.Shutdown()
 	}
 }
 

@@ -88,7 +88,7 @@ func (f *Faaslet) hostModules() map[string]wavm.HostModule {
 	return map[string]wavm.HostModule{"faasm": m}
 }
 
-func i32(v uint64) int32     { return wavm.DecodeI32(v) }
+func i32(v uint64) int32      { return wavm.DecodeI32(v) }
 func reti32(v int32) []uint64 { return []uint64{wavm.EncodeI32(v)} }
 
 // guestString reads a (ptr, len) string from guest memory.

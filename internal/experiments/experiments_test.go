@@ -155,6 +155,31 @@ func TestFig8QuickShape(t *testing.T) {
 	}
 }
 
+func TestStateScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	r := StateScale(Options{Quick: true})
+	var tierRows, macroRows int
+	for _, row := range r.Rows {
+		switch row[0] {
+		case "tier":
+			tierRows++
+			if row[2] == "0" {
+				t.Fatalf("tier config %q produced no throughput: %v", row[1], row)
+			}
+		case "macro-sgd":
+			macroRows++
+			if strings.Contains(row[5], "failed") {
+				t.Fatalf("macro run failed: %v", row)
+			}
+		}
+	}
+	if tierRows < 5 || macroRows < 2 {
+		t.Fatalf("rows: tier=%d macro=%d (%v)", tierRows, macroRows, r.Rows)
+	}
+}
+
 func parseDur(t *testing.T, s string) time.Duration {
 	t.Helper()
 	s = strings.TrimSpace(s)

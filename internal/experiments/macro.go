@@ -41,8 +41,8 @@ func Fig6(opts Options) *Report {
 	hostMem := int64(30/fig6Hosts) * perFn
 
 	r := &Report{
-		ID:    "fig6",
-		Title: "SGD training vs parallelism (time / network / billable memory)",
+		ID:     "fig6",
+		Title:  "SGD training vs parallelism (time / network / billable memory)",
 		Header: []string{"workers", "platform", "time", "net", "GB-s", "accuracy", "status"},
 	}
 	for _, workers := range workerSweep {

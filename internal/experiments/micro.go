@@ -104,7 +104,7 @@ func Table3(opts Options) *Report {
 	if pMem == 0 {
 		pMem = 1
 	}
-	const hostMem = int64(32) << 30 // the paper's 32 GB measurement host
+	const hostMem = int64(32) << 30     // the paper's 32 GB measurement host
 	fCap := hostMem / (fMem + 256*1024) // plus thread stack reservation
 	pCap := hostMem / (pMem + 256*1024)
 

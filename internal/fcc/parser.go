@@ -87,11 +87,11 @@ type Extern struct {
 
 // GlobalVar is a module global.
 type GlobalVar struct {
-	Name     string
-	Type     Type
-	InitInt  int64
-	InitF64  float64
-	Line     int
+	Name    string
+	Type    Type
+	InitInt int64
+	InitF64 float64
+	Line    int
 }
 
 // Param is a function parameter.

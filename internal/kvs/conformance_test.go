@@ -1,0 +1,31 @@
+package kvs_test
+
+// Runs the shared store-conformance suite against both reachability modes of
+// the engine, so protocol behaviour cannot drift from engine behaviour. The
+// sharded ring runs the identical suite from internal/shardkvs.
+
+import (
+	"testing"
+
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/kvs/kvstest"
+)
+
+func TestEngineConformance(t *testing.T) {
+	kvstest.Run(t, func(t *testing.T) kvs.Store { return kvs.NewEngine() })
+}
+
+func TestTCPClientConformance(t *testing.T) {
+	kvstest.Run(t, func(t *testing.T) kvs.Store {
+		srv, err := kvs.NewServer(kvs.NewEngine(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := kvs.NewClient(srv.Addr())
+		t.Cleanup(func() {
+			c.Close()
+			srv.Close()
+		})
+		return c
+	})
+}

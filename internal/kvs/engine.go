@@ -53,6 +53,32 @@ type Store interface {
 	Unlock(key string, token uint64) error
 }
 
+// Kind classifies which of the engine's structures holds a key; enumeration
+// and shard migration need to know how to read and re-create an entry.
+type Kind byte
+
+// Kinds.
+const (
+	KindValue   Kind = 'v'
+	KindSet     Kind = 's'
+	KindCounter Kind = 'i'
+)
+
+// KeyInfo names one stored entry.
+type KeyInfo struct {
+	Kind Kind
+	Key  string
+}
+
+// Lister is implemented by stores that can enumerate their contents. The
+// shard rebalancer (internal/shardkvs) uses it to stream only the moved hash
+// ranges during node join/leave. Engine and Client both implement it; lock
+// state is deliberately excluded — leases are transient and die with their
+// owner.
+type Lister interface {
+	AllKeys() ([]KeyInfo, error)
+}
+
 // Engine is the in-process implementation of Store.
 type Engine struct {
 	mu     sync.Mutex
@@ -235,6 +261,30 @@ func (e *Engine) Keys() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// AllKeys implements Lister: every entry across values, sets and counters,
+// sorted by kind then key.
+func (e *Engine) AllKeys() ([]KeyInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]KeyInfo, 0, len(e.vals)+len(e.sets)+len(e.ints))
+	for k := range e.vals {
+		out = append(out, KeyInfo{KindValue, k})
+	}
+	for k := range e.sets {
+		out = append(out, KeyInfo{KindSet, k})
+	}
+	for k := range e.ints {
+		out = append(out, KeyInfo{KindCounter, k})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out, nil
 }
 
 // TotalBytes reports the sum of value lengths (memory accounting).

@@ -1,0 +1,170 @@
+package kvs_test
+
+// Adversarial protocol tests: malformed requests must produce a clean ERR
+// (or a dropped connection) and must never hang the server or take down
+// service for well-behaved clients.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"faasm.dev/faasm/internal/kvs"
+)
+
+// rawConn dials the server for hand-crafted protocol abuse.
+func rawConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func newTestServer(t *testing.T) *kvs.Server {
+	t.Helper()
+	srv, err := kvs.NewServer(kvs.NewEngine(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// serverStillHealthy verifies a fresh well-behaved client gets service.
+func serverStillHealthy(t *testing.T, srv *kvs.Server) {
+	t.Helper()
+	c := kvs.NewClient(srv.Addr())
+	defer c.Close()
+	if err := c.Set("health", []byte("ok")); err != nil {
+		t.Fatalf("server unhealthy after abuse: %v", err)
+	}
+	v, err := c.Get("health")
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("server unhealthy after abuse: %q %v", v, err)
+	}
+}
+
+func TestMalformedRequestLines(t *testing.T) {
+	srv := newTestServer(t)
+	for _, line := range []string{
+		"",                                // empty command
+		"NOSUCHCOMMAND a b c",             // unknown command
+		"GET",                             // missing key
+		"GET \"unterminated",              // unterminated quote
+		"SET \"k\" notanumber",            // non-numeric payload length
+		"GETRANGE \"k\" x y",              // non-numeric range
+		"INCR \"k\" 99999999999999999999", // delta overflow
+		"LOCK \"k\" w nan",                // bad ttl
+	} {
+		conn := rawConn(t, srv.Addr())
+		fmt.Fprintf(conn, "%s\n", line)
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		// A reply is required only if the connection survives; either way it
+		// must be an ERR, not a hang or a success.
+		if err == nil && !strings.HasPrefix(reply, "ERR ") {
+			t.Errorf("line %q: reply %q, want ERR", line, reply)
+		}
+		conn.Close()
+	}
+	serverStillHealthy(t, srv)
+}
+
+func TestOversizedDeclaredPayload(t *testing.T) {
+	srv := newTestServer(t)
+	conn := rawConn(t, srv.Addr())
+	// Declare an absurd payload length; the server must refuse instead of
+	// allocating it or blocking forever for bytes that never come.
+	fmt.Fprintf(conn, "SET \"k\" %d\n", int64(1)<<60)
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no reply to oversized declaration: %v", err)
+	}
+	if !strings.HasPrefix(reply, "ERR ") {
+		t.Fatalf("reply %q, want ERR", reply)
+	}
+	// The connection must be dropped (no resync mid-payload is possible).
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("connection survived an unreadable payload declaration")
+	}
+	serverStillHealthy(t, srv)
+}
+
+func TestNegativePayloadLength(t *testing.T) {
+	srv := newTestServer(t)
+	conn := rawConn(t, srv.Addr())
+	fmt.Fprintf(conn, "SET \"k\" -5\n")
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no reply: %v", err)
+	}
+	if !strings.HasPrefix(reply, "ERR ") {
+		t.Fatalf("reply %q, want ERR", reply)
+	}
+	serverStillHealthy(t, srv)
+}
+
+func TestMidPayloadDisconnect(t *testing.T) {
+	srv := newTestServer(t)
+	conn := rawConn(t, srv.Addr())
+	// Declare 1000 bytes, send 10, vanish. The server goroutine must
+	// abandon the read and keep serving others.
+	fmt.Fprintf(conn, "SET \"k\" 1000\n")
+	conn.Write([]byte("only ten b"))
+	conn.Close()
+	serverStillHealthy(t, srv)
+	// The partial write must not have landed.
+	c := kvs.NewClient(srv.Addr())
+	defer c.Close()
+	if v, _ := c.Get("k"); v != nil {
+		t.Fatalf("truncated payload was stored: %q", v)
+	}
+}
+
+func TestEndlessLineWithoutNewline(t *testing.T) {
+	srv := newTestServer(t)
+	conn := rawConn(t, srv.Addr())
+	// Stream a newline-free request far past the line limit: the server
+	// must cut the connection with ERR instead of buffering forever.
+	junk := strings.Repeat("A", 32*1024)
+	var wrote int
+	for i := 0; i < 64; i++ {
+		n, err := conn.Write([]byte(junk))
+		wrote += n
+		if err != nil {
+			break // server already cut us off — that's the point
+		}
+	}
+	if wrote < 64*1024 {
+		t.Logf("server cut the stream after %d bytes", wrote)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err == nil && !strings.HasPrefix(reply, "ERR ") {
+		t.Fatalf("reply %q, want ERR or dropped connection", reply)
+	}
+	serverStillHealthy(t, srv)
+}
+
+func TestPayloadAtLimitStillWorks(t *testing.T) {
+	// Hardening must not break legitimate large values.
+	srv := newTestServer(t)
+	c := kvs.NewClient(srv.Addr())
+	defer c.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := c.Set("big", big); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("big")
+	if err != nil || len(v) != len(big) {
+		t.Fatalf("big value round trip: %d bytes, %v", len(v), err)
+	}
+}

@@ -1,232 +1,17 @@
 package kvs
 
+// Store-contract semantics live in the shared conformance suite
+// (internal/kvs/kvstest), run against the engine, the TCP client and the
+// sharded ring from conformance_test.go. This file keeps the tests that
+// reach into engine or protocol internals.
+
 import (
 	"bytes"
 	"fmt"
-	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 )
-
-// storeImpls runs a subtest against both the in-process engine and a TCP
-// client talking to a live server, so protocol behaviour cannot drift from
-// engine behaviour.
-func storeImpls(t *testing.T, f func(t *testing.T, s Store)) {
-	t.Helper()
-	t.Run("engine", func(t *testing.T) { f(t, NewEngine()) })
-	t.Run("tcp", func(t *testing.T) {
-		srv, err := NewServer(NewEngine(), "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer srv.Close()
-		c := NewClient(srv.Addr())
-		defer c.Close()
-		f(t, c)
-	})
-}
-
-func TestGetSetDelete(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		v, err := s.Get("missing")
-		if err != nil || v != nil {
-			t.Fatalf("missing key: %v %v", v, err)
-		}
-		if err := s.Set("k", []byte("value")); err != nil {
-			t.Fatal(err)
-		}
-		v, err = s.Get("k")
-		if err != nil || string(v) != "value" {
-			t.Fatalf("get: %q %v", v, err)
-		}
-		if err := s.Delete("k"); err != nil {
-			t.Fatal(err)
-		}
-		v, _ = s.Get("k")
-		if v != nil {
-			t.Fatal("delete did not remove key")
-		}
-	})
-}
-
-func TestBinaryAndOddKeys(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		key := "state/with spaces/and\"quotes\""
-		val := []byte{0, 1, 2, 255, '\n', '"', 0}
-		if err := s.Set(key, val); err != nil {
-			t.Fatal(err)
-		}
-		got, err := s.Get(key)
-		if err != nil || !bytes.Equal(got, val) {
-			t.Fatalf("binary round trip: %v %v", got, err)
-		}
-	})
-}
-
-func TestRanges(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		if err := s.Set("k", []byte("0123456789")); err != nil {
-			t.Fatal(err)
-		}
-		v, err := s.GetRange("k", 2, 3)
-		if err != nil || string(v) != "234" {
-			t.Fatalf("getrange: %q %v", v, err)
-		}
-		// Truncated read past the end.
-		v, _ = s.GetRange("k", 8, 10)
-		if string(v) != "89" {
-			t.Fatalf("truncated range: %q", v)
-		}
-		// Entirely past the end.
-		v, _ = s.GetRange("k", 50, 5)
-		if v != nil {
-			t.Fatalf("past-end range: %q", v)
-		}
-		// SetRange with zero-extension.
-		if err := s.SetRange("k", 12, []byte("AB")); err != nil {
-			t.Fatal(err)
-		}
-		v, _ = s.Get("k")
-		if len(v) != 14 || v[10] != 0 || string(v[12:]) != "AB" {
-			t.Fatalf("setrange extend: %q", v)
-		}
-		// In-place overwrite.
-		if err := s.SetRange("k", 0, []byte("XY")); err != nil {
-			t.Fatal(err)
-		}
-		v, _ = s.Get("k")
-		if string(v[:2]) != "XY" {
-			t.Fatalf("setrange overwrite: %q", v)
-		}
-	})
-}
-
-func TestAppendAndLen(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		n, err := s.Append("log", []byte("aa"))
-		if err != nil || n != 2 {
-			t.Fatalf("append: %d %v", n, err)
-		}
-		n, err = s.Append("log", []byte("bbb"))
-		if err != nil || n != 5 {
-			t.Fatalf("append 2: %d %v", n, err)
-		}
-		l, err := s.Len("log")
-		if err != nil || l != 5 {
-			t.Fatalf("len: %d %v", l, err)
-		}
-		l, _ = s.Len("missing")
-		if l != 0 {
-			t.Fatalf("missing len = %d", l)
-		}
-	})
-}
-
-func TestSets(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		added, err := s.SAdd("warm", "host-b")
-		if err != nil || !added {
-			t.Fatalf("sadd: %v %v", added, err)
-		}
-		added, _ = s.SAdd("warm", "host-b")
-		if added {
-			t.Fatal("duplicate sadd reported new")
-		}
-		s.SAdd("warm", "host-a")
-		members, err := s.SMembers("warm")
-		if err != nil || len(members) != 2 || members[0] != "host-a" || members[1] != "host-b" {
-			t.Fatalf("smembers: %v %v", members, err)
-		}
-		removed, _ := s.SRem("warm", "host-a")
-		if !removed {
-			t.Fatal("srem existing returned false")
-		}
-		removed, _ = s.SRem("warm", "host-a")
-		if removed {
-			t.Fatal("srem missing returned true")
-		}
-	})
-}
-
-func TestIncr(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		v, err := s.Incr("calls", 1)
-		if err != nil || v != 1 {
-			t.Fatalf("incr: %d %v", v, err)
-		}
-		v, _ = s.Incr("calls", 41)
-		if v != 42 {
-			t.Fatalf("incr 2: %d", v)
-		}
-		v, _ = s.Incr("calls", -2)
-		if v != 40 {
-			t.Fatalf("decr: %d", v)
-		}
-	})
-}
-
-func TestLocksExclusion(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		tok, err := s.Lock("key", true, time.Second)
-		if err != nil {
-			t.Fatal(err)
-		}
-		acquired := make(chan uint64)
-		go func() {
-			tok2, err := s.Lock("key", true, time.Second)
-			if err != nil {
-				t.Error(err)
-			}
-			acquired <- tok2
-		}()
-		select {
-		case <-acquired:
-			t.Fatal("second writer acquired while first held")
-		case <-time.After(50 * time.Millisecond):
-		}
-		if err := s.Unlock("key", tok); err != nil {
-			t.Fatal(err)
-		}
-		select {
-		case tok2 := <-acquired:
-			s.Unlock("key", tok2)
-		case <-time.After(2 * time.Second):
-			t.Fatal("second writer never acquired")
-		}
-	})
-}
-
-func TestReadersShareWritersExclude(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		r1, err := s.Lock("key", false, time.Second)
-		if err != nil {
-			t.Fatal(err)
-		}
-		r2, err := s.Lock("key", false, time.Second)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wAcquired := make(chan uint64)
-		go func() {
-			w, _ := s.Lock("key", true, time.Second)
-			wAcquired <- w
-		}()
-		select {
-		case <-wAcquired:
-			t.Fatal("writer acquired under readers")
-		case <-time.After(50 * time.Millisecond):
-		}
-		s.Unlock("key", r1)
-		s.Unlock("key", r2)
-		select {
-		case w := <-wAcquired:
-			s.Unlock("key", w)
-		case <-time.After(2 * time.Second):
-			t.Fatal("writer never acquired after readers released")
-		}
-	})
-}
 
 func TestLockLeaseExpiry(t *testing.T) {
 	e := NewEngine()
@@ -274,62 +59,6 @@ func TestUnlockUnknownTokenIsNoop(t *testing.T) {
 	<-got
 }
 
-func TestConcurrentIncrement(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
-		var wg sync.WaitGroup
-		const workers, per = 8, 50
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := 0; i < per; i++ {
-					if _, err := s.Incr("n", 1); err != nil {
-						t.Error(err)
-						return
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		v, _ := s.Incr("n", 0)
-		if v != workers*per {
-			t.Fatalf("lost updates: %d != %d", v, workers*per)
-		}
-	})
-}
-
-func TestGlobalLockProtectsReadModifyWrite(t *testing.T) {
-	// The §4.2 consistent-write recipe: lock, read, modify, write, unlock.
-	storeImpls(t, func(t *testing.T, s Store) {
-		s.Set("v", []byte("0"))
-		var wg sync.WaitGroup
-		const workers, per = 4, 25
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := 0; i < per; i++ {
-					tok, err := s.Lock("v", true, time.Second)
-					if err != nil {
-						t.Error(err)
-						return
-					}
-					cur, _ := s.Get("v")
-					var n int
-					fmt.Sscanf(string(cur), "%d", &n)
-					s.Set("v", []byte(fmt.Sprintf("%d", n+1)))
-					s.Unlock("v", tok)
-				}
-			}()
-		}
-		wg.Wait()
-		final, _ := s.Get("v")
-		if string(final) != fmt.Sprintf("%d", workers*per) {
-			t.Fatalf("read-modify-write lost updates: %s", final)
-		}
-	})
-}
-
 func TestClientByteAccounting(t *testing.T) {
 	srv, err := NewServer(NewEngine(), "127.0.0.1:0")
 	if err != nil {
@@ -364,6 +93,45 @@ func TestEngineTotalBytesAndKeys(t *testing.T) {
 	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
 		t.Fatalf("keys = %v", keys)
 	}
+}
+
+func TestAllKeysEnumeration(t *testing.T) {
+	check := func(t *testing.T, s interface {
+		Store
+		Lister
+	}) {
+		s.Set("v1", []byte("x"))
+		s.SAdd("s1", "m")
+		s.Incr("i1", 7)
+		infos, err := s.AllKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []KeyInfo{{KindValue, "v1"}, {KindSet, "s1"}, {KindCounter, "i1"}}
+		if len(infos) != len(want) {
+			t.Fatalf("infos = %v", infos)
+		}
+		seen := map[KeyInfo]bool{}
+		for _, ki := range infos {
+			seen[ki] = true
+		}
+		for _, w := range want {
+			if !seen[w] {
+				t.Fatalf("missing %v in %v", w, infos)
+			}
+		}
+	}
+	t.Run("engine", func(t *testing.T) { check(t, NewEngine()) })
+	t.Run("tcp", func(t *testing.T) {
+		srv, err := NewServer(NewEngine(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		c := NewClient(srv.Addr())
+		defer c.Close()
+		check(t, c)
+	})
 }
 
 func TestSplitFieldsQuoting(t *testing.T) {

@@ -1,0 +1,270 @@
+// Package kvstest is the shared conformance suite for kvs.Store
+// implementations. The in-process Engine, the TCP Client and the sharded
+// ring (internal/shardkvs) must all exhibit identical store semantics; each
+// runs this suite so behaviour cannot drift between deployment modes.
+package kvstest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"faasm.dev/faasm/internal/kvs"
+)
+
+// Factory builds a fresh, empty store for one subtest. Implementations
+// should register cleanup via t.Cleanup.
+type Factory func(t *testing.T) kvs.Store
+
+// Run exercises the full Store contract against stores built by mk.
+func Run(t *testing.T, mk Factory) {
+	t.Run("GetSetDelete", func(t *testing.T) { testGetSetDelete(t, mk(t)) })
+	t.Run("BinaryAndOddKeys", func(t *testing.T) { testBinaryAndOddKeys(t, mk(t)) })
+	t.Run("Ranges", func(t *testing.T) { testRanges(t, mk(t)) })
+	t.Run("AppendAndLen", func(t *testing.T) { testAppendAndLen(t, mk(t)) })
+	t.Run("Sets", func(t *testing.T) { testSets(t, mk(t)) })
+	t.Run("Incr", func(t *testing.T) { testIncr(t, mk(t)) })
+	t.Run("LocksExclusion", func(t *testing.T) { testLocksExclusion(t, mk(t)) })
+	t.Run("ReadersShareWritersExclude", func(t *testing.T) { testReadersShareWritersExclude(t, mk(t)) })
+	t.Run("ConcurrentIncrement", func(t *testing.T) { testConcurrentIncrement(t, mk(t)) })
+	t.Run("LockProtectsReadModifyWrite", func(t *testing.T) { testLockRMW(t, mk(t)) })
+}
+
+func testGetSetDelete(t *testing.T, s kvs.Store) {
+	v, err := s.Get("missing")
+	if err != nil || v != nil {
+		t.Fatalf("missing key: %v %v", v, err)
+	}
+	if err := s.Set("k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	v, err = s.Get("k")
+	if err != nil || string(v) != "value" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("k")
+	if v != nil {
+		t.Fatal("delete did not remove key")
+	}
+}
+
+func testBinaryAndOddKeys(t *testing.T, s kvs.Store) {
+	key := "state/with spaces/and\"quotes\""
+	val := []byte{0, 1, 2, 255, '\n', '"', 0}
+	if err := s.Set(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("binary round trip: %v %v", got, err)
+	}
+}
+
+func testRanges(t *testing.T, s kvs.Store) {
+	if err := s.Set("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.GetRange("k", 2, 3)
+	if err != nil || string(v) != "234" {
+		t.Fatalf("getrange: %q %v", v, err)
+	}
+	// Truncated read past the end.
+	v, _ = s.GetRange("k", 8, 10)
+	if string(v) != "89" {
+		t.Fatalf("truncated range: %q", v)
+	}
+	// Entirely past the end.
+	v, _ = s.GetRange("k", 50, 5)
+	if v != nil {
+		t.Fatalf("past-end range: %q", v)
+	}
+	// SetRange with zero-extension.
+	if err := s.SetRange("k", 12, []byte("AB")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("k")
+	if len(v) != 14 || v[10] != 0 || string(v[12:]) != "AB" {
+		t.Fatalf("setrange extend: %q", v)
+	}
+	// In-place overwrite.
+	if err := s.SetRange("k", 0, []byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("k")
+	if string(v[:2]) != "XY" {
+		t.Fatalf("setrange overwrite: %q", v)
+	}
+}
+
+func testAppendAndLen(t *testing.T, s kvs.Store) {
+	n, err := s.Append("log", []byte("aa"))
+	if err != nil || n != 2 {
+		t.Fatalf("append: %d %v", n, err)
+	}
+	n, err = s.Append("log", []byte("bbb"))
+	if err != nil || n != 5 {
+		t.Fatalf("append 2: %d %v", n, err)
+	}
+	l, err := s.Len("log")
+	if err != nil || l != 5 {
+		t.Fatalf("len: %d %v", l, err)
+	}
+	l, _ = s.Len("missing")
+	if l != 0 {
+		t.Fatalf("missing len = %d", l)
+	}
+}
+
+func testSets(t *testing.T, s kvs.Store) {
+	added, err := s.SAdd("warm", "host-b")
+	if err != nil || !added {
+		t.Fatalf("sadd: %v %v", added, err)
+	}
+	added, _ = s.SAdd("warm", "host-b")
+	if added {
+		t.Fatal("duplicate sadd reported new")
+	}
+	s.SAdd("warm", "host-a")
+	members, err := s.SMembers("warm")
+	if err != nil || len(members) != 2 || members[0] != "host-a" || members[1] != "host-b" {
+		t.Fatalf("smembers: %v %v", members, err)
+	}
+	removed, _ := s.SRem("warm", "host-a")
+	if !removed {
+		t.Fatal("srem existing returned false")
+	}
+	removed, _ = s.SRem("warm", "host-a")
+	if removed {
+		t.Fatal("srem missing returned true")
+	}
+}
+
+func testIncr(t *testing.T, s kvs.Store) {
+	v, err := s.Incr("calls", 1)
+	if err != nil || v != 1 {
+		t.Fatalf("incr: %d %v", v, err)
+	}
+	v, _ = s.Incr("calls", 41)
+	if v != 42 {
+		t.Fatalf("incr 2: %d", v)
+	}
+	v, _ = s.Incr("calls", -2)
+	if v != 40 {
+		t.Fatalf("decr: %d", v)
+	}
+}
+
+func testLocksExclusion(t *testing.T, s kvs.Store) {
+	tok, err := s.Lock("key", true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan uint64)
+	go func() {
+		tok2, err := s.Lock("key", true, time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- tok2
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second writer acquired while first held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := s.Unlock("key", tok); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tok2 := <-acquired:
+		s.Unlock("key", tok2)
+	case <-time.After(2 * time.Second):
+		t.Fatal("second writer never acquired")
+	}
+}
+
+func testReadersShareWritersExclude(t *testing.T, s kvs.Store) {
+	r1, err := s.Lock("key", false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Lock("key", false, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wAcquired := make(chan uint64)
+	go func() {
+		w, _ := s.Lock("key", true, time.Second)
+		wAcquired <- w
+	}()
+	select {
+	case <-wAcquired:
+		t.Fatal("writer acquired under readers")
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Unlock("key", r1)
+	s.Unlock("key", r2)
+	select {
+	case w := <-wAcquired:
+		s.Unlock("key", w)
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never acquired after readers released")
+	}
+}
+
+func testConcurrentIncrement(t *testing.T, s kvs.Store) {
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := s.Incr("n", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := s.Incr("n", 0)
+	if v != workers*per {
+		t.Fatalf("lost updates: %d != %d", v, workers*per)
+	}
+}
+
+func testLockRMW(t *testing.T, s kvs.Store) {
+	// The §4.2 consistent-write recipe: lock, read, modify, write, unlock.
+	s.Set("v", []byte("0"))
+	var wg sync.WaitGroup
+	const workers, per = 4, 25
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tok, err := s.Lock("v", true, time.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cur, _ := s.Get("v")
+				var n int
+				fmt.Sscanf(string(cur), "%d", &n)
+				s.Set("v", []byte(fmt.Sprintf("%d", n+1)))
+				s.Unlock("v", tok)
+			}
+		}()
+	}
+	wg.Wait()
+	final, _ := s.Get("v")
+	if string(final) != fmt.Sprintf("%d", workers*per) {
+		t.Fatalf("read-modify-write lost updates: %s", final)
+	}
+}

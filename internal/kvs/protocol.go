@@ -24,6 +24,15 @@ import (
 // It deliberately mirrors the shape of RESP (the paper's global tier is
 // Redis) while staying trivially parseable.
 
+// MaxPayload bounds a single declared payload length. A malicious or corrupt
+// length field must not make the server allocate unbounded memory or block
+// reading bytes that will never arrive; oversized declarations get an ERR
+// and the connection is dropped.
+const MaxPayload = 64 << 20
+
+// maxLine bounds one request line (command, quoted keys, numeric args).
+const maxLine = 64 * 1024
+
 // Server serves an Engine over TCP.
 type Server struct {
 	engine *Engine
@@ -84,14 +93,25 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	r := bufio.NewReaderSize(conn, 64*1024)
+	r := bufio.NewReaderSize(conn, maxLine)
 	w := bufio.NewWriterSize(conn, 64*1024)
 	for {
-		line, err := r.ReadString('\n')
+		// ReadSlice caps the line at the buffer size, so an endless
+		// newline-free stream cannot grow server memory.
+		raw, err := r.ReadSlice('\n')
 		if err != nil {
+			if errors.Is(err, bufio.ErrBufferFull) {
+				fmt.Fprintf(w, "ERR request line too long\n")
+				w.Flush()
+			}
 			return
 		}
-		if err := s.dispatch(strings.TrimSuffix(line, "\n"), r, w); err != nil {
+		line := strings.TrimSuffix(string(raw), "\n")
+		if err := s.dispatch(line, r, w); err != nil {
+			// Protocol-fatal: surface the reason if we still can, then drop
+			// the connection rather than resynchronise mid-payload.
+			fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			w.Flush()
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -115,6 +135,9 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 		n, err := strconv.Atoi(lenField)
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("bad payload length %q", lenField)
+		}
+		if n > MaxPayload {
+			return nil, fmt.Errorf("payload length %d exceeds limit %d", n, MaxPayload)
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -257,6 +280,16 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 			errReply(err)
 		} else {
 			reply("INT %d\n", tok)
+		}
+	case cmd == "KEYS" && len(fields) == 1:
+		infos, err := s.engine.AllKeys()
+		if err != nil {
+			errReply(err)
+			return nil
+		}
+		reply("MULTI %d\n", len(infos))
+		for _, ki := range infos {
+			reply("%s\n", strconv.Quote(string(ki.Kind)+":"+ki.Key))
 		}
 	case cmd == "UNLOCK" && len(fields) == 3:
 		tok, err := strconv.ParseUint(fields[2], 10, 64)
@@ -574,6 +607,38 @@ func (c *Client) SMembers(key string) ([]string, error) {
 					return err
 				}
 				out = append(out, m)
+			}
+			return nil
+		})
+	return out, err
+}
+
+// AllKeys implements Lister over the wire.
+func (c *Client) AllKeys() ([]KeyInfo, error) {
+	var out []KeyInfo
+	err := c.roundTrip("KEYS\n", nil,
+		func(status string, r *bufio.Reader) error {
+			if !strings.HasPrefix(status, "MULTI ") {
+				return replyError(status)
+			}
+			n, err := strconv.Atoi(status[6:])
+			if err != nil || n < 0 {
+				return fmt.Errorf("kvs: bad MULTI count %q", status)
+			}
+			for i := 0; i < n; i++ {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				c.Received.Add(int64(len(line)))
+				m, err := strconv.Unquote(strings.TrimSuffix(line, "\n"))
+				if err != nil {
+					return err
+				}
+				if len(m) < 2 || m[1] != ':' {
+					return fmt.Errorf("kvs: bad KEYS entry %q", m)
+				}
+				out = append(out, KeyInfo{Kind: Kind(m[0]), Key: m[2:]})
 			}
 			return nil
 		})

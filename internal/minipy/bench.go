@@ -23,11 +23,11 @@ type Program struct {
 }
 
 // AST helper constructors.
-func ci(i int64) Node          { return &Const{V: IntV(i)} }
-func cf(f float64) Node        { return &Const{V: FloatV(f)} }
-func lv(slot int) Node         { return &Local{Slot: slot} }
-func setl(slot int, x Node) Node { return &SetLocal{Slot: slot, X: x} }
-func bin(op string, l, r Node) Node { return &BinOp{Op: op, L: l, R: r} }
+func ci(i int64) Node                    { return &Const{V: IntV(i)} }
+func cf(f float64) Node                  { return &Const{V: FloatV(f)} }
+func lv(slot int) Node                   { return &Local{Slot: slot} }
+func setl(slot int, x Node) Node         { return &SetLocal{Slot: slot, X: x} }
+func bin(op string, l, r Node) Node      { return &BinOp{Op: op, L: l, R: r} }
 func blt(name string, args ...Node) Node { return &Builtin{Name: name, Args: args} }
 func forr(slot int, from, to Node, body ...Node) Node {
 	return &ForRange{Slot: slot, From: from, To: to, Body: body}

@@ -1,0 +1,265 @@
+package shardkvs
+
+import (
+	"fmt"
+	"sort"
+
+	"faasm.dev/faasm/internal/kvs"
+)
+
+// MigrationStats summarises one rebalance.
+type MigrationStats struct {
+	// KeysExamined is the distinct keys enumerated across the ring.
+	KeysExamined int
+	// KeysMoved is the keys streamed to at least one new owner.
+	KeysMoved int
+	// CopiesWritten is the (key, destination) pairs written.
+	CopiesWritten int
+	// CopiesDropped is the (key, source) pairs deleted from nodes that
+	// stopped owning them.
+	CopiesDropped int
+	// BytesMoved is the value bytes streamed to new owners.
+	BytesMoved int64
+}
+
+// Attach adds a node to the routing ring without migrating anything. This is
+// the bootstrap path for clients connecting to an existing, correctly-placed
+// tier (faasmd, faasm-cli): attaching must never mutate tier data. Use Join
+// to add an empty node to a live tier and stream its ranges over.
+func (r *Ring) Attach(id string, store kvs.Store) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.nodes[id]; dup {
+		return fmt.Errorf("shardkvs: node %q already joined", id)
+	}
+	r.nodes[id] = &node{id: id, store: store}
+	r.points = buildPoints(r.nodeIDsLocked(), r.opts.VirtualNodes)
+	return nil
+}
+
+// Join adds a shard and rebalances: only keys whose owner set changed are
+// streamed, and only to the nodes that newly own them. Joining an empty
+// ring is free.
+//
+// Migration is two-phase — every copy lands before any source copy is
+// dropped — so an error can never lose data: a copy-phase error rolls the
+// membership back with the tier untouched apart from harmless extra copies;
+// a drop-phase error leaves routing committed and only stale (unrouted)
+// copies behind, and a later Rebalance retries the cleanup.
+func (r *Ring) Join(id string, store kvs.Store) (MigrationStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.nodes[id]; dup {
+		return MigrationStats{}, fmt.Errorf("shardkvs: node %q already joined", id)
+	}
+	r.nodes[id] = &node{id: id, store: store}
+	newPoints := buildPoints(r.nodeIDsLocked(), r.opts.VirtualNodes)
+	if len(r.points) == 0 {
+		// First node: nothing to stream.
+		r.points = newPoints
+		return MigrationStats{}, nil
+	}
+	stats, drops, err := r.copyPhase(newPoints)
+	if err != nil {
+		delete(r.nodes, id)
+		return stats, err
+	}
+	r.points = newPoints
+	err = dropPhase(drops, &stats)
+	return stats, err
+}
+
+// Leave removes a shard gracefully: its keys are streamed to their new
+// owners before the node is dropped (the leaving node is still reachable as
+// a copy source during the stream). The last node cannot leave. Error
+// semantics match Join: a copy-phase error leaves the ring unchanged, a
+// drop-phase error leaves only stale copies behind.
+func (r *Ring) Leave(id string) (MigrationStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[id]; !ok {
+		return MigrationStats{}, fmt.Errorf("shardkvs: node %q not in ring", id)
+	}
+	if len(r.nodes) == 1 {
+		return MigrationStats{}, fmt.Errorf("shardkvs: cannot remove last node %q", id)
+	}
+	ids := make([]string, 0, len(r.nodes)-1)
+	for nid := range r.nodes {
+		if nid != id {
+			ids = append(ids, nid)
+		}
+	}
+	newPoints := buildPoints(ids, r.opts.VirtualNodes)
+	stats, drops, err := r.copyPhase(newPoints)
+	if err != nil {
+		return stats, err
+	}
+	delete(r.nodes, id)
+	r.points = newPoints
+	err = dropPhase(drops, &stats)
+	return stats, err
+}
+
+// Rebalance re-converges data placement onto the current routing: copies
+// every entry to owners that lack it and drops copies from non-owners. It
+// is idempotent — a no-op on a converged tier — and is the retry path after
+// a failed Join/Leave migration.
+func (r *Ring) Rebalance() (MigrationStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) == 0 {
+		return MigrationStats{}, nil
+	}
+	stats, drops, err := r.copyPhase(r.points)
+	if err != nil {
+		return stats, err
+	}
+	err = dropPhase(drops, &stats)
+	return stats, err
+}
+
+func (r *Ring) nodeIDsLocked() []string {
+	ids := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// pendingDrop is one cleanup action deferred until every copy has landed.
+type pendingDrop struct {
+	node *node
+	key  string
+}
+
+// copyPhase enumerates which node holds which entry and streams every entry
+// to the owners (under newPoints) that do not yet hold it, copying from a
+// node that actually holds the data. Nothing is deleted here; the returned
+// drops list the copies that stopped being owned. Caller holds r.mu.
+func (r *Ring) copyPhase(newPoints []point) (MigrationStats, []pendingDrop, error) {
+	var stats MigrationStats
+	// key → kind → sorted ids of nodes holding that entry.
+	holders := map[string]map[kvs.Kind][]string{}
+	for id, n := range r.nodes {
+		infos, err := listKeys(n)
+		if err != nil {
+			return stats, nil, err
+		}
+		for _, ki := range infos {
+			byKind, ok := holders[ki.Key]
+			if !ok {
+				byKind = map[kvs.Kind][]string{}
+				holders[ki.Key] = byKind
+			}
+			byKind[ki.Kind] = append(byKind[ki.Kind], id)
+		}
+	}
+	stats.KeysExamined = len(holders)
+
+	var drops []pendingDrop
+	for key, byKind := range holders {
+		newOwners := ownersOn(newPoints, key, r.opts.Replication)
+		newSet := map[string]bool{}
+		for _, id := range newOwners {
+			newSet[id] = true
+		}
+		moved := false
+		holdsAny := map[string]bool{}
+		for kind, ids := range byKind {
+			sort.Strings(ids)
+			has := map[string]bool{}
+			for _, id := range ids {
+				has[id] = true
+				holdsAny[id] = true
+			}
+			// Copy from a node that holds the entry, preferring one that
+			// stays an owner (it will survive the drop phase).
+			src := r.nodes[ids[0]]
+			for _, id := range ids {
+				if newSet[id] {
+					src = r.nodes[id]
+					break
+				}
+			}
+			for _, owner := range newOwners {
+				if has[owner] {
+					continue
+				}
+				n, err := copyKind(src.store, r.nodes[owner].store, key, kind)
+				if err != nil {
+					return stats, nil, fmt.Errorf("shardkvs: stream %q %s→%s: %w", key, src.id, owner, err)
+				}
+				stats.CopiesWritten++
+				stats.BytesMoved += n
+				moved = true
+			}
+		}
+		if moved {
+			stats.KeysMoved++
+		}
+		for id := range holdsAny {
+			if !newSet[id] {
+				drops = append(drops, pendingDrop{r.nodes[id], key})
+			}
+		}
+	}
+	return stats, drops, nil
+}
+
+// dropPhase deletes copies from nodes that stopped owning them. Every new
+// owner already holds the data, so a failure here leaves only stale,
+// unrouted copies — Rebalance retries the cleanup.
+func dropPhase(drops []pendingDrop, stats *MigrationStats) error {
+	for _, d := range drops {
+		if err := d.node.store.Delete(d.key); err != nil {
+			return fmt.Errorf("shardkvs: drop %q from %s (stale copy remains, rerun Rebalance): %w", d.key, d.node.id, err)
+		}
+		stats.CopiesDropped++
+	}
+	return nil
+}
+
+// copyKind streams one entry from src to dst, returning the value bytes
+// written. src is always a node that reported holding the entry.
+func copyKind(src, dst kvs.Store, key string, kind kvs.Kind) (int64, error) {
+	switch kind {
+	case kvs.KindValue:
+		v, err := src.Get(key)
+		if err != nil {
+			return 0, err
+		}
+		if err := dst.Set(key, v); err != nil {
+			return 0, err
+		}
+		return int64(len(v)), nil
+	case kvs.KindSet:
+		members, err := src.SMembers(key)
+		if err != nil {
+			return 0, err
+		}
+		var bytes int64
+		for _, m := range members {
+			if _, err := dst.SAdd(key, m); err != nil {
+				return bytes, err
+			}
+			bytes += int64(len(m))
+		}
+		return bytes, nil
+	case kvs.KindCounter:
+		want, err := src.Incr(key, 0)
+		if err != nil {
+			return 0, err
+		}
+		have, err := dst.Incr(key, 0)
+		if err != nil {
+			return 0, err
+		}
+		if want != have {
+			if _, err := dst.Incr(key, want-have); err != nil {
+				return 0, err
+			}
+		}
+		return 8, nil
+	}
+	return 0, fmt.Errorf("shardkvs: unknown kind %q", kind)
+}

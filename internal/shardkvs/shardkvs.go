@@ -1,0 +1,476 @@
+// Package shardkvs scales the global state tier horizontally. The paper
+// backs every host's local tier with a single Redis-like store (§4.2); one
+// engine is the ceiling on cluster-wide state throughput. Ring shards the
+// key space across N nodes with a consistent-hash ring (virtual nodes, as in
+// Dynamo/Cassandra), so the tier grows by adding nodes instead of growing
+// one node.
+//
+// Ring implements the full kvs.Store interface: every operation routes to
+// the owning shard, lease locks included (a key's lock lives on its primary,
+// so lock semantics are exactly one engine's semantics). Replication factor
+// R places each key on the R distinct nodes clockwise from its hash; writes
+// go to the primary first and fan out to replicas, reads follow a
+// configurable preference. Nodes join and leave at runtime: the rebalancer
+// streams only the hash ranges whose ownership changed, never the whole
+// keyspace.
+//
+// Consistency notes: replica fan-out is synchronous and a per-key write
+// fence orders concurrent writers through one ring instance, so an
+// error-free write leaves all R copies identical; writers on different
+// ring instances coordinate through the kvs global lock (the paper's §4.2
+// recipe). Rebalancing serialises against itself but not against in-flight
+// operations — a write racing a migration can land on the old owner after
+// its range moved. The cluster harness rebalances only between experiment
+// phases, matching how operators resize a tier.
+package shardkvs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faasm.dev/faasm/internal/kvs"
+)
+
+// ReadPref selects which owner serves reads.
+type ReadPref int
+
+// Read preferences.
+const (
+	// ReadPrimary always reads the key's primary: strongest consistency,
+	// no read scaling.
+	ReadPrimary ReadPref = iota
+	// ReadAny round-robins reads across the primary and its replicas,
+	// spreading hot-key read load over R nodes.
+	ReadAny
+)
+
+// Options tunes a ring.
+type Options struct {
+	// Replication is the copies kept per key (clamped to the node count).
+	// 0 or 1 means primary-only.
+	Replication int
+	// VirtualNodes is the ring points per node (default 64). More points
+	// smooth the key distribution at the cost of larger rebalance fan-out.
+	VirtualNodes int
+	// ReadPref selects the read routing policy.
+	ReadPref ReadPref
+}
+
+// node is one shard: an id on the ring plus the store that holds its keys.
+type node struct {
+	id    string
+	store kvs.Store
+}
+
+// point is one virtual node position on the hash circle.
+type point struct {
+	hash uint64
+	id   string
+}
+
+// Ring routes kvs.Store operations across shard nodes.
+type Ring struct {
+	opts Options
+
+	mu     sync.RWMutex
+	nodes  map[string]*node
+	points []point // sorted by hash
+
+	rr atomic.Uint64 // read round-robin cursor
+
+	// writeStripes serialise replicated writes per key: without them two
+	// concurrent Sets can commit in opposite orders on primary and replica
+	// and diverge the copies permanently. Unused when Replication is 1.
+	writeStripes [64]sync.Mutex
+}
+
+// New returns an empty ring; add shards with Join.
+func New(opts Options) *Ring {
+	if opts.VirtualNodes <= 0 {
+		opts.VirtualNodes = 64
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 1
+	}
+	return &Ring{opts: opts, nodes: map[string]*node{}}
+}
+
+// NewLocal builds a ring of n in-process engines named shard-0..shard-n-1;
+// the cluster harness and tests use this form.
+func NewLocal(n int, opts Options) *Ring {
+	r := New(opts)
+	for i := 0; i < n; i++ {
+		r.Attach(fmt.Sprintf("shard-%d", i), kvs.NewEngine())
+	}
+	return r
+}
+
+// AttachRemote builds a ring of TCP clients attached to an existing tier at
+// the given endpoints. Each node is named by its endpoint address, so every
+// client given the same endpoint set — in any order — routes keys
+// identically. Attaching performs no migration — connecting a client must
+// never mutate tier data. Close the ring to release the connections.
+func AttachRemote(endpoints []string, opts Options) (*Ring, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("shardkvs: no endpoints")
+	}
+	r := New(opts)
+	for _, addr := range endpoints {
+		if err := r.Attach(addr, kvs.NewClient(addr)); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// SplitEndpoints parses a comma-separated endpoint list, dropping empties;
+// faasmd and faasm-cli share it so both parse -state identically.
+func SplitEndpoints(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Close releases node stores that hold resources (TCP clients).
+func (r *Ring) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var firstErr error
+	for _, n := range r.nodes {
+		if c, ok := n.store.(io.Closer); ok {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// FNV-1a mixes the low bits well but avalanches poorly into the high
+	// bits for short inputs, which skews ring placement (arcs are compared
+	// on the full 64-bit value). A murmur3-style finaliser fixes that.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func buildPoints(ids []string, vnodes int) []point {
+	pts := make([]point, 0, len(ids)*vnodes)
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{hashKey(fmt.Sprintf("%s#%d", id, v)), id})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].hash < pts[j].hash })
+	return pts
+}
+
+// searchPoints finds the first ring position at or clockwise of the key's
+// hash.
+func searchPoints(points []point, key string) int {
+	h := hashKey(key)
+	start := sort.Search(len(points), func(i int) bool { return points[i].hash >= h })
+	return start % len(points)
+}
+
+// ownersOn walks clockwise from the key's hash collecting the first R
+// distinct node ids. R is small, so a linear dedupe scan beats a map.
+func ownersOn(points []point, key string, replication int) []string {
+	if len(points) == 0 {
+		return nil
+	}
+	start := searchPoints(points, key)
+	out := make([]string, 0, replication)
+walk:
+	for i := 0; i < len(points) && len(out) < replication; i++ {
+		id := points[(start+i)%len(points)].id
+		for _, o := range out {
+			if o == id {
+				continue walk
+			}
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// NodeIDs lists the ring's members in sorted order.
+func (r *Ring) NodeIDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owners reports the node ids holding key, primary first (diagnostics and
+// tests).
+func (r *Ring) Owners(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return ownersOn(r.points, key, r.opts.Replication)
+}
+
+// route snapshots the stores owning key: primary plus replicas. Callers
+// invoke the stores after the lock is released so a blocking Lock acquire
+// cannot wedge the ring against a rebalance. The unreplicated hot path does
+// no allocation — routing must stay far cheaper than the shard op itself.
+func (r *Ring) route(key string) (*node, []*node, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil, nil, fmt.Errorf("shardkvs: empty ring")
+	}
+	if r.opts.Replication == 1 {
+		return r.nodes[r.points[searchPoints(r.points, key)].id], nil, nil
+	}
+	ids := ownersOn(r.points, key, r.opts.Replication)
+	primary := r.nodes[ids[0]]
+	if len(ids) == 1 {
+		return primary, nil, nil
+	}
+	replicas := make([]*node, len(ids)-1)
+	for i, id := range ids[1:] {
+		replicas[i] = r.nodes[id]
+	}
+	return primary, replicas, nil
+}
+
+// writeFence serialises replicated writes to one key across this ring
+// instance. Returns nil (no fence needed) when the tier is unreplicated.
+// Writers from other ring instances are not ordered — cross-client writes
+// to one key need the kvs global lock, exactly as the paper's §4.2
+// consistent-write recipe prescribes.
+func (r *Ring) writeFence(key string) func() {
+	if r.opts.Replication <= 1 {
+		return nil
+	}
+	m := &r.writeStripes[hashKey(key)&63]
+	m.Lock()
+	return m.Unlock
+}
+
+// writeVal applies op to the key's primary and fans the same op out to its
+// replicas, returning the primary's result. The primary's error aborts the
+// fan-out; a replica error is returned after all replicas were attempted,
+// so in-sync replicas do not diverge further on one bad node. (A package
+// function because methods cannot take type parameters.)
+func writeVal[T any](r *Ring, key string, op func(s kvs.Store) (T, error)) (T, error) {
+	if unlock := r.writeFence(key); unlock != nil {
+		defer unlock()
+	}
+	primary, replicas, err := r.route(key)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	v, err := op(primary.store)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	var firstErr error
+	for _, rep := range replicas {
+		if _, err := op(rep.store); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shardkvs: replica %s: %w", rep.id, err)
+		}
+	}
+	return v, firstErr
+}
+
+// write is writeVal for operations without a result.
+func (r *Ring) write(key string, op func(s kvs.Store) error) error {
+	_, err := writeVal(r, key, func(s kvs.Store) (struct{}, error) {
+		return struct{}{}, op(s)
+	})
+	return err
+}
+
+// readNode picks the owner that serves a read of key.
+func (r *Ring) readNode(key string) (*node, error) {
+	primary, replicas, err := r.route(key)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.ReadPref == ReadPrimary || len(replicas) == 0 {
+		return primary, nil
+	}
+	// Modulo in uint64: a signed conversion first would eventually go
+	// negative and index out of range.
+	idx := int(r.rr.Add(1) % uint64(1+len(replicas)))
+	if idx == 0 {
+		return primary, nil
+	}
+	return replicas[idx-1], nil
+}
+
+// Get implements kvs.Store.
+func (r *Ring) Get(key string) ([]byte, error) {
+	n, err := r.readNode(key)
+	if err != nil {
+		return nil, err
+	}
+	return n.store.Get(key)
+}
+
+// Set implements kvs.Store.
+func (r *Ring) Set(key string, val []byte) error {
+	return r.write(key, func(s kvs.Store) error { return s.Set(key, val) })
+}
+
+// GetRange implements kvs.Store.
+func (r *Ring) GetRange(key string, off, n int) ([]byte, error) {
+	nd, err := r.readNode(key)
+	if err != nil {
+		return nil, err
+	}
+	return nd.store.GetRange(key, off, n)
+}
+
+// SetRange implements kvs.Store.
+func (r *Ring) SetRange(key string, off int, val []byte) error {
+	return r.write(key, func(s kvs.Store) error { return s.SetRange(key, off, val) })
+}
+
+// Append implements kvs.Store. The primary's new length is authoritative;
+// in-sync replicas reach the same length by applying the same append.
+func (r *Ring) Append(key string, val []byte) (int, error) {
+	return writeVal(r, key, func(s kvs.Store) (int, error) { return s.Append(key, val) })
+}
+
+// Len implements kvs.Store.
+func (r *Ring) Len(key string) (int, error) {
+	n, err := r.readNode(key)
+	if err != nil {
+		return 0, err
+	}
+	return n.store.Len(key)
+}
+
+// Delete implements kvs.Store.
+func (r *Ring) Delete(key string) error {
+	return r.write(key, func(s kvs.Store) error { return s.Delete(key) })
+}
+
+// SAdd implements kvs.Store.
+func (r *Ring) SAdd(key, member string) (bool, error) {
+	return writeVal(r, key, func(s kvs.Store) (bool, error) { return s.SAdd(key, member) })
+}
+
+// SRem implements kvs.Store.
+func (r *Ring) SRem(key, member string) (bool, error) {
+	return writeVal(r, key, func(s kvs.Store) (bool, error) { return s.SRem(key, member) })
+}
+
+// SMembers implements kvs.Store.
+func (r *Ring) SMembers(key string) ([]string, error) {
+	n, err := r.readNode(key)
+	if err != nil {
+		return nil, err
+	}
+	return n.store.SMembers(key)
+}
+
+// Incr implements kvs.Store. The primary's result is authoritative.
+func (r *Ring) Incr(key string, delta int64) (int64, error) {
+	return writeVal(r, key, func(s kvs.Store) (int64, error) { return s.Incr(key, delta) })
+}
+
+// Lock implements kvs.Store: a key's lease lock lives on its owning
+// primary, so mutual exclusion is exactly one engine's semantics regardless
+// of replication.
+func (r *Ring) Lock(key string, write bool, ttl time.Duration) (uint64, error) {
+	primary, _, err := r.route(key)
+	if err != nil {
+		return 0, err
+	}
+	return primary.store.Lock(key, write, ttl)
+}
+
+// Unlock implements kvs.Store, routing to the same primary as Lock. If the
+// primary changed in between (rebalance during a held lock), the stale
+// lease expires on the old node by TTL.
+func (r *Ring) Unlock(key string, token uint64) error {
+	primary, _, err := r.route(key)
+	if err != nil {
+		return err
+	}
+	return primary.store.Unlock(key, token)
+}
+
+// AllKeys implements kvs.Lister: the union of every shard's entries (each
+// replicated key reported once).
+func (r *Ring) AllKeys() ([]kvs.KeyInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := map[kvs.KeyInfo]bool{}
+	var out []kvs.KeyInfo
+	for _, n := range r.nodes {
+		infos, err := listKeys(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, ki := range infos {
+			if !seen[ki] {
+				seen[ki] = true
+				out = append(out, ki)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out, nil
+}
+
+// ShardKeyCounts reports entries per node id (balance diagnostics).
+func (r *Ring) ShardKeyCounts() (map[string]int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.nodes))
+	for id, n := range r.nodes {
+		infos, err := listKeys(n)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = len(infos)
+	}
+	return out, nil
+}
+
+func listKeys(n *node) ([]kvs.KeyInfo, error) {
+	l, ok := n.store.(kvs.Lister)
+	if !ok {
+		return nil, fmt.Errorf("shardkvs: node %s cannot enumerate keys", n.id)
+	}
+	return l.AllKeys()
+}
+
+var (
+	_ kvs.Store  = (*Ring)(nil)
+	_ kvs.Lister = (*Ring)(nil)
+)

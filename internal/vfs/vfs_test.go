@@ -9,9 +9,9 @@ import (
 
 func newFS() *FS {
 	return New(NewMapGlobal(map[string][]byte{
-		"lib/python/os.py": []byte("import sys"),
+		"lib/python/os.py":  []byte("import sys"),
 		"lib/python/sys.py": []byte("builtin"),
-		"data/model.bin":   {1, 2, 3, 4},
+		"data/model.bin":    {1, 2, 3, 4},
 	}))
 }
 

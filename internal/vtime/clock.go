@@ -60,7 +60,7 @@ func (h waiterHeap) Less(i, j int) bool {
 	}
 	return h[i].deadline.Before(h[j].deadline)
 }
-func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
 func (h *waiterHeap) Pop() interface{} {
 	old := *h

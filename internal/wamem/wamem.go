@@ -283,7 +283,7 @@ func (m *Memory) WriteU32(off uint32, v uint32) error {
 		return err
 	}
 	if off&pageMask <= PageSize-4 {
-		binary.LittleEndian.PutUint32(m.pageForWrite(int(off>>pageShift))[off&pageMask:], v)
+		binary.LittleEndian.PutUint32(m.pageForWrite(int(off >> pageShift))[off&pageMask:], v)
 		return nil
 	}
 	var b [4]byte
@@ -316,7 +316,7 @@ func (m *Memory) WriteU64(off uint32, v uint64) error {
 		return err
 	}
 	if off&pageMask <= PageSize-8 {
-		binary.LittleEndian.PutUint64(m.pageForWrite(int(off>>pageShift))[off&pageMask:], v)
+		binary.LittleEndian.PutUint64(m.pageForWrite(int(off >> pageShift))[off&pageMask:], v)
 		return nil
 	}
 	var b [8]byte
@@ -349,7 +349,7 @@ func (m *Memory) WriteU16(off uint32, v uint16) error {
 		return err
 	}
 	if off&pageMask <= PageSize-2 {
-		binary.LittleEndian.PutUint16(m.pageForWrite(int(off>>pageShift))[off&pageMask:], v)
+		binary.LittleEndian.PutUint16(m.pageForWrite(int(off >> pageShift))[off&pageMask:], v)
 		return nil
 	}
 	var b [2]byte

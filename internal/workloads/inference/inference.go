@@ -35,10 +35,10 @@ const KeyWeights = "mnet/weights"
 
 // WeightCount returns the number of float64 parameters.
 func WeightCount() int {
-	conv1 := 3*3*1*Chan1 + Chan1                  // 3×3 conv, 1→8
-	dw2 := 3*3*Chan1 + Chan1                      // depthwise 3×3
-	pw2 := Chan1*Chan2 + Chan2                    // pointwise 8→16
-	head := (InputDim / 4) * (InputDim / 4) * 0   // pooled spatially to scalar per channel
+	conv1 := 3*3*1*Chan1 + Chan1                // 3×3 conv, 1→8
+	dw2 := 3*3*Chan1 + Chan1                    // depthwise 3×3
+	pw2 := Chan1*Chan2 + Chan2                  // pointwise 8→16
+	head := (InputDim / 4) * (InputDim / 4) * 0 // pooled spatially to scalar per channel
 	_ = head
 	fc := Chan2*NumClasses + NumClasses
 	return conv1 + dw2 + pw2 + fc

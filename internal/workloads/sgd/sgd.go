@@ -25,14 +25,14 @@ import (
 
 // Params sizes a training run.
 type Params struct {
-	Examples   int
-	Features   int
-	NNZ        int // non-zeros per example
-	Epochs     int
-	Workers    int
-	LearnRate  float64
-	PushEvery  int // examples between weight pushes (VectorAsync cadence)
-	Seed       int64
+	Examples  int
+	Features  int
+	NNZ       int // non-zeros per example
+	Epochs    int
+	Workers   int
+	LearnRate float64
+	PushEvery int // examples between weight pushes (VectorAsync cadence)
+	Seed      int64
 }
 
 // DefaultParams returns a laptop-scale configuration with RCV1's shape
