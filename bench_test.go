@@ -69,6 +69,91 @@ func BenchmarkFig10Churn(b *testing.B) { benchReport(b, experiments.Fig10) }
 // (sharded vs single global store).
 func BenchmarkStateScale(b *testing.B) { benchReport(b, experiments.StateScale) }
 
+// BenchmarkBatchedVsSingleOps demonstrates the batch surface's win through
+// the TCP client: one pipelined MGet/MSet/GetRanges exchange against N
+// single round trips for the same data.
+func BenchmarkBatchedVsSingleOps(b *testing.B) {
+	srv, err := kvs.NewServer(kvs.NewEngine(), "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c := kvs.NewClient(srv.Addr())
+	defer c.Close()
+
+	const batch = 64
+	val := make([]byte, 4096)
+	keys := make([]string, batch)
+	pairs := make([]kvs.Pair, batch)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bk-%d", i)
+		pairs[i] = kvs.Pair{Key: keys[i], Val: val}
+		if err := c.Set(keys[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ranges := make([]kvs.Range, 16)
+	for i := range ranges {
+		ranges[i] = kvs.Range{Off: i * 256, N: 128}
+	}
+
+	b.Run("single-get-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				if _, err := c.Get(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("mget-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vals, err := kvs.MGet(c, keys)
+			if err != nil || len(vals) != batch {
+				b.Fatalf("mget: %d %v", len(vals), err)
+			}
+		}
+	})
+	b.Run("single-set-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				if err := c.Set(p.Key, p.Val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("mset-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kvs.MSet(c, pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single-getrange-16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, rg := range ranges {
+				if _, err := c.GetRange(keys[0], rg.Off, rg.N); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("getranges-16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kvs.GetRanges(c, keys[0], ranges); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkShardedVsSingleStore compares raw global-tier throughput under
 // concurrent mixed load: the paper's single engine against consistent-hash
 // rings of 4 and 8 shards, and a replicated ring.

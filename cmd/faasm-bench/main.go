@@ -10,6 +10,9 @@
 //	faasm-bench fig6|fig6-small|fig7|fig7b|fig8|fig9a|fig9b|fig10
 //	faasm-bench -quick <id>    # reduced sweeps for a fast pass
 //	faasm-bench -csv <id>      # raw CSV instead of the text table
+//	faasm-bench -json <id>     # machine-readable results (one JSON object
+//	                           # per experiment, for the BENCH_*.json
+//	                           # result trajectory)
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps (seconds instead of minutes)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -59,15 +63,23 @@ func main() {
 			os.Exit(2)
 		}
 		report := run(opts)
-		if *csv {
+		switch {
+		case *jsonOut:
+			b, err := report.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "encode %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", b)
+		case *csv:
 			fmt.Print(report.CSV())
-		} else {
+		default:
 			report.Fprint(os.Stdout)
 		}
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: faasm-bench [-quick] [-csv] <experiment>...
+	fmt.Fprintln(os.Stderr, `usage: faasm-bench [-quick] [-csv] [-json] <experiment>...
 experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale`)
 }

@@ -435,6 +435,18 @@ func (a *containerAPI) StateViewChunk(key string, off, n int) ([]byte, error) {
 	return a.fetch(key, off, n)
 }
 
+// StatePrefetch fetches each window into the container-private copy. There
+// is no shared replica to coalesce into, so the baseline pays one fetch per
+// window — exactly the per-access data shipping the paper charges containers.
+func (a *containerAPI) StatePrefetch(key string, ranges [][2]int) error {
+	for _, rg := range ranges {
+		if _, err := a.fetch(key, rg[0], rg[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (a *containerAPI) StatePush(key string) error {
 	v, ok := a.c.state[key]
 	if !ok {

@@ -194,6 +194,36 @@ func (sm *SparseMatrix) NNZ() int {
 	return hi
 }
 
+// PrefetchColumns pulls the data for several column windows ahead of
+// access, coalescing all the missing chunks of each underlying array into
+// one batched global-tier round trip — two exchanges total (vals, rows)
+// instead of two per window. windows lists [a, b) column pairs; subsequent
+// Columns calls over the prefetched windows find their chunks resident.
+func (sm *SparseMatrix) PrefetchColumns(windows [][2]int) error {
+	valRanges := make([][2]int, 0, len(windows))
+	rowRanges := make([][2]int, 0, len(windows))
+	for _, w := range windows {
+		a, b := w[0], w[1]
+		if a < 0 || b > sm.cols || a >= b {
+			return fmt.Errorf("ddo: sparse %s prefetch [%d,%d) out of range", sm.key, a, b)
+		}
+		lo, hi := sm.colRangePtr(a, b)
+		if hi == lo {
+			continue
+		}
+		valRanges = append(valRanges, [2]int{lo * 8, (hi - lo) * 8})
+		rowRanges = append(rowRanges, [2]int{lo * 4, (hi - lo) * 4})
+	}
+	if len(valRanges) == 0 {
+		return nil
+	}
+	valsKey, rowsKey, _ := SparseKeys(sm.key)
+	if err := sm.api.StatePrefetch(valsKey, valRanges); err != nil {
+		return err
+	}
+	return sm.api.StatePrefetch(rowsKey, rowRanges)
+}
+
 // Columns pulls columns [a, b) and returns an iterator view. Only the
 // chunks of vals/rows covering those columns transfer.
 func (sm *SparseMatrix) Columns(a, b int) (*SparseColumns, error) {

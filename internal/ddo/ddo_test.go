@@ -238,3 +238,57 @@ func TestBarrier(t *testing.T) {
 		t.Fatalf("final arrive: %v %v", done, err)
 	}
 }
+
+func TestSparseMatrixPrefetchColumns(t *testing.T) {
+	api, engine := setup(t)
+	// A matrix wide enough that distinct column windows land in different
+	// chunks of vals/rows: each column gets ~64 entries of 8 bytes, so
+	// ~8 columns span one 4 KB chunk.
+	const cols = 64
+	entries := make([][]SparseEntry, cols)
+	for j := range entries {
+		for k := 0; k < 64; k++ {
+			entries[j] = append(entries[j], SparseEntry{Row: k, Val: float64(j*100 + k)})
+		}
+	}
+	vals, rows, colptr := BuildSparseCSC(entries)
+	vk, rk, ck := SparseKeys("psm")
+	engine.Set(vk, vals)
+	engine.Set(rk, rows)
+	engine.Set(ck, colptr)
+
+	sm, err := OpenSparseMatrix(api, "psm", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch two scattered windows in one shot, then verify the windows
+	// read back correctly.
+	if err := sm.PrefetchColumns([][2]int{{0, 4}, {40, 44}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][2]int{{0, 4}, {40, 44}} {
+		sc, err := sm.Columns(w[0], w[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := w[0]; j < w[1]; j++ {
+			n := 0
+			sc.Col(j, func(row int, val float64) {
+				if row != n || val != float64(j*100+n) {
+					t.Fatalf("col %d entry %d = (%d, %v)", j, n, row, val)
+				}
+				n++
+			})
+			if n != 64 {
+				t.Fatalf("col %d has %d entries", j, n)
+			}
+		}
+	}
+	// Out-of-range windows are rejected.
+	if err := sm.PrefetchColumns([][2]int{{0, cols + 1}}); err == nil {
+		t.Fatal("out-of-range prefetch accepted")
+	}
+	if err := sm.PrefetchColumns([][2]int{{3, 3}}); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}

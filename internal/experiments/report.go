@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -75,6 +76,12 @@ func (r *Report) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// JSON renders the report as one machine-readable object (faasm-bench
+// -json); the BENCH_*.json result trajectory consumes this form.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // CSV renders the rows as comma-separated values.

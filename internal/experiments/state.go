@@ -68,6 +68,26 @@ func StateScale(opts Options) *Report {
 		r.Add("tier", tc.label, fmt.Sprintf("%.0f", opsPerSec), speedup, "-", "-")
 	}
 
+	// Batch: the same stores driven through the kvs.Batcher surface (MGet /
+	// MSet groups of 16), counted in single-op equivalents, against the
+	// single-op loop. In process the win is fewer lock acquisitions and map
+	// probes; over the wire (BenchmarkBatchedVsSingleOps) it is fewer round
+	// trips.
+	for _, tc := range cases {
+		var store kvs.Store
+		if tc.shards == 1 {
+			store = kvs.NewEngine()
+		} else {
+			store = shardkvs.NewLocal(tc.shards, tc.opts)
+		}
+		opsPerSec := measureBatchedThroughput(store, workers, opsPerWorker)
+		speedup := "-"
+		if baseline > 0 {
+			speedup = fmt.Sprintf("%.2fx", opsPerSec/baseline)
+		}
+		r.Add("batch", tc.label, fmt.Sprintf("%.0f", opsPerSec), speedup, "-", "-")
+	}
+
 	// Macro: the training workload from Fig 6, quick-sized, per shard count.
 	params := sgd.DefaultParams()
 	params.Examples = 1024
@@ -105,9 +125,54 @@ func StateScale(opts Options) *Report {
 	}
 
 	r.Note("tier: %d goroutines × %d mixed ops (4 KB set/get, incr, range) on 512 keys, wall clock, GOMAXPROCS=%d", workers, opsPerWorker, runtime.GOMAXPROCS(0))
+	r.Note("batch: same load through MGet/MSet groups of 16 (single-op equivalents); speedup is vs the single-op single-engine baseline. In process the batch surface amortises lock acquisitions, which only pays under multi-core contention — on one core it shows its grouping overhead; the round-trip win over TCP is BenchmarkBatchedVsSingleOps")
 	r.Note("macro: SGD %d×%d, %d workers on 4 hosts; training answers must not change with shard count", params.Examples, params.Features, params.Workers)
 	r.Note("expected shape: with multiple cores, tier throughput grows with shards (the single engine copies value bytes under one mutex); on one core sharding shows only its routing overhead. R=2 pays ~2x write amplification")
 	return r
+}
+
+// measureBatchedThroughput drives the same key space through the batch
+// surface: each worker iteration is one MGet or MSet of batchSize keys,
+// counted as batchSize single-op equivalents so the result compares
+// directly with measureStoreThroughput.
+func measureBatchedThroughput(store kvs.Store, workers, opsPerWorker int) float64 {
+	const keySpace = 512
+	const batchSize = 16
+	val := make([]byte, 4096)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]string, batchSize)
+			pairs := make([]kvs.Pair, batchSize)
+			for i := 0; i < opsPerWorker/batchSize; i++ {
+				base := w*opsPerWorker + i*batchSize
+				for j := range keys {
+					keys[j] = fmt.Sprintf("bench-%d", (base+j)%keySpace)
+					pairs[j] = kvs.Pair{Key: keys[j], Val: val}
+				}
+				var err error
+				if i%2 == 0 {
+					err = kvs.MSet(store, pairs)
+				} else {
+					_, err = kvs.MGet(store, keys)
+				}
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		return 0
+	}
+	ops := workers * (opsPerWorker / batchSize) * batchSize
+	return float64(ops) / time.Since(start).Seconds()
 }
 
 // measureStoreThroughput drives a mixed workload and returns ops/second on

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"faasm.dev/faasm/internal/core"
+	"faasm.dev/faasm/internal/kvs"
 )
 
 // API is the host interface as seen by portable guests.
@@ -35,6 +36,12 @@ type API interface {
 	// StateViewChunk is StateView for a byte range; only the range is
 	// guaranteed fetched.
 	StateViewChunk(key string, off, n int) ([]byte, error)
+	// StatePrefetch pulls the chunks covering every {off, len} window of
+	// key ahead of access. On FAASM the missing chunks of all windows
+	// coalesce into one batched global-tier round trip; on the baseline
+	// each window fetches like a chunk view (containers have no shared
+	// replica to batch into).
+	StatePrefetch(key string, ranges [][2]int) error
 	// StatePush writes the view back to the global tier.
 	StatePush(key string) error
 	// StatePushChunk pushes only [off, off+n).
@@ -115,6 +122,19 @@ func (a *FaasmAPI) StateViewChunk(key string, off, n int) ([]byte, error) {
 		return nil, err
 	}
 	return v.Bytes()[off : off+n], nil
+}
+
+// StatePrefetch implements API: one coalesced PullChunks for all windows.
+func (a *FaasmAPI) StatePrefetch(key string, ranges [][2]int) error {
+	v, err := a.Ctx.State(key, -1)
+	if err != nil {
+		return err
+	}
+	rs := make([]kvs.Range, len(ranges))
+	for i, rg := range ranges {
+		rs[i] = kvs.Range{Off: rg[0], N: rg[1]}
+	}
+	return v.PullChunks(rs)
 }
 
 // StatePush implements API.

@@ -1,0 +1,93 @@
+package kvs
+
+// The batch surface of the global tier. The state stack's hot paths — DDO
+// chunk pulls, sharded writes, prefetch — issue many small operations whose
+// cost is dominated by per-operation overhead: a round trip on the wire, a
+// lock acquisition in the engine, a latency charge in the simulated network.
+// Batcher lets a store serve a whole group in one exchange; the package
+// functions MGet/MSet/GetRanges give every kvs.Store the batch API, falling
+// back to single operations when the store has no native support.
+
+// Pair is one key/value assignment in a batched write.
+type Pair struct {
+	Key string
+	Val []byte
+}
+
+// Range is one [Off, Off+N) byte window of a value.
+type Range struct {
+	Off int
+	N   int
+}
+
+// Batcher is the optional batch extension of Store. Semantics match the
+// single-op equivalents element-wise:
+//
+//   - MGet returns one entry per key, in key order, nil for absent keys.
+//   - MSet applies the pairs in order (a duplicated key keeps the last
+//     value); each individual key is set atomically, but the batch as a
+//     whole is not a transaction — a reader may observe some pairs applied
+//     and others not yet.
+//   - GetRanges reads several windows of one key: reads past the end
+//     truncate, windows entirely past the end are nil, negative bounds
+//     error. All windows of one command observe a single version of the
+//     value; batches beyond one wire command window (MaxBatch entries) or
+//     the generic fallback may observe different versions across windows
+//     when writers race.
+//
+// Engine serves a batch with one lock acquisition per distinct stripe, the
+// TCP client with one pipelined exchange, the sharded ring with one batch
+// per owning shard issued concurrently.
+type Batcher interface {
+	MGet(keys []string) ([][]byte, error)
+	MSet(pairs []Pair) error
+	GetRanges(key string, ranges []Range) ([][]byte, error)
+}
+
+// MGet reads many keys through s, using its native batch support when
+// present and falling back to one Get per key otherwise.
+func MGet(s Store, keys []string) ([][]byte, error) {
+	if b, ok := s.(Batcher); ok {
+		return b.MGet(keys)
+	}
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, err := s.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MSet writes many pairs through s, using its native batch support when
+// present and falling back to one Set per pair otherwise.
+func MSet(s Store, pairs []Pair) error {
+	if b, ok := s.(Batcher); ok {
+		return b.MSet(pairs)
+	}
+	for _, p := range pairs {
+		if err := s.Set(p.Key, p.Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetRanges reads many windows of one key through s, using its native batch
+// support when present and falling back to one GetRange per window.
+func GetRanges(s Store, key string, ranges []Range) ([][]byte, error) {
+	if b, ok := s.(Batcher); ok {
+		return b.GetRanges(key, ranges)
+	}
+	out := make([][]byte, len(ranges))
+	for i, r := range ranges {
+		v, err := s.GetRange(key, r.Off, r.N)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package kvs_test
+
+// A pooled client connection can be closed server-side while it sits idle
+// (server restart, idle timeout at an LB). The client must absorb that by
+// retrying once on a fresh connection instead of surfacing a spurious error
+// to the state tier.
+
+import (
+	"testing"
+	"time"
+
+	"faasm.dev/faasm/internal/kvs"
+)
+
+// restartServer closes srv and brings a new server up on the same address,
+// backed by engine. The listening socket can linger briefly, so binding is
+// retried.
+func restartServer(t *testing.T, srv *kvs.Server, engine *kvs.Engine) *kvs.Server {
+	t.Helper()
+	addr := srv.Addr()
+	srv.Close()
+	var next *kvs.Server
+	var err error
+	for i := 0; i < 50; i++ {
+		next, err = kvs.NewServer(engine, addr)
+		if err == nil {
+			return next
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("rebind %s: %v", addr, err)
+	return nil
+}
+
+func TestClientRetriesStalePooledConn(t *testing.T) {
+	engine := kvs.NewEngine()
+	srv, err := kvs.NewServer(engine, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := kvs.NewClient(srv.Addr())
+	defer c.Close()
+
+	// Seed and touch the conn so it lands in the pool.
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill every established conn; the pooled one is now stale.
+	srv = restartServer(t, srv, engine)
+
+	// Single-op path: must succeed via the one-shot redial, not error.
+	v, err := c.Get("k")
+	if err != nil {
+		t.Fatalf("get over stale pooled conn: %v", err)
+	}
+	if string(v) != "v1" {
+		t.Fatalf("get = %q", v)
+	}
+
+	// Batch path: stale again after another restart.
+	srv = restartServer(t, srv, engine)
+	vals, err := kvs.MGet(c, []string{"k", "missing"})
+	if err != nil {
+		t.Fatalf("mget over stale pooled conn: %v", err)
+	}
+	if string(vals[0]) != "v1" || vals[1] != nil {
+		t.Fatalf("mget = %q %q", vals[0], vals[1])
+	}
+
+	// A dead server (no listener at all) must still error.
+	srv.Close()
+	if err := c.Set("k", []byte("v2")); err == nil {
+		t.Fatal("set against a dead server must error")
+	}
+}

@@ -13,8 +13,10 @@ package kvs
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -79,14 +81,48 @@ type Lister interface {
 	AllKeys() ([]KeyInfo, error)
 }
 
-// Engine is the in-process implementation of Store.
+// numStripes is the engine's lock-striping width. 64 stripes keep the
+// per-stripe collision probability low for realistic key counts while the
+// whole stripe array (and the per-key lock table's) stays small enough to
+// walk for enumeration.
+const numStripes = 64
+
+// stripeIdx hashes a key onto its stripe (FNV-1a, inlined so the hot path
+// does not allocate a hash.Hash).
+func stripeIdx(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h & (numStripes - 1)
+}
+
+// stripe holds one slice of the key space. Reads take the read lock only, so
+// gets of different keys — and of the same key — proceed concurrently.
+type stripe struct {
+	mu   sync.RWMutex
+	vals map[string][]byte
+	sets map[string]map[string]struct{}
+	ints map[string]int64
+}
+
+// lockStripe is one slice of the lease-lock table. Lock state keeps its own
+// stripes so a blocking Lock acquire never obstructs data operations that
+// happen to hash alongside it.
+type lockStripe struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+}
+
+// Engine is the in-process implementation of Store. The big single mutex of
+// the original design serialised every operation across all keys; striping
+// the key space over numStripes RWMutexes makes operations on different
+// stripes fully concurrent and same-stripe reads share the read lock.
 type Engine struct {
-	mu     sync.Mutex
-	vals   map[string][]byte
-	sets   map[string]map[string]struct{}
-	ints   map[string]int64
-	locks  map[string]*lockState
-	tokens uint64
+	stripes [numStripes]stripe
+	lockTab [numStripes]lockStripe
+	tokens  atomic.Uint64
 	// now is overridable for lease-expiry tests.
 	now func() time.Time
 }
@@ -103,21 +139,26 @@ type lockState struct {
 
 // NewEngine returns an empty store.
 func NewEngine() *Engine {
-	e := &Engine{
-		vals:  map[string][]byte{},
-		sets:  map[string]map[string]struct{}{},
-		ints:  map[string]int64{},
-		locks: map[string]*lockState{},
-		now:   time.Now,
+	e := &Engine{now: time.Now}
+	for i := range e.stripes {
+		e.stripes[i].vals = map[string][]byte{}
+		e.stripes[i].sets = map[string]map[string]struct{}{}
+		e.stripes[i].ints = map[string]int64{}
+	}
+	for i := range e.lockTab {
+		e.lockTab[i].locks = map[string]*lockState{}
 	}
 	return e
 }
 
+func (e *Engine) stripeOf(key string) *stripe { return &e.stripes[stripeIdx(key)] }
+
 // Get implements Store.
 func (e *Engine) Get(key string) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	v, ok := e.vals[key]
+	st := e.stripeOf(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.vals[key]
 	if !ok {
 		return nil, nil
 	}
@@ -130,20 +171,19 @@ func (e *Engine) Get(key string) ([]byte, error) {
 func (e *Engine) Set(key string, val []byte) error {
 	cp := make([]byte, len(val))
 	copy(cp, val)
-	e.mu.Lock()
-	e.vals[key] = cp
-	e.mu.Unlock()
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	st.vals[key] = cp
+	st.mu.Unlock()
 	return nil
 }
 
-// GetRange implements Store.
-func (e *Engine) GetRange(key string, off, n int) ([]byte, error) {
+// getRangeLocked reads [off, off+n) of key with the stripe lock held.
+func getRangeLocked(st *stripe, key string, off, n int) ([]byte, error) {
 	if off < 0 || n < 0 {
 		return nil, fmt.Errorf("kvs: negative range [%d,%d)", off, off+n)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	v := e.vals[key]
+	v := st.vals[key]
 	if off >= len(v) {
 		return nil, nil
 	}
@@ -156,57 +196,70 @@ func (e *Engine) GetRange(key string, off, n int) ([]byte, error) {
 	return out, nil
 }
 
+// GetRange implements Store.
+func (e *Engine) GetRange(key string, off, n int) ([]byte, error) {
+	st := e.stripeOf(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return getRangeLocked(st, key, off, n)
+}
+
 // SetRange implements Store.
 func (e *Engine) SetRange(key string, off int, val []byte) error {
 	if off < 0 {
 		return fmt.Errorf("kvs: negative offset %d", off)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	v := e.vals[key]
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := st.vals[key]
 	if need := off + len(val); need > len(v) {
 		grown := make([]byte, need)
 		copy(grown, v)
 		v = grown
 	}
 	copy(v[off:], val)
-	e.vals[key] = v
+	st.vals[key] = v
 	return nil
 }
 
 // Append implements Store.
 func (e *Engine) Append(key string, val []byte) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.vals[key] = append(e.vals[key], val...)
-	return len(e.vals[key]), nil
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.vals[key] = append(st.vals[key], val...)
+	return len(st.vals[key]), nil
 }
 
 // Len implements Store.
 func (e *Engine) Len(key string) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.vals[key]), nil
+	st := e.stripeOf(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.vals[key]), nil
 }
 
 // Delete implements Store.
 func (e *Engine) Delete(key string) error {
-	e.mu.Lock()
-	delete(e.vals, key)
-	delete(e.sets, key)
-	delete(e.ints, key)
-	e.mu.Unlock()
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	delete(st.vals, key)
+	delete(st.sets, key)
+	delete(st.ints, key)
+	st.mu.Unlock()
 	return nil
 }
 
 // SAdd implements Store.
 func (e *Engine) SAdd(key, member string) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.sets[key]
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sets[key]
 	if !ok {
 		s = map[string]struct{}{}
-		e.sets[key] = s
+		st.sets[key] = s
 	}
 	if _, exists := s[member]; exists {
 		return false, nil
@@ -217,9 +270,10 @@ func (e *Engine) SAdd(key, member string) (bool, error) {
 
 // SRem implements Store.
 func (e *Engine) SRem(key, member string) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.sets[key]
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sets[key]
 	if !ok {
 		return false, nil
 	}
@@ -232,9 +286,10 @@ func (e *Engine) SRem(key, member string) (bool, error) {
 
 // SMembers implements Store.
 func (e *Engine) SMembers(key string) ([]string, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.sets[key]
+	st := e.stripeOf(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := st.sets[key]
 	out := make([]string, 0, len(s))
 	for m := range s {
 		out = append(out, m)
@@ -245,19 +300,103 @@ func (e *Engine) SMembers(key string) ([]string, error) {
 
 // Incr implements Store.
 func (e *Engine) Incr(key string, delta int64) (int64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.ints[key] += delta
-	return e.ints[key], nil
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ints[key] += delta
+	return st.ints[key], nil
+}
+
+// MGet implements Batcher: each stripe's read lock is taken once for all of
+// its keys, not once per key. The stripes present in the batch are tracked
+// in one bitmask (numStripes = 64), so grouping costs a single index slice
+// and no per-stripe allocations.
+func (e *Engine) MGet(keys []string) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	sids := make([]uint8, len(keys))
+	var mask uint64
+	for i, k := range keys {
+		s := stripeIdx(k)
+		sids[i] = uint8(s)
+		mask |= 1 << s
+	}
+	for mask != 0 {
+		si := uint8(bits.TrailingZeros64(mask))
+		mask &= mask - 1
+		st := &e.stripes[si]
+		st.mu.RLock()
+		for i, s := range sids {
+			if s != si {
+				continue
+			}
+			if v, ok := st.vals[keys[i]]; ok {
+				cp := make([]byte, len(v))
+				copy(cp, v)
+				out[i] = cp
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return out, nil
+}
+
+// MSet implements Batcher: one stripe acquisition per distinct stripe. Pairs
+// are applied in input order within each stripe, so a duplicated key keeps
+// its last value.
+func (e *Engine) MSet(pairs []Pair) error {
+	// Copy outside the locks: the engine owns its bytes.
+	cps := make([][]byte, len(pairs))
+	sids := make([]uint8, len(pairs))
+	var mask uint64
+	for i, p := range pairs {
+		cps[i] = make([]byte, len(p.Val))
+		copy(cps[i], p.Val)
+		s := stripeIdx(p.Key)
+		sids[i] = uint8(s)
+		mask |= 1 << s
+	}
+	for mask != 0 {
+		si := uint8(bits.TrailingZeros64(mask))
+		mask &= mask - 1
+		st := &e.stripes[si]
+		st.mu.Lock()
+		for i, s := range sids {
+			if s == si {
+				st.vals[pairs[i].Key] = cps[i]
+			}
+		}
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+// GetRanges implements Batcher: all windows are read under one acquisition
+// of the key's stripe read lock, so they observe a single consistent value.
+func (e *Engine) GetRanges(key string, ranges []Range) ([][]byte, error) {
+	out := make([][]byte, len(ranges))
+	st := e.stripeOf(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for i, r := range ranges {
+		v, err := getRangeLocked(st, key, r.Off, r.N)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Keys returns all value keys (diagnostics and tests).
 func (e *Engine) Keys() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]string, 0, len(e.vals))
-	for k := range e.vals {
-		out = append(out, k)
+	var out []string
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for k := range st.vals {
+			out = append(out, k)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -266,17 +405,20 @@ func (e *Engine) Keys() []string {
 // AllKeys implements Lister: every entry across values, sets and counters,
 // sorted by kind then key.
 func (e *Engine) AllKeys() ([]KeyInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]KeyInfo, 0, len(e.vals)+len(e.sets)+len(e.ints))
-	for k := range e.vals {
-		out = append(out, KeyInfo{KindValue, k})
-	}
-	for k := range e.sets {
-		out = append(out, KeyInfo{KindSet, k})
-	}
-	for k := range e.ints {
-		out = append(out, KeyInfo{KindCounter, k})
+	var out []KeyInfo
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for k := range st.vals {
+			out = append(out, KeyInfo{KindValue, k})
+		}
+		for k := range st.sets {
+			out = append(out, KeyInfo{KindSet, k})
+		}
+		for k := range st.ints {
+			out = append(out, KeyInfo{KindCounter, k})
+		}
+		st.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Kind != out[j].Kind {
@@ -289,52 +431,58 @@ func (e *Engine) AllKeys() ([]KeyInfo, error) {
 
 // TotalBytes reports the sum of value lengths (memory accounting).
 func (e *Engine) TotalBytes() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var n int64
-	for _, v := range e.vals {
-		n += int64(len(v))
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for _, v := range st.vals {
+			n += int64(len(v))
+		}
+		st.mu.RUnlock()
 	}
 	return n
 }
 
 // Lock implements Store. Lock ordering is writer-preferring within a key:
 // pending writers do not starve behind a stream of readers because expired
-// leases are pruned on every wake-up.
+// leases are pruned on every wake-up. Lease state lives in its own stripe
+// table, so blocking acquires only contend with locks that hash to the same
+// stripe, never with data operations.
 func (e *Engine) Lock(key string, write bool, ttl time.Duration) (uint64, error) {
 	if ttl <= 0 {
 		ttl = 30 * time.Second
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ls, ok := e.locks[key]
+	lt := &e.lockTab[stripeIdx(key)]
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	ls, ok := lt.locks[key]
 	if !ok {
 		ls = &lockState{readers: map[uint64]time.Time{}}
-		ls.cond = sync.NewCond(&e.mu)
-		e.locks[key] = ls
+		ls.cond = sync.NewCond(&lt.mu)
+		lt.locks[key] = ls
 	}
 	for {
 		e.pruneExpired(ls)
 		if write {
 			if ls.writer == 0 && len(ls.readers) == 0 {
-				e.tokens++
-				ls.writer = e.tokens
+				tok := e.tokens.Add(1)
+				ls.writer = tok
 				ls.writerExpiry = e.now().Add(ttl)
-				return ls.writer, nil
+				return tok, nil
 			}
 		} else {
 			if ls.writer == 0 {
-				e.tokens++
-				ls.readers[e.tokens] = e.now().Add(ttl)
-				return e.tokens, nil
+				tok := e.tokens.Add(1)
+				ls.readers[tok] = e.now().Add(ttl)
+				return tok, nil
 			}
 		}
 		// Wake periodically so expired leases are reclaimed even when the
 		// holder crashed and will never call Unlock.
 		wake := time.AfterFunc(50*time.Millisecond, func() {
-			e.mu.Lock()
+			lt.mu.Lock()
 			ls.cond.Broadcast()
-			e.mu.Unlock()
+			lt.mu.Unlock()
 		})
 		ls.cond.Wait()
 		wake.Stop()
@@ -356,9 +504,10 @@ func (e *Engine) pruneExpired(ls *lockState) {
 // Unlock implements Store. Unlocking an expired or unknown token is a no-op,
 // mirroring lease semantics.
 func (e *Engine) Unlock(key string, token uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ls, ok := e.locks[key]
+	lt := &e.lockTab[stripeIdx(key)]
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	ls, ok := lt.locks[key]
 	if !ok {
 		return nil
 	}
@@ -371,4 +520,7 @@ func (e *Engine) Unlock(key string, token uint64) error {
 	return nil
 }
 
-var _ Store = (*Engine)(nil)
+var (
+	_ Store   = (*Engine)(nil)
+	_ Batcher = (*Engine)(nil)
+)

@@ -18,7 +18,11 @@ import (
 // should register cleanup via t.Cleanup.
 type Factory func(t *testing.T) kvs.Store
 
-// Run exercises the full Store contract against stores built by mk.
+// Run exercises the full Store contract against stores built by mk. The
+// batch subtests go through the kvs.MGet/MSet/GetRanges helpers, so a store
+// with native kvs.Batcher support runs its batched path and every store
+// additionally runs the generic single-op fallback via NonBatching — both
+// must exhibit identical semantics.
 func Run(t *testing.T, mk Factory) {
 	t.Run("GetSetDelete", func(t *testing.T) { testGetSetDelete(t, mk(t)) })
 	t.Run("BinaryAndOddKeys", func(t *testing.T) { testBinaryAndOddKeys(t, mk(t)) })
@@ -30,6 +34,202 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("ReadersShareWritersExclude", func(t *testing.T) { testReadersShareWritersExclude(t, mk(t)) })
 	t.Run("ConcurrentIncrement", func(t *testing.T) { testConcurrentIncrement(t, mk(t)) })
 	t.Run("LockProtectsReadModifyWrite", func(t *testing.T) { testLockRMW(t, mk(t)) })
+	t.Run("BatchMGet", func(t *testing.T) { testBatchMGet(t, mk(t)) })
+	t.Run("BatchMSet", func(t *testing.T) { testBatchMSet(t, mk(t)) })
+	t.Run("BatchGetRanges", func(t *testing.T) { testBatchGetRanges(t, mk(t)) })
+	t.Run("BatchLarge", func(t *testing.T) { testBatchLarge(t, mk(t)) })
+	t.Run("BatchConcurrentPerKeyAtomicity", func(t *testing.T) { testBatchAtomicity(t, mk(t)) })
+	t.Run("FallbackMGet", func(t *testing.T) { testBatchMGet(t, NonBatching(mk(t))) })
+	t.Run("FallbackMSet", func(t *testing.T) { testBatchMSet(t, NonBatching(mk(t))) })
+	t.Run("FallbackGetRanges", func(t *testing.T) { testBatchGetRanges(t, NonBatching(mk(t))) })
+}
+
+// NonBatching hides a store's native batch support: the wrapper's method set
+// is exactly kvs.Store, so the kvs.MGet/MSet/GetRanges helpers take their
+// generic single-op fallback. Run uses it to hold the fallback path to the
+// same batch semantics as native implementations.
+func NonBatching(s kvs.Store) kvs.Store { return nonBatching{s} }
+
+type nonBatching struct{ kvs.Store }
+
+func testBatchMGet(t *testing.T, s kvs.Store) {
+	if vals, err := kvs.MGet(s, nil); err != nil || len(vals) != 0 {
+		t.Fatalf("empty mget: %v %v", vals, err)
+	}
+	s.Set("a", []byte("alpha"))
+	s.Set("b/binary\"key", []byte{0, 255, '\n'})
+	s.Set("empty", []byte{})
+	vals, err := kvs.MGet(s, []string{"a", "missing", "b/binary\"key", "empty", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("mget returned %d values", len(vals))
+	}
+	if string(vals[0]) != "alpha" || string(vals[4]) != "alpha" {
+		t.Fatalf("mget order not preserved: %q %q", vals[0], vals[4])
+	}
+	if vals[1] != nil {
+		t.Fatalf("missing key should be nil, got %q", vals[1])
+	}
+	if !bytes.Equal(vals[2], []byte{0, 255, '\n'}) {
+		t.Fatalf("binary value: %q", vals[2])
+	}
+	if vals[3] == nil || len(vals[3]) != 0 {
+		t.Fatalf("present empty value must be empty, not nil: %v", vals[3])
+	}
+}
+
+func testBatchMSet(t *testing.T, s kvs.Store) {
+	if err := kvs.MSet(s, nil); err != nil {
+		t.Fatalf("empty mset: %v", err)
+	}
+	pairs := []kvs.Pair{
+		{Key: "x", Val: []byte("1")},
+		{Key: "odd key\"", Val: []byte{7, 0, 9}},
+		{Key: "dup", Val: []byte("first")},
+		{Key: "dup", Val: []byte("last")},
+	}
+	if err := kvs.MSet(s, pairs); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("x"); string(v) != "1" {
+		t.Fatalf("x = %q", v)
+	}
+	if v, _ := s.Get("odd key\""); !bytes.Equal(v, []byte{7, 0, 9}) {
+		t.Fatalf("odd key = %q", v)
+	}
+	if v, _ := s.Get("dup"); string(v) != "last" {
+		t.Fatalf("duplicated key must keep the last value, got %q", v)
+	}
+	// Overwrite through a second batch.
+	if err := kvs.MSet(s, []kvs.Pair{{Key: "x", Val: []byte("2")}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("x"); string(v) != "2" {
+		t.Fatalf("overwrite: x = %q", v)
+	}
+}
+
+func testBatchGetRanges(t *testing.T, s kvs.Store) {
+	if vals, err := kvs.GetRanges(s, "k", nil); err != nil || len(vals) != 0 {
+		t.Fatalf("empty getranges: %v %v", vals, err)
+	}
+	s.Set("k", []byte("0123456789"))
+	vals, err := kvs.GetRanges(s, "k", []kvs.Range{
+		{Off: 2, N: 3},  // interior
+		{Off: 8, N: 10}, // truncated past the end
+		{Off: 50, N: 5}, // entirely past the end
+		{Off: 0, N: 0},  // empty window on a present value
+		{Off: 0, N: 10}, // whole value
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "234" {
+		t.Fatalf("interior: %q", vals[0])
+	}
+	if string(vals[1]) != "89" {
+		t.Fatalf("truncated: %q", vals[1])
+	}
+	if vals[2] != nil {
+		t.Fatalf("past-end must be nil: %q", vals[2])
+	}
+	if vals[3] == nil || len(vals[3]) != 0 {
+		t.Fatalf("empty window must be empty, not nil: %v", vals[3])
+	}
+	if string(vals[4]) != "0123456789" {
+		t.Fatalf("whole: %q", vals[4])
+	}
+	// Negative bounds error, matching GetRange.
+	if _, err := kvs.GetRanges(s, "k", []kvs.Range{{Off: -1, N: 2}}); err == nil {
+		t.Fatal("negative offset must error")
+	}
+	// Ranges of a missing key are all nil.
+	vals, err = kvs.GetRanges(s, "nope", []kvs.Range{{Off: 0, N: 4}})
+	if err != nil || vals[0] != nil {
+		t.Fatalf("missing key ranges: %v %v", vals, err)
+	}
+}
+
+// testBatchLarge pushes a batch past the wire protocol's MaxBatch, so the
+// TCP client must split it into several pipelined commands and reassemble
+// the replies in order.
+func testBatchLarge(t *testing.T, s kvs.Store) {
+	const n = kvs.MaxBatch + 137
+	pairs := make([]kvs.Pair, n)
+	keys := make([]string, n)
+	for i := range pairs {
+		keys[i] = fmt.Sprintf("large-%d", i)
+		pairs[i] = kvs.Pair{Key: keys[i], Val: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if err := kvs.MSet(s, pairs); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := kvs.MGet(s, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != n {
+		t.Fatalf("large mget returned %d of %d", len(vals), n)
+	}
+	for i, v := range vals {
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("large mget[%d] = %q", i, v)
+		}
+	}
+}
+
+// testBatchAtomicity checks each key in a batch is written atomically:
+// concurrent MSets of the same keys with distinct sentinel values must never
+// let a reader observe a torn value.
+func testBatchAtomicity(t *testing.T, s kvs.Store) {
+	keys := []string{"at-0", "at-1", "at-2", "at-3"}
+	mkPairs := func(fill byte) []kvs.Pair {
+		pairs := make([]kvs.Pair, len(keys))
+		for i, k := range keys {
+			val := bytes.Repeat([]byte{fill}, 512)
+			pairs[i] = kvs.Pair{Key: k, Val: val}
+		}
+		return pairs
+	}
+	kvs.MSet(s, mkPairs('a'))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(fill byte) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := kvs.MSet(s, mkPairs(fill)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(byte('a' + w))
+	}
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		vals, err := kvs.MGet(s, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if len(v) != 512 {
+				t.Fatalf("torn read on %s: %d bytes", keys[i], len(v))
+			}
+			for _, b := range v {
+				if b != v[0] {
+					t.Fatalf("torn read on %s: mixed fills %q %q", keys[i], v[0], b)
+				}
+			}
+		}
+	}
 }
 
 func testGetSetDelete(t *testing.T, s kvs.Store) {

@@ -23,12 +23,27 @@ import (
 //
 // It deliberately mirrors the shape of RESP (the paper's global tier is
 // Redis) while staying trivially parseable.
+//
+// Batch commands move a whole group in one exchange: MGET "k"... replies
+// MULTI n followed by one VAL/NIL per key; GETRANGES "key" off n [off n]...
+// replies MULTI n with one VAL/NIL per window; MSET n is followed by n
+// entries of the form "key" len\n<payload> and replies a single OK. The
+// client pipelines them — requests written, one flush, replies read — so a
+// batch costs one network round trip per command window of up to MaxBatch
+// entries (MSET windows additionally travel in a single flush), instead of
+// one round trip per key.
 
 // MaxPayload bounds a single declared payload length. A malicious or corrupt
 // length field must not make the server allocate unbounded memory or block
 // reading bytes that will never arrive; oversized declarations get an ERR
 // and the connection is dropped.
 const MaxPayload = 64 << 20
+
+// MaxBatch bounds the entries in one batch command, for the same reason
+// MaxPayload bounds one payload: a declared batch size must not make the
+// server hold unbounded buffered writes. Clients split larger batches into
+// several commands within one pipelined exchange.
+const MaxBatch = 1024
 
 // maxLine bounds one request line (command, quoted keys, numeric args).
 const maxLine = 64 * 1024
@@ -146,10 +161,89 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 		return buf, nil
 	}
 
+	// writeVals emits one VAL/NIL reply per entry (batch replies).
+	writeVals := func(vals [][]byte) {
+		reply("MULTI %d\n", len(vals))
+		for _, v := range vals {
+			if v == nil {
+				reply("NIL\n")
+			} else {
+				reply("VAL %d\n", len(v))
+				w.Write(v)
+			}
+		}
+	}
+
 	cmd := fields[0]
 	switch {
 	case cmd == "PING":
 		reply("OK\n")
+	case cmd == "MGET" && len(fields) >= 2:
+		if len(fields)-1 > MaxBatch {
+			return fmt.Errorf("batch size %d exceeds limit %d", len(fields)-1, MaxBatch)
+		}
+		vals, err := s.engine.MGet(fields[1:])
+		if err != nil {
+			errReply(err)
+			return nil
+		}
+		writeVals(vals)
+	case cmd == "MSET" && len(fields) == 2:
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad batch size %q", fields[1])
+		}
+		if n > MaxBatch {
+			return fmt.Errorf("batch size %d exceeds limit %d", n, MaxBatch)
+		}
+		pairs := make([]Pair, 0, n)
+		var total int
+		for i := 0; i < n; i++ {
+			line, err := readLine(r)
+			if err != nil {
+				return err
+			}
+			sub, err := splitFields(line)
+			if err != nil || len(sub) != 2 {
+				return fmt.Errorf("bad MSET entry %q", line)
+			}
+			payload, err := readPayload(sub[1])
+			if err != nil {
+				return err
+			}
+			// The batch buffers before applying, so the aggregate — not
+			// just each entry — must respect the payload memory bound.
+			if total += len(payload); total > MaxPayload {
+				return fmt.Errorf("batch payload total exceeds limit %d", MaxPayload)
+			}
+			pairs = append(pairs, Pair{Key: sub[0], Val: payload})
+		}
+		if err := s.engine.MSet(pairs); err != nil {
+			errReply(err)
+		} else {
+			reply("OK\n")
+		}
+	case cmd == "GETRANGES" && len(fields) >= 4 && len(fields)%2 == 0:
+		k := (len(fields) - 2) / 2
+		if k > MaxBatch {
+			return fmt.Errorf("batch size %d exceeds limit %d", k, MaxBatch)
+		}
+		ranges := make([]Range, k)
+		for i := 0; i < k; i++ {
+			off, err1 := strconv.Atoi(fields[2+2*i])
+			n, err2 := strconv.Atoi(fields[3+2*i])
+			if err1 != nil || err2 != nil {
+				reply("ERR bad range\n")
+				return nil
+			}
+			ranges[i] = Range{Off: off, N: n}
+		}
+		vals, err := s.engine.GetRanges(fields[1], ranges)
+		if err != nil {
+			errReply(err)
+			return nil
+		}
+		writeVals(vals)
 	case cmd == "GET" && len(fields) == 2:
 		v, err := s.engine.Get(fields[1])
 		if err != nil {
@@ -308,6 +402,19 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 	return nil
 }
 
+// readLine reads one protocol line mid-request (MSET entry headers), capped
+// at the reader's buffer size like the top-level request line.
+func readLine(r *bufio.Reader) (string, error) {
+	raw, err := r.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return "", errors.New("request line too long")
+		}
+		return "", err
+	}
+	return strings.TrimSuffix(string(raw), "\n"), nil
+}
+
 func boolInt(b bool) int {
 	if b {
 		return 1
@@ -384,12 +491,7 @@ func NewClient(addr string) *Client {
 	return &Client{addr: addr, pool: make(chan *clientConn, poolSize), max: poolSize}
 }
 
-func (c *Client) getConn() (*clientConn, error) {
-	select {
-	case cc := <-c.pool:
-		return cc, nil
-	default:
-	}
+func (c *Client) dial() (*clientConn, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("kvs: dial %s: %w", c.addr, err)
@@ -399,6 +501,19 @@ func (c *Client) getConn() (*clientConn, error) {
 		r:    bufio.NewReaderSize(conn, 64*1024),
 		w:    bufio.NewWriterSize(conn, 64*1024),
 	}, nil
+}
+
+// getConn returns a connection and whether it came from the pool. Pooled
+// connections may have been closed server-side while idle; callers retry
+// those once (see pipelined).
+func (c *Client) getConn() (*clientConn, bool, error) {
+	select {
+	case cc := <-c.pool:
+		return cc, true, nil
+	default:
+	}
+	cc, err := c.dial()
+	return cc, false, err
 }
 
 func (c *Client) putConn(cc *clientConn) {
@@ -421,41 +536,93 @@ func (c *Client) Close() error {
 	}
 }
 
-// roundTrip sends one request and parses the status line. Payload handling
-// is done by the caller via the returned reader.
-func (c *Client) roundTrip(req string, payload []byte, handle func(status string, r *bufio.Reader) error) error {
-	cc, err := c.getConn()
+// pipelined runs one request/reply exchange: send writes the entire —
+// possibly multi-request — batch, then after a single flush recv parses the
+// entire reply stream. reqBytes is the request size for transfer accounting
+// (counted once per logical exchange, on success).
+//
+// A connection handed back by the pool can have been closed server-side
+// while it sat idle; such a conn fails at the first write or before the
+// first reply byte arrives, in which case the exchange retries once on a
+// freshly dialed connection instead of surfacing a spurious error — but
+// only when retriable. There is a narrow race where the server executed the
+// request and died before flushing the reply; replaying is harmless for
+// value reads/writes (same bytes land again) but would double-apply INCR
+// and APPEND and leak a LOCK lease, so those commands pass retriable=false
+// and surface the error. Failures after the first reply byte never retry:
+// the reply is underway and the stream position is unrecoverable.
+func (c *Client) pipelined(reqBytes int, retriable bool, send func(w *bufio.Writer) error, recv func(r *bufio.Reader) error) error {
+	cc, fromPool, err := c.getConn()
 	if err != nil {
 		return err
 	}
-	ok := false
-	defer func() {
-		if ok {
-			c.putConn(cc)
-		} else {
-			cc.conn.Close()
+	attempt := func(cc *clientConn) (err error, started bool) {
+		if err := send(cc.w); err != nil {
+			return err, false
 		}
-	}()
-	if _, err := cc.w.WriteString(req); err != nil {
+		if err := cc.w.Flush(); err != nil {
+			return err, false
+		}
+		// Peek blocks until the first reply byte (or the conn's death)
+		// without consuming it, separating "stale conn, safe to retry"
+		// from "reply underway, must not replay".
+		if _, err := cc.r.Peek(1); err != nil {
+			return err, false
+		}
+		return recv(cc.r), true
+	}
+	err, started := attempt(cc)
+	if err == nil {
+		c.Sent.Add(int64(reqBytes))
+		c.putConn(cc)
+		return nil
+	}
+	cc.conn.Close()
+	if !fromPool || started || !retriable {
 		return err
 	}
-	if _, err := cc.w.Write(payload); err != nil {
+	cc, derr := c.dial()
+	if derr != nil {
 		return err
 	}
-	if err := cc.w.Flush(); err != nil {
+	if err, _ := attempt(cc); err != nil {
+		cc.conn.Close()
 		return err
 	}
-	c.Sent.Add(int64(len(req) + len(payload)))
-	status, err := cc.r.ReadString('\n')
-	if err != nil {
-		return err
-	}
-	c.Received.Add(int64(len(status)))
-	if err := handle(strings.TrimSuffix(status, "\n"), cc.r); err != nil {
-		return err
-	}
-	ok = true
+	c.Sent.Add(int64(reqBytes))
+	c.putConn(cc)
 	return nil
+}
+
+// roundTrip sends one request and parses the status line. Payload handling
+// is done by the caller via the passed reader.
+func (c *Client) roundTrip(req string, payload []byte, handle func(status string, r *bufio.Reader) error) error {
+	return c.roundTripRetry(req, payload, true, handle)
+}
+
+// roundTripOnce is roundTrip without the stale-conn replay, for commands
+// whose effect must not be applied twice (INCR, APPEND, LOCK).
+func (c *Client) roundTripOnce(req string, payload []byte, handle func(status string, r *bufio.Reader) error) error {
+	return c.roundTripRetry(req, payload, false, handle)
+}
+
+func (c *Client) roundTripRetry(req string, payload []byte, retriable bool, handle func(status string, r *bufio.Reader) error) error {
+	return c.pipelined(len(req)+len(payload), retriable,
+		func(w *bufio.Writer) error {
+			if _, err := w.WriteString(req); err != nil {
+				return err
+			}
+			_, err := w.Write(payload)
+			return err
+		},
+		func(r *bufio.Reader) error {
+			status, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			c.Received.Add(int64(len(status)))
+			return handle(strings.TrimSuffix(status, "\n"), r)
+		})
 }
 
 func parseIntReply(status string) (int64, error) {
@@ -531,10 +698,11 @@ func (c *Client) SetRange(key string, off int, val []byte) error {
 	return c.roundTrip(fmt.Sprintf("SETRANGE %s %d %d\n", strconv.Quote(key), off, len(val)), val, expectOK)
 }
 
-// Append implements Store.
+// Append implements Store. Appends must not replay on a stale pooled conn —
+// a double-applied append corrupts the value.
 func (c *Client) Append(key string, val []byte) (int, error) {
 	var out int
-	err := c.roundTrip(fmt.Sprintf("APPEND %s %d\n", strconv.Quote(key), len(val)), val,
+	err := c.roundTripOnce(fmt.Sprintf("APPEND %s %d\n", strconv.Quote(key), len(val)), val,
 		func(status string, _ *bufio.Reader) error {
 			n, err := parseIntReply(status)
 			out = int(n)
@@ -560,10 +728,12 @@ func (c *Client) Delete(key string) error {
 	return c.roundTrip(fmt.Sprintf("DEL %s\n", strconv.Quote(key)), nil, expectOK)
 }
 
-// SAdd implements Store.
+// SAdd implements Store. No stale-conn replay: replaying is harmless to set
+// state, but a replay of an applied SADD reports added=false for a call
+// that in fact added the member, breaking first-to-add callers.
 func (c *Client) SAdd(key, member string) (bool, error) {
 	var out bool
-	err := c.roundTrip(fmt.Sprintf("SADD %s %s\n", strconv.Quote(key), strconv.Quote(member)), nil,
+	err := c.roundTripOnce(fmt.Sprintf("SADD %s %s\n", strconv.Quote(key), strconv.Quote(member)), nil,
 		func(status string, _ *bufio.Reader) error {
 			n, err := parseIntReply(status)
 			out = n == 1
@@ -572,10 +742,11 @@ func (c *Client) SAdd(key, member string) (bool, error) {
 	return out, err
 }
 
-// SRem implements Store.
+// SRem implements Store. No stale-conn replay, mirroring SAdd: the removed
+// boolean of a replayed SREM would be wrong.
 func (c *Client) SRem(key, member string) (bool, error) {
 	var out bool
-	err := c.roundTrip(fmt.Sprintf("SREM %s %s\n", strconv.Quote(key), strconv.Quote(member)), nil,
+	err := c.roundTripOnce(fmt.Sprintf("SREM %s %s\n", strconv.Quote(key), strconv.Quote(member)), nil,
 		func(status string, _ *bufio.Reader) error {
 			n, err := parseIntReply(status)
 			out = n == 1
@@ -645,10 +816,11 @@ func (c *Client) AllKeys() ([]KeyInfo, error) {
 	return out, err
 }
 
-// Incr implements Store.
+// Incr implements Store. Increments must not replay on a stale pooled conn —
+// a double-applied delta is a lost-update in reverse.
 func (c *Client) Incr(key string, delta int64) (int64, error) {
 	var out int64
-	err := c.roundTrip(fmt.Sprintf("INCR %s %d\n", strconv.Quote(key), delta), nil,
+	err := c.roundTripOnce(fmt.Sprintf("INCR %s %d\n", strconv.Quote(key), delta), nil,
 		func(status string, _ *bufio.Reader) error {
 			n, err := parseIntReply(status)
 			out = n
@@ -658,13 +830,15 @@ func (c *Client) Incr(key string, delta int64) (int64, error) {
 }
 
 // Lock implements Store. The call blocks server-side until acquired.
+// Acquires must not replay on a stale pooled conn — a replayed LOCK whose
+// first application succeeded would leak the first lease until its TTL.
 func (c *Client) Lock(key string, write bool, ttl time.Duration) (uint64, error) {
 	mode := "r"
 	if write {
 		mode = "w"
 	}
 	var out uint64
-	err := c.roundTrip(fmt.Sprintf("LOCK %s %s %d\n", strconv.Quote(key), mode, ttl.Milliseconds()), nil,
+	err := c.roundTripOnce(fmt.Sprintf("LOCK %s %s %d\n", strconv.Quote(key), mode, ttl.Milliseconds()), nil,
 		func(status string, _ *bufio.Reader) error {
 			n, err := parseIntReply(status)
 			out = uint64(n)
@@ -678,4 +852,194 @@ func (c *Client) Unlock(key string, token uint64) error {
 	return c.roundTrip(fmt.Sprintf("UNLOCK %s %d\n", strconv.Quote(key), token), nil, expectOK)
 }
 
-var _ Store = (*Client)(nil)
+// readBatchVals consumes one MULTI reply carrying want VAL/NIL entries,
+// appending the values to out.
+func (c *Client) readBatchVals(r *bufio.Reader, want int, out *[][]byte) error {
+	status, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	c.Received.Add(int64(len(status)))
+	st := strings.TrimSuffix(status, "\n")
+	if !strings.HasPrefix(st, "MULTI ") {
+		return replyError(st)
+	}
+	n, err := strconv.Atoi(st[6:])
+	if err != nil || n != want {
+		return fmt.Errorf("kvs: bad batch reply count %q (want %d)", st, want)
+	}
+	for i := 0; i < n; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		c.Received.Add(int64(len(line)))
+		v, err := c.readVal(strings.TrimSuffix(line, "\n"), r)
+		if err != nil {
+			return err
+		}
+		*out = append(*out, v)
+	}
+	return nil
+}
+
+// batchLines renders one command line per window of at most MaxBatch
+// entries, splitting early when a line would overflow the server's line
+// cap. prefix opens each line; arg renders entry i including its leading
+// space. Returns the lines and each line's entry count.
+func batchLines(prefix string, n int, arg func(i int) string) (lines []string, counts []int) {
+	var sb strings.Builder
+	count := 0
+	cut := func() {
+		if count > 0 {
+			sb.WriteByte('\n')
+			lines = append(lines, sb.String())
+			counts = append(counts, count)
+			sb.Reset()
+			count = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		a := arg(i)
+		if count >= MaxBatch || (count > 0 && sb.Len()+len(a) >= maxLine-1) {
+			cut()
+		}
+		if count == 0 {
+			sb.WriteString(prefix)
+		}
+		sb.WriteString(a)
+		count++
+	}
+	cut()
+	return lines, counts
+}
+
+// exchangeWindows runs one pipelined exchange per command line, appending
+// each window's VAL/NIL entries to out. The bounded per-window exchange
+// keeps client and server from deadlocking on full TCP buffers when both
+// sides would otherwise stream megabytes blindly.
+func (c *Client) exchangeWindows(lines []string, counts []int, out *[][]byte) error {
+	for li, line := range lines {
+		err := c.pipelined(len(line), true,
+			func(w *bufio.Writer) error {
+				_, err := w.WriteString(line)
+				return err
+			},
+			func(r *bufio.Reader) error {
+				return c.readBatchVals(r, counts[li], out)
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MGet implements Batcher over the wire: one pipelined exchange — request
+// written, one flush, all replies read — per MGET command of up to MaxBatch
+// keys, instead of one round trip per key.
+func (c *Client) MGet(keys []string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	lines, counts := batchLines("MGET", len(keys), func(i int) string {
+		return " " + strconv.Quote(keys[i])
+	})
+	out := make([][]byte, 0, len(keys))
+	if err := c.exchangeWindows(lines, counts, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MSet implements Batcher over the wire: the whole batch — split into MSET
+// commands of at most MaxBatch entries — is written and flushed once, then
+// one OK per command is read back. Unlike MGet, one exchange is safe at any
+// size: the server consumes the request stream before each tiny OK reply,
+// so reply backpressure cannot wedge the writing client.
+func (c *Client) MSet(pairs []Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	// Chunk on both the server's entry cap and its aggregate payload bound
+	// (the server buffers a whole MSET before applying).
+	var chunks [][]Pair
+	start, bytes := 0, 0
+	for i, p := range pairs {
+		if i > start && (i-start >= MaxBatch || bytes+len(p.Val) > MaxPayload) {
+			chunks = append(chunks, pairs[start:i])
+			start, bytes = i, 0
+		}
+		bytes += len(p.Val)
+	}
+	chunks = append(chunks, pairs[start:])
+	// Pre-render entry headers so the request size fed to the transfer
+	// counter is the exact byte count send() writes.
+	headers := make([][]string, len(chunks))
+	cmds := make([]string, len(chunks))
+	reqBytes := 0
+	for ci, ch := range chunks {
+		cmds[ci] = fmt.Sprintf("MSET %d\n", len(ch))
+		reqBytes += len(cmds[ci])
+		headers[ci] = make([]string, len(ch))
+		for i, p := range ch {
+			headers[ci][i] = fmt.Sprintf("%s %d\n", strconv.Quote(p.Key), len(p.Val))
+			reqBytes += len(headers[ci][i]) + len(p.Val)
+		}
+	}
+	return c.pipelined(reqBytes, true,
+		func(w *bufio.Writer) error {
+			for ci, ch := range chunks {
+				if _, err := w.WriteString(cmds[ci]); err != nil {
+					return err
+				}
+				for i, p := range ch {
+					if _, err := w.WriteString(headers[ci][i]); err != nil {
+						return err
+					}
+					if _, err := w.Write(p.Val); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		func(r *bufio.Reader) error {
+			for range chunks {
+				status, err := r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				c.Received.Add(int64(len(status)))
+				if err := expectOK(strings.TrimSuffix(status, "\n"), r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+// GetRanges implements Batcher over the wire: all windows of one key in one
+// pipelined exchange per GETRANGES command of up to MaxBatch windows. The
+// single-observation guarantee holds per command: a batch needing several
+// command windows may observe different value versions across them (see the
+// Batcher contract).
+func (c *Client) GetRanges(key string, ranges []Range) ([][]byte, error) {
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	prefix := "GETRANGES " + strconv.Quote(key)
+	lines, counts := batchLines(prefix, len(ranges), func(i int) string {
+		return fmt.Sprintf(" %d %d", ranges[i].Off, ranges[i].N)
+	})
+	out := make([][]byte, 0, len(ranges))
+	if err := c.exchangeWindows(lines, counts, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var (
+	_ Store   = (*Client)(nil)
+	_ Batcher = (*Client)(nil)
+)

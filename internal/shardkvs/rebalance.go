@@ -32,7 +32,7 @@ func (r *Ring) Attach(id string, store kvs.Store) error {
 	if _, dup := r.nodes[id]; dup {
 		return fmt.Errorf("shardkvs: node %q already joined", id)
 	}
-	r.nodes[id] = &node{id: id, store: store}
+	r.nodes[id] = newNode(id, store)
 	r.points = buildPoints(r.nodeIDsLocked(), r.opts.VirtualNodes)
 	return nil
 }
@@ -52,7 +52,7 @@ func (r *Ring) Join(id string, store kvs.Store) (MigrationStats, error) {
 	if _, dup := r.nodes[id]; dup {
 		return MigrationStats{}, fmt.Errorf("shardkvs: node %q already joined", id)
 	}
-	r.nodes[id] = &node{id: id, store: store}
+	r.nodes[id] = newNode(id, store)
 	newPoints := buildPoints(r.nodeIDsLocked(), r.opts.VirtualNodes)
 	if len(r.points) == 0 {
 		// First node: nothing to stream.

@@ -9,10 +9,12 @@
 // the owning shard, lease locks included (a key's lock lives on its primary,
 // so lock semantics are exactly one engine's semantics). Replication factor
 // R places each key on the R distinct nodes clockwise from its hash; writes
-// go to the primary first and fan out to replicas, reads follow a
-// configurable preference. Nodes join and leave at runtime: the rebalancer
-// streams only the hash ranges whose ownership changed, never the whole
-// keyspace.
+// fan out to all R copies in parallel (a replicated write costs the slowest
+// copy, not R serial writes), reads follow a configurable preference. Ring
+// also implements kvs.Batcher: batched operations group their keys by owner
+// and issue one batch per shard, shards in parallel. Nodes join and leave at
+// runtime: the rebalancer streams only the hash ranges whose ownership
+// changed, never the whole keyspace.
 //
 // Consistency notes: replica fan-out is synchronous and a per-key write
 // fence orders concurrent writers through one ring instance, so an
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -66,6 +69,36 @@ type Options struct {
 type node struct {
 	id    string
 	store kvs.Store
+	// inproc marks an in-process engine shard, whose operations are pure
+	// CPU work. Fan-out parallelism is pointless for those on a single-CPU
+	// host (see spawnFanOut).
+	inproc bool
+}
+
+func newNode(id string, store kvs.Store) *node {
+	_, inproc := store.(*kvs.Engine)
+	return &node{id: id, store: store, inproc: inproc}
+}
+
+// spawnFanOut reports whether ops against the given nodes should fan out on
+// goroutines. Spawning is the default — replica writes and per-shard
+// batches then cost the slowest target instead of the sum — except when it
+// cannot possibly help: on a single-CPU host, in-process engine shards are
+// CPU-bound memory ops, so goroutines only add scheduling overhead to every
+// write. Remote shards always fan out; their round trips park on I/O and
+// overlap even on one CPU.
+func spawnFanOut(nodes []*node) bool {
+	// GOMAXPROCS, not NumCPU: a 1-proc cap on a multi-core host still means
+	// goroutines cannot run in parallel.
+	if runtime.GOMAXPROCS(0) > 1 {
+		return true
+	}
+	for _, n := range nodes {
+		if !n.inproc {
+			return true
+		}
+	}
+	return false
 }
 
 // point is one virtual node position on the hash circle.
@@ -272,10 +305,21 @@ func (r *Ring) writeFence(key string) func() {
 }
 
 // writeVal applies op to the key's primary and fans the same op out to its
-// replicas, returning the primary's result. The primary's error aborts the
-// fan-out; a replica error is returned after all replicas were attempted,
-// so in-sync replicas do not diverge further on one bad node. (A package
-// function because methods cannot take type parameters.)
+// replicas, returning the primary's result. The fan-out is parallel: every
+// copy applies the op concurrently, so a replicated write costs the slowest
+// copy instead of the sum over R copies (sequential fan-out made R=2 double
+// write latency). The write fence above keeps concurrent writers to one key
+// ordered identically on every copy, so parallelism cannot diverge an
+// error-free write.
+//
+// Error semantics: any error (primary or replica) means the write's copies
+// may disagree — in the parallel path a replica can even have applied an op
+// the primary rejected, because the copies start concurrently. Callers must
+// treat an errored write as indeterminate: retry it (Set/SetRange replays
+// converge every copy) or run Rebalance to re-converge placement. The
+// single-CPU inline path keeps the stricter primary-first order as a side
+// effect, but callers must not rely on it. (A package function because
+// methods cannot take type parameters.)
 func writeVal[T any](r *Ring, key string, op func(s kvs.Store) (T, error)) (T, error) {
 	if unlock := r.writeFence(key); unlock != nil {
 		defer unlock()
@@ -285,18 +329,46 @@ func writeVal[T any](r *Ring, key string, op func(s kvs.Store) (T, error)) (T, e
 		var zero T
 		return zero, err
 	}
-	v, err := op(primary.store)
-	if err != nil {
-		var zero T
-		return zero, err
+	if len(replicas) == 0 {
+		return op(primary.store)
 	}
-	var firstErr error
-	for _, rep := range replicas {
-		if _, err := op(rep.store); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("shardkvs: replica %s: %w", rep.id, err)
+	if !spawnFanOut(replicas) {
+		v, err := op(primary.store)
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		var firstErr error
+		for _, rep := range replicas {
+			if _, err := op(rep.store); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("shardkvs: replica %s: %w", rep.id, err)
+			}
+		}
+		return v, firstErr
+	}
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i, rep := range replicas {
+		wg.Add(1)
+		go func(i int, rep *node) {
+			defer wg.Done()
+			if _, err := op(rep.store); err != nil {
+				errs[i] = fmt.Errorf("shardkvs: replica %s: %w", rep.id, err)
+			}
+		}(i, rep)
+	}
+	v, perr := op(primary.store)
+	wg.Wait()
+	if perr != nil {
+		var zero T
+		return zero, perr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return v, e
 		}
 	}
-	return v, firstErr
+	return v, nil
 }
 
 // write is writeVal for operations without a result.
@@ -397,6 +469,212 @@ func (r *Ring) Incr(key string, delta int64) (int64, error) {
 	return writeVal(r, key, func(s kvs.Store) (int64, error) { return s.Incr(key, delta) })
 }
 
+// writeFenceAll is writeFence for a batch: the write stripes of every key
+// are taken in ascending stripe order (so concurrent batches cannot
+// deadlock) and held for the whole batched write. Stripes fit one uint64
+// bitmask. Returns nil when the tier is unreplicated.
+func (r *Ring) writeFenceAll(pairs []kvs.Pair) func() {
+	if r.opts.Replication <= 1 {
+		return nil
+	}
+	var mask uint64
+	for _, p := range pairs {
+		mask |= 1 << (hashKey(p.Key) & 63)
+	}
+	for i := 0; i < 64; i++ {
+		if mask&(1<<i) != 0 {
+			r.writeStripes[i].Lock()
+		}
+	}
+	return func() {
+		for i := 0; i < 64; i++ {
+			if mask&(1<<i) != 0 {
+				r.writeStripes[i].Unlock()
+			}
+		}
+	}
+}
+
+// nodeGroup is one shard's slice of a batch: the indices (into the original
+// batch) this node serves.
+type nodeGroup struct {
+	n   *node
+	idx []int
+}
+
+// groupBy buckets batch indices by the node pick returns for each key.
+func groupBy(count int, pick func(i int) (*node, error)) ([]nodeGroup, error) {
+	byNode := map[*node]int{}
+	var groups []nodeGroup
+	for i := 0; i < count; i++ {
+		n, err := pick(i)
+		if err != nil {
+			return nil, err
+		}
+		gi, ok := byNode[n]
+		if !ok {
+			gi = len(groups)
+			byNode[n] = gi
+			groups = append(groups, nodeGroup{n: n})
+		}
+		groups[gi].idx = append(groups[gi].idx, i)
+	}
+	return groups, nil
+}
+
+// eachGroup runs op for every group, concurrently when there is more than
+// one (and parallelism can help — see spawnFanOut), and returns the first
+// error.
+func eachGroup(groups []nodeGroup, op func(g nodeGroup) error) error {
+	serial := len(groups) == 1
+	if !serial {
+		nodes := make([]*node, len(groups))
+		for i := range groups {
+			nodes[i] = groups[i].n
+		}
+		serial = !spawnFanOut(nodes)
+	}
+	if serial {
+		for _, g := range groups {
+			if err := op(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			errs[gi] = op(groups[gi])
+		}(gi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// MGet implements kvs.Batcher: keys are grouped by the shard that serves
+// their read and one batch issues per shard, all shards in parallel — so a
+// cross-shard batch costs one shard round trip, not one per key.
+func (r *Ring) MGet(keys []string) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	groups, err := groupBy(len(keys), func(i int) (*node, error) { return r.readNode(keys[i]) })
+	if err != nil {
+		return nil, err
+	}
+	err = eachGroup(groups, func(g nodeGroup) error {
+		sub := make([]string, len(g.idx))
+		for j, i := range g.idx {
+			sub[j] = keys[i]
+		}
+		vals, err := kvs.MGet(g.n.store, sub)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(g.idx) {
+			return fmt.Errorf("shardkvs: node %s returned %d values for %d keys", g.n.id, len(vals), len(g.idx))
+		}
+		for j, i := range g.idx {
+			out[i] = vals[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MSet implements kvs.Batcher: pairs are grouped by owner and one batch
+// issues per shard, shards in parallel. Primaries commit first (all of
+// them, concurrently); replica batches fan out only after every primary
+// batch landed, so a primary error cannot leave replicas ahead of their
+// primary. The multi-key write fence holds for the whole batch.
+func (r *Ring) MSet(pairs []kvs.Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if unlock := r.writeFenceAll(pairs); unlock != nil {
+		defer unlock()
+	}
+	primaries := make([]*node, len(pairs))
+	replicas := make([][]*node, len(pairs))
+	for i, p := range pairs {
+		pri, reps, err := r.route(p.Key)
+		if err != nil {
+			return err
+		}
+		primaries[i] = pri
+		replicas[i] = reps
+	}
+	send := func(groups []nodeGroup) error {
+		return eachGroup(groups, func(g nodeGroup) error {
+			sub := make([]kvs.Pair, len(g.idx))
+			for j, i := range g.idx {
+				sub[j] = pairs[i]
+			}
+			if err := kvs.MSet(g.n.store, sub); err != nil {
+				return fmt.Errorf("shardkvs: node %s: %w", g.n.id, err)
+			}
+			return nil
+		})
+	}
+	priGroups, err := groupBy(len(pairs), func(i int) (*node, error) { return primaries[i], nil })
+	if err != nil {
+		return err
+	}
+	if err := send(priGroups); err != nil {
+		return err
+	}
+	// Flatten (pair, replica) placements and group them by node.
+	type placement struct{ pair, rep int }
+	var places []placement
+	for i, reps := range replicas {
+		for ri := range reps {
+			places = append(places, placement{i, ri})
+		}
+	}
+	if len(places) == 0 {
+		return nil
+	}
+	repGroups, err := groupBy(len(places), func(i int) (*node, error) {
+		return replicas[places[i].pair][places[i].rep], nil
+	})
+	if err != nil {
+		return err
+	}
+	return eachGroup(repGroups, func(g nodeGroup) error {
+		sub := make([]kvs.Pair, len(g.idx))
+		for j, i := range g.idx {
+			sub[j] = pairs[places[i].pair]
+		}
+		if err := kvs.MSet(g.n.store, sub); err != nil {
+			return fmt.Errorf("shardkvs: replica %s: %w", g.n.id, err)
+		}
+		return nil
+	})
+}
+
+// GetRanges implements kvs.Batcher: one key lives on one shard, so the whole
+// window batch forwards to the shard serving the read.
+func (r *Ring) GetRanges(key string, ranges []kvs.Range) ([][]byte, error) {
+	n, err := r.readNode(key)
+	if err != nil {
+		return nil, err
+	}
+	return kvs.GetRanges(n.store, key, ranges)
+}
+
 // Lock implements kvs.Store: a key's lease lock lives on its owning
 // primary, so mutual exclusion is exactly one engine's semantics regardless
 // of replication.
@@ -471,6 +749,7 @@ func listKeys(n *node) ([]kvs.KeyInfo, error) {
 }
 
 var (
-	_ kvs.Store  = (*Ring)(nil)
-	_ kvs.Lister = (*Ring)(nil)
+	_ kvs.Store   = (*Ring)(nil)
+	_ kvs.Lister  = (*Ring)(nil)
+	_ kvs.Batcher = (*Ring)(nil)
 )

@@ -206,6 +206,45 @@ func (s *Store) Incr(key string, delta int64) (int64, error) {
 	return v, err
 }
 
+// MGet implements kvs.Batcher. The whole batch is charged as one exchange —
+// all keys out, all values back, a single per-operation latency — which is
+// the win the wire protocol's pipelined MGET realises on a real network.
+func (s *Store) MGet(keys []string) ([][]byte, error) {
+	vals, err := kvs.MGet(s.inner, keys)
+	sent := int64(reqOverhead)
+	for _, k := range keys {
+		sent += int64(len(k))
+	}
+	var recv int64 = reqOverhead
+	for _, v := range vals {
+		recv += int64(len(v))
+	}
+	s.net.Transfer(s.host, sent, recv)
+	return vals, err
+}
+
+// MSet implements kvs.Batcher, charged as one exchange.
+func (s *Store) MSet(pairs []kvs.Pair) error {
+	err := kvs.MSet(s.inner, pairs)
+	sent := int64(reqOverhead)
+	for _, p := range pairs {
+		sent += int64(len(p.Key) + len(p.Val))
+	}
+	s.net.Transfer(s.host, sent, reqOverhead)
+	return err
+}
+
+// GetRanges implements kvs.Batcher, charged as one exchange.
+func (s *Store) GetRanges(key string, ranges []kvs.Range) ([][]byte, error) {
+	vals, err := kvs.GetRanges(s.inner, key, ranges)
+	var recv int64 = reqOverhead
+	for _, v := range vals {
+		recv += int64(len(v))
+	}
+	s.net.Transfer(s.host, reqOverhead+int64(len(key))+16*int64(len(ranges)), recv)
+	return vals, err
+}
+
 // Lock implements kvs.Store. Only the fixed round-trip is charged; lock
 // wait time is contention, not transfer.
 func (s *Store) Lock(key string, write bool, ttl time.Duration) (uint64, error) {
@@ -219,4 +258,7 @@ func (s *Store) Unlock(key string, token uint64) error {
 	return s.inner.Unlock(key, token)
 }
 
-var _ kvs.Store = (*Store)(nil)
+var (
+	_ kvs.Store   = (*Store)(nil)
+	_ kvs.Batcher = (*Store)(nil)
+)

@@ -19,6 +19,7 @@ package state
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -182,6 +183,9 @@ type Value struct {
 	// mu guards the chunk-presence bitmap.
 	mu     sync.Mutex
 	chunks []bool
+	// pulled counts true entries in chunks, so marking a pull is O(chunks
+	// touched) instead of rescanning the whole bitmap for completeness.
+	pulled int
 	all    bool
 }
 
@@ -238,29 +242,34 @@ func (v *Value) missing(off, n int) bool {
 	return false
 }
 
-func (v *Value) markPulled(off, n int) {
-	v.mu.Lock()
+// markPulledLocked marks the chunks covering [off, off+n) present. Caller
+// holds v.mu.
+func (v *Value) markPulledLocked(off, n int) {
 	lo, hi := v.chunkRange(off, n)
 	for i := lo; i < hi; i++ {
-		v.chunks[i] = true
-	}
-	all := true
-	for _, c := range v.chunks {
-		if !c {
-			all = false
-			break
+		if !v.chunks[i] {
+			v.chunks[i] = true
+			v.pulled++
 		}
 	}
-	v.all = all
+	v.all = v.pulled == len(v.chunks)
+}
+
+func (v *Value) markPulled(off, n int) {
+	v.mu.Lock()
+	v.markPulledLocked(off, n)
 	v.mu.Unlock()
 }
 
 func (v *Value) markAll() {
 	v.mu.Lock()
-	for i := range v.chunks {
-		v.chunks[i] = true
+	if !v.all {
+		for i := range v.chunks {
+			v.chunks[i] = true
+		}
+		v.pulled = len(v.chunks)
+		v.all = true
 	}
-	v.all = true
 	v.mu.Unlock()
 }
 
@@ -282,30 +291,107 @@ func (v *Value) Pull() error {
 // PullChunk replicates only the chunks covering [off, off+n)
 // (pull_state_offset). Already-present chunks are not re-fetched.
 func (v *Value) PullChunk(off, n int) error {
-	if err := v.checkRange(off, n); err != nil {
-		return err
+	return v.PullChunks([]kvs.Range{{Off: off, N: n}})
+}
+
+// missingSpans converts the requested ranges into the byte spans that still
+// need fetching: the chunk intervals are merged, and within each interval
+// runs of contiguous missing chunks become one span (clipped to the value
+// size). Caller holds v.lock; v.mu is taken here.
+func (v *Value) missingSpans(ranges []kvs.Range) []kvs.Range {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.all {
+		return nil
 	}
-	if !v.missing(off, n) {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, 0, len(ranges))
+	for _, rg := range ranges {
+		lo, hi := v.chunkRange(rg.Off, rg.N)
+		if lo < hi {
+			ivs = append(ivs, iv{lo, hi})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var spans []kvs.Range
+	emit := func(lo, hi int) { // chunk run [lo, hi) → byte span
+		start := lo * ChunkSize
+		end := hi * ChunkSize
+		if end > v.size {
+			end = v.size
+		}
+		spans = append(spans, kvs.Range{Off: start, N: end - start})
+	}
+	prevHi := 0 // merged intervals: skip chunks already visited
+	for _, in := range ivs {
+		lo := in.lo
+		if lo < prevHi {
+			lo = prevHi
+		}
+		runStart := -1
+		for i := lo; i < in.hi; i++ {
+			if !v.chunks[i] {
+				if runStart < 0 {
+					runStart = i
+				}
+			} else if runStart >= 0 {
+				emit(runStart, i)
+				runStart = -1
+			}
+		}
+		if runStart >= 0 {
+			emit(runStart, in.hi)
+		}
+		if in.hi > prevHi {
+			prevHi = in.hi
+		}
+	}
+	return spans
+}
+
+// PullChunks replicates the chunks covering every [Off, Off+N) range in one
+// coalesced global-tier exchange — the batched pull_state_offset. Only the
+// chunks still missing are fetched: contiguous missing chunks merge into one
+// range, and a global store implementing kvs.Batcher serves all ranges in a
+// single round trip. This is how sparse DDO access (Fig 4's chunked value C)
+// prefetches scattered windows without paying one round trip per window.
+func (v *Value) PullChunks(ranges []kvs.Range) error {
+	for _, rg := range ranges {
+		if err := v.checkRange(rg.Off, rg.N); err != nil {
+			return err
+		}
+	}
+	missingAny := false
+	for _, rg := range ranges {
+		if v.missing(rg.Off, rg.N) {
+			missingAny = true
+			break
+		}
+	}
+	if !missingAny {
 		return nil
 	}
 	v.lock.Lock()
 	defer v.lock.Unlock()
-	if !v.missing(off, n) { // raced with another puller
+	spans := v.missingSpans(ranges)
+	if len(spans) == 0 { // raced with another puller
 		return nil
 	}
-	lo, hi := v.chunkRange(off, n)
-	start := lo * ChunkSize
-	end := hi * ChunkSize
-	if end > v.size {
-		end = v.size
-	}
-	data, err := v.tier.global.GetRange(v.key, start, end-start)
+	parts, err := kvs.GetRanges(v.tier.global, v.key, spans)
 	if err != nil {
-		return fmt.Errorf("state: pull chunk %s[%d:%d]: %w", v.key, start, end, err)
+		return fmt.Errorf("state: pull chunks %s: %w", v.key, err)
 	}
-	copy(v.seg.Bytes()[start:], data)
-	v.tier.Pulled.Add(int64(len(data)))
-	v.markPulled(off, n)
+	var pulled int64
+	for i, sp := range spans {
+		copy(v.seg.Bytes()[sp.Off:], parts[i])
+		pulled += int64(len(parts[i]))
+	}
+	v.tier.Pulled.Add(pulled)
+	v.mu.Lock()
+	for _, sp := range spans {
+		v.markPulledLocked(sp.Off, sp.N)
+	}
+	v.mu.Unlock()
 	return nil
 }
 

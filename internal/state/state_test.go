@@ -357,3 +357,153 @@ func BenchmarkSharedBytesAccess(b *testing.B) {
 	}
 	_ = sink
 }
+
+// trackingStore wraps a store and records every ranged read, so tests can
+// assert how many global-tier exchanges a pull issued and which spans moved.
+type trackingStore struct {
+	kvs.Store
+	mu         sync.Mutex
+	getRanges  int // GetRange calls (single exchanges)
+	batchCalls int // GetRanges calls (batched exchanges)
+	spans      []kvs.Range
+}
+
+func (ts *trackingStore) GetRange(key string, off, n int) ([]byte, error) {
+	ts.mu.Lock()
+	ts.getRanges++
+	ts.spans = append(ts.spans, kvs.Range{Off: off, N: n})
+	ts.mu.Unlock()
+	return ts.Store.GetRange(key, off, n)
+}
+
+func (ts *trackingStore) GetRanges(key string, ranges []kvs.Range) ([][]byte, error) {
+	ts.mu.Lock()
+	ts.batchCalls++
+	ts.spans = append(ts.spans, ranges...)
+	ts.mu.Unlock()
+	return kvs.GetRanges(ts.Store, key, ranges)
+}
+
+// MGet/MSet forward so *trackingStore satisfies the full kvs.Batcher.
+func (ts *trackingStore) MGet(keys []string) ([][]byte, error) { return kvs.MGet(ts.Store, keys) }
+func (ts *trackingStore) MSet(pairs []kvs.Pair) error          { return kvs.MSet(ts.Store, pairs) }
+
+func TestPullChunksCoalescesMissingSpans(t *testing.T) {
+	e := kvs.NewEngine()
+	ts := &trackingStore{Store: e}
+	lt := NewLocalTier(ts)
+	// 8 chunks of authoritative data.
+	data := make([]byte, 8*ChunkSize)
+	for i := range data {
+		data[i] = byte(i / ChunkSize)
+	}
+	e.Set("m", data)
+	v, err := lt.Value("m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-pull chunks 2 and 5, leaving holes around them.
+	if err := v.PullChunk(2*ChunkSize, ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PullChunk(5*ChunkSize, ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	ts.mu.Lock()
+	ts.spans = nil
+	ts.batchCalls = 0
+	ts.mu.Unlock()
+	// Pull chunks [0,7): chunks 2 and 5 are resident, so exactly three
+	// missing runs ([0,2), [3,5), [6,7)) must travel in ONE batched
+	// exchange.
+	if err := v.PullChunks([]kvs.Range{{Off: 0, N: 7 * ChunkSize}}); err != nil {
+		t.Fatal(err)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.batchCalls != 1 {
+		t.Fatalf("batched exchanges = %d, want 1", ts.batchCalls)
+	}
+	want := []kvs.Range{
+		{Off: 0, N: 2 * ChunkSize},
+		{Off: 3 * ChunkSize, N: 2 * ChunkSize},
+		{Off: 6 * ChunkSize, N: ChunkSize},
+	}
+	if len(ts.spans) != len(want) {
+		t.Fatalf("spans = %v, want %v", ts.spans, want)
+	}
+	for i := range want {
+		if ts.spans[i] != want[i] {
+			t.Fatalf("span[%d] = %v, want %v", i, ts.spans[i], want[i])
+		}
+	}
+	if !bytes.Equal(v.Bytes()[:7*ChunkSize], data[:7*ChunkSize]) {
+		t.Fatal("pulled bytes corrupt")
+	}
+	// Everything requested is now resident: no further transfer.
+	if err := v.PullChunks([]kvs.Range{{Off: 0, N: 7 * ChunkSize}}); err != nil {
+		t.Fatal(err)
+	}
+	if ts.batchCalls != 1 {
+		t.Fatalf("re-pull of resident chunks transferred again (%d calls)", ts.batchCalls)
+	}
+}
+
+func TestPullChunksOverlappingRangesAndBounds(t *testing.T) {
+	lt, e := newTier()
+	data := make([]byte, 3*ChunkSize+100)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	e.Set("k", data)
+	v, err := lt.Value("k", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping and duplicate ranges must not double-pull or corrupt.
+	err = v.PullChunks([]kvs.Range{
+		{Off: 0, N: ChunkSize + 10},
+		{Off: ChunkSize, N: ChunkSize},
+		{Off: 0, N: ChunkSize},
+		{Off: 3 * ChunkSize, N: 100}, // final partial chunk
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Bytes()[:2*ChunkSize], data[:2*ChunkSize]) {
+		t.Fatal("leading chunks corrupt")
+	}
+	if !bytes.Equal(v.Bytes()[3*ChunkSize:], data[3*ChunkSize:]) {
+		t.Fatal("final partial chunk corrupt")
+	}
+	if lt.Pulled.Value() != int64(2*ChunkSize+100) {
+		t.Fatalf("pulled %d bytes, want %d", lt.Pulled.Value(), 2*ChunkSize+100)
+	}
+	// Out-of-bounds range errors before any transfer.
+	if err := v.PullChunks([]kvs.Range{{Off: 0, N: v.Size() + 1}}); err == nil {
+		t.Fatal("out-of-bounds prefetch must error")
+	}
+}
+
+func TestMarkPulledCounterTracksCompleteness(t *testing.T) {
+	lt, e := newTier()
+	e.Set("k", make([]byte, 10*ChunkSize))
+	v, err := lt.Value("k", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 10; c++ {
+		if v.all {
+			t.Fatalf("all set after %d of 10 chunks", c)
+		}
+		if err := v.PullChunk(c*ChunkSize, ChunkSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.mu.Lock()
+	pulled, all := v.pulled, v.all
+	v.mu.Unlock()
+	if pulled != 10 || !all {
+		t.Fatalf("pulled=%d all=%v after full chunk walk", pulled, all)
+	}
+}
