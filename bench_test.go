@@ -9,10 +9,13 @@ package faasm_test
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"testing"
 
+	"faasm.dev/faasm/internal/core"
 	"faasm.dev/faasm/internal/experiments"
+	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/shardkvs"
 )
@@ -68,6 +71,10 @@ func BenchmarkFig10Churn(b *testing.B) { benchReport(b, experiments.Fig10) }
 // BenchmarkStateScale regenerates the state-tier scaling experiment
 // (sharded vs single global store).
 func BenchmarkStateScale(b *testing.B) { benchReport(b, experiments.StateScale) }
+
+// BenchmarkInvokeScale regenerates the invocation hot-path experiment
+// (parallel warm-call throughput + scheduler global-op accounting).
+func BenchmarkInvokeScale(b *testing.B) { benchReport(b, experiments.InvokeScale) }
 
 // BenchmarkBatchedVsSingleOps demonstrates the batch surface's win through
 // the TCP client: one pipelined MGet/MSet/GetRanges exchange against N
@@ -152,6 +159,68 @@ func BenchmarkBatchedVsSingleOps(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWarmInvokeThroughput measures the per-host invocation hot path:
+// closed-loop warm calls to a no-op function from 1, 4 and 16 goroutines.
+// The pool is prewarmed with 2× the goroutine count so warm acquires never
+// cold-start; ns/op is then the full per-call runtime overhead (scheduling,
+// pool acquire/release, call bookkeeping) and 1e9/ns-op is calls/sec.
+func BenchmarkWarmInvokeThroughput(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines-%d", g), func(b *testing.B) {
+			inst := frt.New(frt.Config{Host: "bench", PoolCap: 256})
+			defer inst.Shutdown()
+			gate := make(chan struct{})
+			started := make(chan struct{}, 2*g)
+			inst.RegisterNative("noop", func(ctx *core.Ctx) (int32, error) {
+				if len(ctx.Input()) > 0 {
+					started <- struct{}{}
+					<-gate
+				}
+				return 0, nil
+			})
+			// Prewarm: hold 2g concurrent calls open so the pool ends up
+			// with 2g Faaslets, then let them all finish.
+			warm := 2 * g
+			var wg sync.WaitGroup
+			for k := 0; k < warm; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, _, err := inst.Call("noop", []byte("w")); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			for k := 0; k < warm; k++ {
+				<-started
+			}
+			close(gate)
+			wg.Wait()
+			if b.Failed() {
+				return
+			}
+
+			b.ResetTimer()
+			b.ReportAllocs()
+			var next atomic.Int64
+			var run sync.WaitGroup
+			for k := 0; k < g; k++ {
+				run.Add(1)
+				go func() {
+					defer run.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, _, err := inst.Call("noop", nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			run.Wait()
+		})
+	}
 }
 
 // BenchmarkShardedVsSingleStore compares raw global-tier throughput under

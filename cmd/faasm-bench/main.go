@@ -47,9 +47,10 @@ func main() {
 		"fig9b":         experiments.Fig9b,
 		"fig10":         experiments.Fig10,
 		"state-scale":   experiments.StateScale,
+		"invoke-scale":  experiments.InvokeScale,
 	}
 	order := []string{"table1", "table3", "table3-python", "fig6", "fig6-small",
-		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "state-scale"}
+		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "state-scale", "invoke-scale"}
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
@@ -81,5 +82,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: faasm-bench [-quick] [-csv] [-json] <experiment>...
-experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale`)
+experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale invoke-scale`)
 }

@@ -327,10 +327,13 @@ func (f *Faaslet) releaseGlobalLocks() {
 	if f.env.State == nil {
 		return
 	}
+	if len(f.globalLockTokens) == 0 {
+		return
+	}
 	for key, tok := range f.globalLockTokens {
 		f.env.State.UnlockGlobal(key, tok)
 	}
-	f.globalLockTokens = map[string]uint64{}
+	clear(f.globalLockTokens)
 }
 
 // Reset returns the Faaslet to its pristine state between calls (§5.2):
@@ -342,7 +345,7 @@ func (f *Faaslet) Reset() error {
 	f.releaseGlobalLocks()
 	f.fs.Reset()
 	f.net.Reset()
-	f.mapped = map[string]uint32{}
+	clear(f.mapped)
 	f.input = nil
 	f.output = nil
 	f.libs = nil

@@ -212,3 +212,30 @@ func parseRatio(t *testing.T, s string) float64 {
 	}
 	return f
 }
+
+func TestInvokeScaleShape(t *testing.T) {
+	r := InvokeScale(Options{Quick: true})
+	var tputRows int
+	var warmOps string
+	for _, row := range r.Rows {
+		switch row[0] {
+		case "throughput":
+			tputRows++
+			if row[2] == "0" {
+				t.Fatalf("config %q produced no throughput: %v", row[1], row)
+			}
+		case "global-ops":
+			if strings.HasSuffix(row[1], "warm calls") {
+				warmOps = row[2]
+			}
+		}
+	}
+	if tputRows != 3 {
+		t.Fatalf("throughput rows = %d (%v)", tputRows, r.Rows)
+	}
+	// The acceptance bar: steady-state warm invocations perform zero
+	// global-tier operations in the scheduler.
+	if warmOps != "0 ops" {
+		t.Fatalf("steady-state warm calls performed %q, want \"0 ops\"", warmOps)
+	}
+}

@@ -7,12 +7,22 @@
 // Multiple instances — one per host — form the distributed runtime of
 // Fig 5: each has a local scheduler, a Faaslet pool, a slice of the local
 // state tier, and a sharing path to its peers.
+//
+// The invocation hot path is engineered to scale with cores: function and
+// proto registries are copy-on-write maps behind atomic pointers (lock-free
+// lookup on invoke), the warm pool is a per-function structure so acquire
+// and release for different functions never contend, and the post-call
+// Faaslet reset runs on background resetter goroutines — the caller's
+// response returns as soon as execution finishes, and the warm pool only
+// ever hands out fully reset Faaslets.
 package frt
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"faasm.dev/faasm/internal/core"
@@ -54,6 +64,28 @@ type Config struct {
 	ColdStartDelay time.Duration
 }
 
+// fnPool is one function's warm-Faaslet pool. Each function has its own
+// lock, so acquire/release for different functions never contend; within a
+// function the critical sections are a slice push/pop.
+//
+// Invariants: idle holds only fully reset Faaslets; resetting counts
+// Faaslets committed to the pool whose background reset is still running;
+// live counts every Faaslet bound to the function on this host (idle +
+// resetting + checked out). idle+resetting never exceeds PoolCap.
+type fnPool struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	idle      []*core.Faaslet
+	resetting int
+	live      int
+}
+
+func newFnPool() *fnPool {
+	p := &fnPool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
 // Instance is one FAASM runtime instance.
 type Instance struct {
 	cfg   Config
@@ -64,12 +96,28 @@ type Instance struct {
 	clock vtime.Clock
 	slots chan struct{}
 
-	mu     sync.Mutex
-	defs   map[string]core.FuncDef
-	protos map[string]*core.Proto
-	pool   map[string][]*core.Faaslet
+	// defs and protos are copy-on-write: readers load the pointer with no
+	// lock; writers (deployment-time only) clone under regMu and swap.
+	defs   atomic.Pointer[map[string]core.FuncDef]
+	protos atomic.Pointer[map[string]*core.Proto]
+	regMu  sync.Mutex
+
+	// pools maps function name → *fnPool.
+	pools sync.Map
 	// faasletCount tracks all live Faaslets (pooled + executing).
-	faasletCount int
+	faasletCount atomic.Int64
+
+	// resetSem bounds concurrently running background resets; resetWG
+	// tracks them so Shutdown can drain. shutMu orders release's
+	// closed-check + pool-commit against Shutdown (releases hold the read
+	// side, Shutdown the write side), so Shutdown never passes
+	// resetWG.Wait while a release is between deciding to pool and
+	// registering its reset, and a post-shutdown release can never
+	// re-advertise the host.
+	resetSem chan struct{}
+	resetWG  sync.WaitGroup
+	shutMu   sync.RWMutex
+	closed   atomic.Bool
 
 	// Metrics for the evaluation.
 	ColdStarts  metrics.Counter
@@ -95,15 +143,18 @@ func New(cfg Config) *Instance {
 		cfg.PoolCap = 64
 	}
 	inst := &Instance{
-		cfg:    cfg,
-		local:  state.NewLocalTier(cfg.Store),
-		calls:  mbus.NewCallTable(),
-		sched:  sched.New(cfg.Host, cfg.Store, cfg.Capacity),
-		clock:  cfg.Clock,
-		defs:   map[string]core.FuncDef{},
-		protos: map[string]*core.Proto{},
-		pool:   map[string][]*core.Faaslet{},
+		cfg:      cfg,
+		local:    state.NewLocalTier(cfg.Store),
+		calls:    mbus.NewCallTable(),
+		sched:    sched.New(cfg.Host, cfg.Store, cfg.Capacity),
+		clock:    cfg.Clock,
+		resetSem: make(chan struct{}, max(runtime.GOMAXPROCS(0), 2)),
 	}
+	inst.sched.SetClock(cfg.Clock)
+	defs := map[string]core.FuncDef{}
+	protos := map[string]*core.Proto{}
+	inst.defs.Store(&defs)
+	inst.protos.Store(&protos)
 	inst.env = &core.Env{
 		State: inst.local,
 		Files: cfg.Files,
@@ -142,19 +193,25 @@ func (i *Instance) RegisterModule(name string, mod *wavm.Module) error {
 	return nil
 }
 
-// RegisterDef deploys a full function definition.
+// RegisterDef deploys a full function definition (copy-on-write swap; calls
+// in flight keep reading the old map lock-free).
 func (i *Instance) RegisterDef(def core.FuncDef) {
-	i.mu.Lock()
-	i.defs[def.Name] = def
-	i.mu.Unlock()
+	i.regMu.Lock()
+	defer i.regMu.Unlock()
+	old := *i.defs.Load()
+	m := make(map[string]core.FuncDef, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[def.Name] = def
+	i.defs.Store(&m)
 }
 
 // Functions lists deployed function names.
 func (i *Instance) Functions() []string {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	out := make([]string, 0, len(i.defs))
-	for n := range i.defs {
+	m := *i.defs.Load()
+	out := make([]string, 0, len(m))
+	for n := range m {
 		out = append(out, n)
 	}
 	return out
@@ -215,10 +272,21 @@ func (i *Instance) GenerateProto(function string, init func(ctx *core.Ctx) error
 // coreCtx builds a host-side Ctx for deployment-time initialisation.
 func coreCtx(f *core.Faaslet) *core.Ctx { return core.NewCtx(f) }
 
+// setProto copy-on-write-installs a proto: clone under regMu, insert, swap.
+func (i *Instance) setProto(function string, proto *core.Proto) {
+	i.regMu.Lock()
+	defer i.regMu.Unlock()
+	old := *i.protos.Load()
+	m := make(map[string]*core.Proto, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[function] = proto
+	i.protos.Store(&m)
+}
+
 func (i *Instance) installProto(function string, proto *core.Proto) error {
-	i.mu.Lock()
-	i.protos[function] = proto
-	i.mu.Unlock()
+	i.setProto(function, proto)
 	blob, err := proto.Serialize()
 	if err != nil {
 		// Protos with shared mappings stay host-local; that is fine.
@@ -241,17 +309,25 @@ func (i *Instance) FetchProto(function string) error {
 	if err != nil {
 		return err
 	}
-	i.mu.Lock()
-	i.protos[function] = proto
-	i.mu.Unlock()
+	i.setProto(function, proto)
 	return nil
 }
 
 func (i *Instance) def(function string) (core.FuncDef, bool) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	def, ok := i.defs[function]
+	def, ok := (*i.defs.Load())[function]
 	return def, ok
+}
+
+func (i *Instance) proto(function string) *core.Proto {
+	return (*i.protos.Load())[function]
+}
+
+func (i *Instance) poolFor(function string) *fnPool {
+	if p, ok := i.pools.Load(function); ok {
+		return p.(*fnPool)
+	}
+	p, _ := i.pools.LoadOrStore(function, newFnPool())
+	return p.(*fnPool)
 }
 
 // Invoke starts an asynchronous call and returns its id; Await/Output
@@ -277,43 +353,47 @@ func (i *Instance) Await(id uint64) (int32, error) { return i.calls.Await(id) }
 // Output implements core.Chainer.
 func (i *Instance) Output(id uint64) ([]byte, error) { return i.calls.Output(id) }
 
-// Call is the synchronous convenience wrapper: invoke and await.
+// Call is the synchronous entry point: schedule and execute inline. When
+// the scheduler picks local execution (the warm steady state) the call
+// bypasses the dispatch goroutine and the call table entirely — no spawn,
+// no record, no wakeup.
 func (i *Instance) Call(function string, input []byte) ([]byte, int32, error) {
-	id, err := i.Invoke(function, input)
-	if err != nil {
-		return nil, -1, err
+	if _, ok := i.def(function); !ok {
+		return nil, -1, fmt.Errorf("frt: unknown function %q", function)
 	}
-	ret, err := i.calls.Await(id)
-	if err != nil {
-		return nil, ret, err
-	}
-	out, err := i.calls.Output(id)
-	return out, ret, err
+	return i.route(function, input)
 }
 
-// dispatch routes one call per the scheduler's decision.
+// dispatch runs one asynchronous call, parking its result in the table.
 func (i *Instance) dispatch(id uint64, function string, input []byte) {
 	i.calls.Start(id)
+	out, ret, err := i.route(function, input)
+	i.calls.Complete(id, out, ret, err)
+}
+
+// route executes one call per the scheduler's decision: forward to a warm
+// peer when told to (falling back locally — and dropping the stale peer
+// cache — if the peer fails), execute here otherwise.
+func (i *Instance) route(function string, input []byte) ([]byte, int32, error) {
 	decision, err := i.sched.Schedule(function)
 	if err != nil {
-		i.calls.Complete(id, nil, -1, err)
-		return
+		return nil, -1, err
 	}
 	if decision.Placement == sched.PlaceForward && i.cfg.Transport != nil {
 		out, ret, err := i.cfg.Transport.ExecuteOn(decision.TargetHost, function, input)
 		if err == nil {
-			i.calls.Complete(id, out, ret, nil)
-			return
+			return out, ret, nil
 		}
-		// Peer failed: fall back to local execution.
+		// Peer failed: the cached warm set named a dead host.
+		i.sched.InvalidatePeers(function)
 	}
-	out, ret, err := i.ExecuteLocal(function, input)
-	i.calls.Complete(id, out, ret, err)
+	return i.ExecuteLocal(function, input)
 }
 
 // ExecuteLocal runs a call on this host, acquiring a Faaslet from the warm
 // pool or cold-starting one. It is also the entry point peers use when
-// sharing work with this host.
+// sharing work with this host. The response returns as soon as execution
+// finishes; the Faaslet's reset happens off this path.
 func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, error) {
 	def, ok := i.def(function)
 	if !ok {
@@ -326,8 +406,11 @@ func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, e
 		defer func() { <-i.slots }()
 	}
 
-	f, warm, err := i.acquire(def)
+	f, err := i.acquire(def)
 	if err != nil {
+		// A failed cold start must not leave this host advertised as warm:
+		// peers would keep forwarding calls here to die the same way.
+		i.retreatIfDead(def.Name)
 		return nil, -1, err
 	}
 	start := i.clock.Now()
@@ -336,24 +419,32 @@ func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, e
 	i.ExecLatency.Record(dur)
 	i.Billable.Charge(f.Footprint(), dur)
 	i.release(def.Name, f, execErr == nil)
-	_ = warm
 	return out, ret, execErr
 }
 
-// acquire takes a warm Faaslet from the pool or creates one.
-func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, bool, error) {
-	i.mu.Lock()
-	pool := i.pool[def.Name]
-	if n := len(pool); n > 0 {
-		f := pool[n-1]
-		i.pool[def.Name] = pool[:n-1]
-		i.mu.Unlock()
-		i.sched.NoteEvicted(def.Name, 1) // it is busy now, not idle-warm
-		i.WarmStarts.Add(1)
-		return f, true, nil
+// acquire takes a warm Faaslet from the pool or creates one. If the pool is
+// momentarily empty but resets are in flight, it waits for one — the pool
+// never hands out a non-reset Faaslet, and a reset restore is never slower
+// than a full cold start.
+func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, error) {
+	p := i.poolFor(def.Name)
+	p.mu.Lock()
+	for {
+		if n := len(p.idle); n > 0 {
+			f := p.idle[n-1]
+			p.idle[n-1] = nil
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			i.sched.NoteEvicted(def.Name, 1) // it is busy now, not idle-warm
+			i.WarmStarts.Add(1)
+			return f, nil
+		}
+		if p.resetting == 0 {
+			break
+		}
+		p.cond.Wait()
 	}
-	proto := i.protos[def.Name]
-	i.mu.Unlock()
+	p.mu.Unlock()
 
 	// Cold start.
 	if i.cfg.ColdStartDelay > 0 {
@@ -362,88 +453,157 @@ func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, bool, error) {
 	start := i.clock.Now()
 	var f *core.Faaslet
 	var err error
-	if proto != nil {
+	if proto := i.proto(def.Name); proto != nil {
 		f, err = core.NewFromProto(def, i.env, proto)
 		i.ProtoStarts.Add(1)
 	} else {
 		f, err = core.New(def, i.env)
 	}
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	i.InitLatency.Record(i.clock.Now().Sub(start))
 	i.ColdStarts.Add(1)
-	i.mu.Lock()
-	i.faasletCount++
-	i.mu.Unlock()
-	return f, false, nil
+	p.mu.Lock()
+	p.live++
+	p.mu.Unlock()
+	i.faasletCount.Add(1)
+	return f, nil
 }
 
-// release resets the Faaslet and returns it to the warm pool (§5.2: the
-// reset restores the Proto-Faaslet, so no state leaks to the next call).
+// release returns the Faaslet to the warm pool, handing its reset (§5.2:
+// the restore of the Proto-Faaslet that discards all guest residue) to a
+// background resetter so the caller's response latency excludes it. The
+// Faaslet is committed to the pool — and the host advertised warm — before
+// the reset runs; acquire waits for in-flight resets rather than handing
+// out a dirty Faaslet.
 func (i *Instance) release(function string, f *core.Faaslet, healthy bool) {
+	p := i.poolFor(function)
 	if healthy {
-		if err := f.Reset(); err != nil {
-			healthy = false
+		i.shutMu.RLock()
+		if !i.closed.Load() {
+			p.mu.Lock()
+			if len(p.idle)+p.resetting < i.cfg.PoolCap {
+				p.resetting++
+				p.mu.Unlock()
+				i.sched.NoteWarm(function, 1)
+				i.resetWG.Add(1)
+				i.shutMu.RUnlock()
+				go i.resetAndPool(p, function, f)
+				return
+			}
+			p.mu.Unlock()
 		}
+		i.shutMu.RUnlock()
 	}
-	if !healthy {
-		f.Close()
-		i.mu.Lock()
-		i.faasletCount--
-		i.mu.Unlock()
+	// Unhealthy, shut down, or the pool is full: discard.
+	i.discard(p, function, f)
+}
+
+// resetAndPool is the background resetter: restore the Faaslet, then make
+// it acquirable. Runs under resetSem so at most ~GOMAXPROCS resets execute
+// at once.
+func (i *Instance) resetAndPool(p *fnPool, function string, f *core.Faaslet) {
+	defer i.resetWG.Done()
+	i.resetSem <- struct{}{}
+	err := f.Reset()
+	<-i.resetSem
+
+	p.mu.Lock()
+	p.resetting--
+	if err == nil && !i.closed.Load() {
+		p.idle = append(p.idle, f)
+		p.cond.Broadcast()
+		p.mu.Unlock()
 		return
 	}
-	i.mu.Lock()
-	if len(i.pool[function]) < i.cfg.PoolCap {
-		i.pool[function] = append(i.pool[function], f)
-		i.mu.Unlock()
-		i.sched.NoteWarm(function, 1)
-		return
-	}
-	i.faasletCount--
-	i.mu.Unlock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	// Reset failed (or the instance shut down): the pooled slot is gone.
+	i.sched.NoteEvicted(function, 1)
+	i.discard(p, function, f)
+}
+
+// discard closes a live Faaslet and retreats from the global warm set when
+// it was the function's last one on this host.
+func (i *Instance) discard(p *fnPool, function string, f *core.Faaslet) {
+	p.mu.Lock()
+	p.live--
+	last := p.live == 0
+	p.mu.Unlock()
+	i.faasletCount.Add(-1)
 	f.Close()
+	if last {
+		i.sched.Retreat(function)
+	}
+}
+
+// retreatIfDead withdraws the host's warm advertisement for fn when it has
+// no live Faaslets backing it (e.g. the advertised cold start failed).
+func (i *Instance) retreatIfDead(function string) {
+	p := i.poolFor(function)
+	p.mu.Lock()
+	dead := p.live == 0
+	p.mu.Unlock()
+	if dead {
+		i.sched.Retreat(function)
+	}
 }
 
 // FaasletCount reports live Faaslets on this instance.
 func (i *Instance) FaasletCount() int {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	return i.faasletCount
+	return int(i.faasletCount.Load())
 }
 
-// PoolSize reports idle warm Faaslets for a function.
+// PoolSize reports warm pool entries for a function: idle Faaslets plus
+// those whose background reset is still in flight (they are committed to
+// the pool and acquire will wait for them).
 func (i *Instance) PoolSize(function string) int {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	return len(i.pool[function])
+	p := i.poolFor(function)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle) + p.resetting
 }
 
 // LocalFootprint sums the footprints of pooled Faaslets plus the local
 // state tier (per-host memory accounting for Fig 6c).
 func (i *Instance) LocalFootprint() int64 {
-	i.mu.Lock()
 	var n int64
-	for _, pool := range i.pool {
-		for _, f := range pool {
+	i.pools.Range(func(_, v any) bool {
+		p := v.(*fnPool)
+		p.mu.Lock()
+		for _, f := range p.idle {
 			n += f.Footprint()
 		}
-	}
-	i.mu.Unlock()
+		p.mu.Unlock()
+		return true
+	})
 	return n + i.local.LocalBytes()
 }
 
-// Shutdown closes all pooled Faaslets.
+// Shutdown closes all pooled Faaslets after draining in-flight resets.
 func (i *Instance) Shutdown() {
-	i.mu.Lock()
-	pools := i.pool
-	i.pool = map[string][]*core.Faaslet{}
-	i.mu.Unlock()
-	for fn, pool := range pools {
-		for _, f := range pool {
+	i.shutMu.Lock()
+	if !i.closed.CompareAndSwap(false, true) {
+		i.shutMu.Unlock()
+		return
+	}
+	i.shutMu.Unlock()
+	i.resetWG.Wait()
+	i.pools.Range(func(k, v any) bool {
+		fn := k.(string)
+		p := v.(*fnPool)
+		p.mu.Lock()
+		idle := p.idle
+		p.idle = nil
+		p.live -= len(idle)
+		p.mu.Unlock()
+		for _, f := range idle {
 			f.Close()
 		}
-		i.sched.NoteEvicted(fn, len(pool))
-	}
+		i.faasletCount.Add(int64(-len(idle)))
+		i.sched.NoteEvicted(fn, len(idle))
+		i.sched.Retreat(fn)
+		return true
+	})
 }

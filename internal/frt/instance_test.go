@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"faasm.dev/faasm/internal/core"
 	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/kvs/kvstest"
 	"faasm.dev/faasm/internal/wavm"
 )
 
@@ -367,5 +369,194 @@ func BenchmarkWarmCall(b *testing.B) {
 		if _, _, err := inst.Call("noop", nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestFailedColdStartRetreatsFromWarmSet(t *testing.T) {
+	store := kvs.NewEngine()
+	inst := New(Config{Host: "h1", Store: store})
+	// A registered def with no body passes the def-lookup check but fails
+	// at Faaslet creation — the cold start itself dies.
+	inst.RegisterDef(core.FuncDef{Name: "broken"})
+	if _, _, err := inst.Call("broken", nil); err == nil {
+		t.Fatal("broken function executed")
+	}
+	// The scheduler advertised h1 before the cold start; the failure must
+	// have removed it so peers stop forwarding here.
+	hosts, _ := store.SMembers("sched/warm/broken")
+	if len(hosts) != 0 {
+		t.Fatalf("failed cold start left warm set %v", hosts)
+	}
+	// And a peer scheduler must now decide to cold-start itself.
+	h2 := New(Config{Host: "h2", Store: store})
+	h2.RegisterNative("broken", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	if _, ret, err := h2.Call("broken", nil); err != nil || ret != 0 {
+		t.Fatalf("peer call after retreat: %d %v", ret, err)
+	}
+	if h2.ColdStarts.Value() != 1 {
+		t.Fatalf("peer cold starts = %d, want 1", h2.ColdStarts.Value())
+	}
+}
+
+func TestShutdownRetreatsFromWarmSet(t *testing.T) {
+	store := kvs.NewEngine()
+	inst := New(Config{Host: "h1", Store: store})
+	inst.RegisterNative("fn", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	if _, _, err := inst.Call("fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	if hosts, _ := store.SMembers("sched/warm/fn"); len(hosts) != 1 {
+		t.Fatalf("warm set before shutdown = %v", hosts)
+	}
+	// Shutdown evicts the function's last pooled Faaslets: the host must
+	// leave the global warm set.
+	inst.Shutdown()
+	if hosts, _ := store.SMembers("sched/warm/fn"); len(hosts) != 0 {
+		t.Fatalf("warm set after shutdown = %v", hosts)
+	}
+}
+
+func TestWarmSteadyStatePerformsZeroGlobalOps(t *testing.T) {
+	store := kvstest.NewCountingStore(kvs.NewEngine())
+	inst := New(Config{Host: "h1", Store: store})
+	inst.RegisterNative("noop", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	// Cold start + advertise pay their global write-throughs.
+	if _, _, err := inst.Call("noop", nil); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetOps()
+	// Steady state: every warm call — schedule, acquire, execute, release,
+	// background reset — must perform zero global-tier operations.
+	for k := 0; k < 200; k++ {
+		if _, ret, err := inst.Call("noop", nil); err != nil || ret != 0 {
+			t.Fatalf("warm call %d: %d %v", k, ret, err)
+		}
+	}
+	inst.Shutdown() // drain background resets before counting
+	// Shutdown itself retreats (SRem); everything before it must be zero.
+	if ops := store.Ops(); ops != 1 {
+		t.Fatalf("steady-state warm invocations performed %d global ops, want 1 (the shutdown retreat)", ops)
+	}
+	if inst.WarmStarts.Value() != 200 {
+		t.Fatalf("warm starts = %d, want 200", inst.WarmStarts.Value())
+	}
+}
+
+func TestPoolInvariantsUnderConcurrentChurn(t *testing.T) {
+	const (
+		fns     = 8
+		workers = 4 // per function
+		calls   = 50
+		poolCap = 2
+	)
+	inst := New(Config{Host: "h1", PoolCap: poolCap})
+	defer inst.Shutdown()
+	var dirty atomic.Int64
+	for fn := 0; fn < fns; fn++ {
+		name := fmt.Sprintf("fn-%d", fn)
+		inst.RegisterDef(core.FuncDef{
+			Name: name,
+			Native: func(ctx *core.Ctx) (int32, error) {
+				// Canary: a non-reset Faaslet still carries the previous
+				// call's write at offset 128.
+				got, _ := ctx.Memory().ReadBytes(128, 6)
+				if string(got) == "CANARY" {
+					dirty.Add(1)
+					return 99, nil
+				}
+				ctx.Memory().WriteBytes(128, []byte("CANARY"))
+				return 0, nil
+			},
+		})
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Invariant watcher: counts must stay sane *during* the churn.
+	watcherDone := make(chan error, 1)
+	go func() {
+		defer close(watcherDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := inst.FaasletCount(); n < 0 {
+				watcherDone <- fmt.Errorf("faaslet count went negative: %d", n)
+				return
+			}
+			for fn := 0; fn < fns; fn++ {
+				if ps := inst.PoolSize(fmt.Sprintf("fn-%d", fn)); ps > poolCap {
+					watcherDone <- fmt.Errorf("pool exceeded cap: %d > %d", ps, poolCap)
+					return
+				}
+			}
+		}
+	}()
+	for fn := 0; fn < fns; fn++ {
+		name := fmt.Sprintf("fn-%d", fn)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < calls; k++ {
+					out, ret, err := inst.ExecuteLocal(name, nil)
+					_ = out
+					if err != nil {
+						t.Errorf("%s call %d: %v", name, k, err)
+						return
+					}
+					if ret == 99 {
+						t.Errorf("%s call %d handed a non-reset Faaslet", name, k)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-watcherDone; err != nil {
+		t.Fatal(err)
+	}
+	if n := dirty.Load(); n != 0 {
+		t.Fatalf("%d calls observed canary residue", n)
+	}
+	if n := inst.FaasletCount(); n < 0 {
+		t.Fatalf("final faaslet count negative: %d", n)
+	}
+	for fn := 0; fn < fns; fn++ {
+		name := fmt.Sprintf("fn-%d", fn)
+		if ps := inst.PoolSize(name); ps > poolCap {
+			t.Fatalf("%s final pool %d exceeds cap %d", name, ps, poolCap)
+		}
+	}
+}
+
+func TestRegisterDuringInvocationIsSafe(t *testing.T) {
+	// Copy-on-write registries: deploying new functions must not disturb
+	// concurrent invocations of existing ones.
+	inst := New(Config{Host: "h1"})
+	inst.RegisterNative("stable", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 200; k++ {
+			inst.RegisterNative(fmt.Sprintf("new-%d", k), func(ctx *core.Ctx) (int32, error) { return 0, nil })
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 200; k++ {
+			if _, ret, err := inst.Call("stable", nil); err != nil || ret != 0 {
+				t.Errorf("call %d during registration: %d %v", k, ret, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := len(inst.Functions()); got != 201 {
+		t.Fatalf("functions registered = %d, want 201", got)
 	}
 }

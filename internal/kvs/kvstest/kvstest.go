@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -467,4 +468,113 @@ func testLockRMW(t *testing.T, s kvs.Store) {
 	if string(final) != fmt.Sprintf("%d", workers*per) {
 		t.Fatalf("read-modify-write lost updates: %s", final)
 	}
+}
+
+// CountingStore wraps a Store and counts every operation that reaches the
+// global tier. Hot-path tests use it to assert that steady-state warm
+// invocations perform zero global-tier operations in the scheduler, and the
+// invoke-scale experiment reports ops/call with it.
+type CountingStore struct {
+	kvs.Store
+	ops atomic.Int64
+}
+
+// NewCountingStore wraps inner with an operation counter.
+func NewCountingStore(inner kvs.Store) *CountingStore {
+	return &CountingStore{Store: inner}
+}
+
+// Ops reports operations counted so far.
+func (c *CountingStore) Ops() int64 { return c.ops.Load() }
+
+// ResetOps zeroes the counter.
+func (c *CountingStore) ResetOps() { c.ops.Store(0) }
+
+// Get implements kvs.Store.
+func (c *CountingStore) Get(key string) ([]byte, error) { c.ops.Add(1); return c.Store.Get(key) }
+
+// Set implements kvs.Store.
+func (c *CountingStore) Set(key string, val []byte) error {
+	c.ops.Add(1)
+	return c.Store.Set(key, val)
+}
+
+// GetRange implements kvs.Store.
+func (c *CountingStore) GetRange(key string, off, n int) ([]byte, error) {
+	c.ops.Add(1)
+	return c.Store.GetRange(key, off, n)
+}
+
+// SetRange implements kvs.Store.
+func (c *CountingStore) SetRange(key string, off int, val []byte) error {
+	c.ops.Add(1)
+	return c.Store.SetRange(key, off, val)
+}
+
+// Append implements kvs.Store.
+func (c *CountingStore) Append(key string, val []byte) (int, error) {
+	c.ops.Add(1)
+	return c.Store.Append(key, val)
+}
+
+// Len implements kvs.Store.
+func (c *CountingStore) Len(key string) (int, error) { c.ops.Add(1); return c.Store.Len(key) }
+
+// Delete implements kvs.Store.
+func (c *CountingStore) Delete(key string) error { c.ops.Add(1); return c.Store.Delete(key) }
+
+// SAdd implements kvs.Store.
+func (c *CountingStore) SAdd(key, member string) (bool, error) {
+	c.ops.Add(1)
+	return c.Store.SAdd(key, member)
+}
+
+// SRem implements kvs.Store.
+func (c *CountingStore) SRem(key, member string) (bool, error) {
+	c.ops.Add(1)
+	return c.Store.SRem(key, member)
+}
+
+// SMembers implements kvs.Store.
+func (c *CountingStore) SMembers(key string) ([]string, error) {
+	c.ops.Add(1)
+	return c.Store.SMembers(key)
+}
+
+// Incr implements kvs.Store.
+func (c *CountingStore) Incr(key string, delta int64) (int64, error) {
+	c.ops.Add(1)
+	return c.Store.Incr(key, delta)
+}
+
+// Lock implements kvs.Store.
+func (c *CountingStore) Lock(key string, write bool, ttl time.Duration) (uint64, error) {
+	c.ops.Add(1)
+	return c.Store.Lock(key, write, ttl)
+}
+
+// Unlock implements kvs.Store.
+func (c *CountingStore) Unlock(key string, token uint64) error {
+	c.ops.Add(1)
+	return c.Store.Unlock(key, token)
+}
+
+// MGet implements kvs.Batcher, forwarding to the inner store's native batch
+// path when present. A batch counts as one operation — the round trip is
+// what the counter models.
+func (c *CountingStore) MGet(keys []string) ([][]byte, error) {
+	c.ops.Add(1)
+	return kvs.MGet(c.Store, keys)
+}
+
+// MSet implements kvs.Batcher.
+func (c *CountingStore) MSet(pairs []kvs.Pair) error {
+	c.ops.Add(1)
+	return kvs.MSet(c.Store, pairs)
+}
+
+// GetRanges implements kvs.Batcher.
+func (c *CountingStore) GetRanges(key string, ranges []kvs.Range) ([][]byte, error) {
+	c.ops.Add(1)
+	return kvs.GetRanges(c.Store, key, ranges)
 }

@@ -182,123 +182,179 @@ type CallRecord struct {
 	ReturnCode int32
 }
 
-// CallTable tracks in-flight and completed calls on one runtime instance.
-type CallTable struct {
+// callShards is the CallTable's sharding width. Call ids are dense
+// (monotonically assigned), so id&(callShards-1) spreads concurrent calls
+// uniformly and two simultaneous invocations almost never contend on the
+// same shard mutex.
+const callShards = 64
+
+// callEntry is one tracked call plus its completion signal. done is closed
+// exactly once, when the call reaches a terminal state (or is deleted), so
+// Await wakes only the waiters of THIS call — never the whole table.
+type callEntry struct {
+	rec  CallRecord
+	done chan struct{}
+}
+
+type callShard struct {
 	mu    sync.Mutex
-	cond  *sync.Cond
-	calls map[uint64]*CallRecord
-	next  atomic.Uint64
+	calls map[uint64]*callEntry
+}
+
+// CallTable tracks in-flight and completed calls on one runtime instance.
+// It is sharded by call id: operations on different calls take different
+// locks, and each call carries its own completion channel, so completing one
+// call wakes exactly its awaiters.
+type CallTable struct {
+	shards [callShards]callShard
+	next   atomic.Uint64
 }
 
 // NewCallTable creates an empty table.
 func NewCallTable() *CallTable {
-	t := &CallTable{calls: map[uint64]*CallRecord{}}
-	t.cond = sync.NewCond(&t.mu)
+	t := &CallTable{}
+	for i := range t.shards {
+		t.shards[i].calls = map[uint64]*callEntry{}
+	}
 	return t
+}
+
+func (t *CallTable) shard(id uint64) *callShard {
+	return &t.shards[id&(callShards-1)]
 }
 
 // Create registers a new pending call, returning its ID.
 func (t *CallTable) Create(function string, input []byte) uint64 {
 	id := t.next.Add(1)
-	t.mu.Lock()
-	t.calls[id] = &CallRecord{
-		ID:       id,
-		Function: function,
-		Input:    append([]byte(nil), input...),
-		Status:   CallPending,
+	e := &callEntry{
+		rec: CallRecord{
+			ID:       id,
+			Function: function,
+			Input:    append([]byte(nil), input...),
+			Status:   CallPending,
+		},
+		done: make(chan struct{}),
 	}
-	t.mu.Unlock()
+	s := t.shard(id)
+	s.mu.Lock()
+	s.calls[id] = e
+	s.mu.Unlock()
 	return id
 }
 
 // Start marks a call running.
 func (t *CallTable) Start(id uint64) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	r, ok := t.calls[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.calls[id]
 	if !ok {
 		return fmt.Errorf("mbus: unknown call %d", id)
 	}
-	r.Status = CallRunning
+	e.rec.Status = CallRunning
 	return nil
 }
 
+// terminal reports whether a status is final.
+func terminal(st CallStatus) bool { return st == CallSucceeded || st == CallFailed }
+
 // Complete finishes a call with output and return code (err non-nil marks
-// failure), waking all awaiters.
+// failure), waking this call's awaiters (and only them).
 func (t *CallTable) Complete(id uint64, output []byte, ret int32, err error) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	r, ok := t.calls[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.calls[id]
 	if !ok {
 		return fmt.Errorf("mbus: unknown call %d", id)
 	}
-	r.Output = append([]byte(nil), output...)
-	r.ReturnCode = ret
+	already := terminal(e.rec.Status)
+	e.rec.Output = append([]byte(nil), output...)
+	e.rec.ReturnCode = ret
 	if err != nil {
-		r.Status = CallFailed
-		r.Err = err.Error()
+		e.rec.Status = CallFailed
+		e.rec.Err = err.Error()
 	} else {
-		r.Status = CallSucceeded
+		e.rec.Status = CallSucceeded
 	}
-	t.cond.Broadcast()
+	if !already {
+		close(e.done)
+	}
 	return nil
 }
 
 // Await blocks until the call finishes or fails, returning its return code
 // (await_call in Table 2). Failure yields a non-zero code and the error.
 func (t *CallTable) Await(id uint64) (int32, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for {
-		r, ok := t.calls[id]
-		if !ok {
-			return -1, fmt.Errorf("mbus: unknown call %d", id)
-		}
-		switch r.Status {
-		case CallSucceeded:
-			return r.ReturnCode, nil
-		case CallFailed:
-			return r.ReturnCode, fmt.Errorf("mbus: call %d failed: %s", id, r.Err)
-		}
-		t.cond.Wait()
+	s := t.shard(id)
+	s.mu.Lock()
+	e, ok := s.calls[id]
+	s.mu.Unlock()
+	if !ok {
+		return -1, fmt.Errorf("mbus: unknown call %d", id)
 	}
+	<-e.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.calls[id]; !ok {
+		return -1, fmt.Errorf("mbus: unknown call %d", id)
+	}
+	if e.rec.Status == CallFailed {
+		return e.rec.ReturnCode, fmt.Errorf("mbus: call %d failed: %s", id, e.rec.Err)
+	}
+	return e.rec.ReturnCode, nil
 }
 
 // Output returns a finished call's output bytes (get_call_output).
 func (t *CallTable) Output(id uint64) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	r, ok := t.calls[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.calls[id]
 	if !ok {
 		return nil, fmt.Errorf("mbus: unknown call %d", id)
 	}
-	if r.Status != CallSucceeded && r.Status != CallFailed {
-		return nil, fmt.Errorf("mbus: call %d still %s", id, r.Status)
+	if !terminal(e.rec.Status) {
+		return nil, fmt.Errorf("mbus: call %d still %s", id, e.rec.Status)
 	}
-	return append([]byte(nil), r.Output...), nil
+	return append([]byte(nil), e.rec.Output...), nil
 }
 
 // Get returns a snapshot of the record.
 func (t *CallTable) Get(id uint64) (CallRecord, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	r, ok := t.calls[id]
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.calls[id]
 	if !ok {
 		return CallRecord{}, false
 	}
-	return *r, true
+	return e.rec, true
 }
 
-// Delete discards a call record (GC after chaining completes).
+// Delete discards a call record (GC after chaining completes). Waiters
+// blocked in Await are woken and observe the call as unknown.
 func (t *CallTable) Delete(id uint64) {
-	t.mu.Lock()
-	delete(t.calls, id)
-	t.mu.Unlock()
+	s := t.shard(id)
+	s.mu.Lock()
+	e, ok := s.calls[id]
+	if ok {
+		delete(s.calls, id)
+		if !terminal(e.rec.Status) {
+			close(e.done)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Len reports the number of live records.
 func (t *CallTable) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.calls)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.calls)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -215,3 +215,76 @@ func TestCallIDsUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+func TestConcurrentCallsAcrossShards(t *testing.T) {
+	// Many producers completing distinct calls while consumers await them:
+	// the sharded table must deliver every result exactly where it belongs.
+	table := NewCallTable()
+	const calls = 500
+	ids := make([]uint64, calls)
+	for i := range ids {
+		ids[i] = table.Create("fn", []byte{byte(i)})
+	}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(2)
+		go func(i int, id uint64) {
+			defer wg.Done()
+			table.Start(id)
+			table.Complete(id, []byte{byte(i)}, int32(i%128), nil)
+		}(i, id)
+		go func(i int, id uint64) {
+			defer wg.Done()
+			ret, err := table.Await(id)
+			if err != nil || ret != int32(i%128) {
+				t.Errorf("call %d: ret=%d err=%v", i, ret, err)
+				return
+			}
+			out, err := table.Output(id)
+			if err != nil || len(out) != 1 || out[0] != byte(i) {
+				t.Errorf("call %d output: %v %v", i, out, err)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	if table.Len() != calls {
+		t.Fatalf("len = %d", table.Len())
+	}
+}
+
+func TestDeleteWakesPendingAwaiters(t *testing.T) {
+	table := NewCallTable()
+	id := table.Create("fn", nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := table.Await(id)
+		done <- err
+	}()
+	// Let the awaiter block, then delete the record out from under it.
+	time.Sleep(10 * time.Millisecond)
+	table.Delete(id)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("await on deleted call returned success")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("awaiter not woken by delete")
+	}
+}
+
+func TestDoubleCompleteIsSafe(t *testing.T) {
+	table := NewCallTable()
+	id := table.Create("fn", nil)
+	if err := table.Complete(id, []byte("a"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second completion (e.g. a racing fallback path) must not panic the
+	// per-call channel close.
+	if err := table.Complete(id, []byte("b"), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ret, err := table.Await(id); err != nil || ret != 1 {
+		t.Fatalf("await after double complete: %d %v", ret, err)
+	}
+}

@@ -9,35 +9,25 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a concurrency-safe monotonic counter (e.g. bytes transferred).
+// It is a single atomic so hot paths (per-call warm-start accounting,
+// per-pull byte counts) never serialise on a lock.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Add increments the counter by n (n may be negative for corrections).
-func (c *Counter) Add(n int64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
+func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() {
-	c.mu.Lock()
-	c.v = 0
-	c.mu.Unlock()
-}
+func (c *Counter) Reset() { c.v.Store(0) }
 
 // Latencies records a set of latency samples and answers distribution
 // queries. It keeps raw samples; experiment sizes here are modest.

@@ -235,8 +235,15 @@ func (ifc *Interface) CloseSocket(fd int32) error {
 // Reset closes all sockets (per-call Faaslet reset).
 func (ifc *Interface) Reset() {
 	ifc.mu.Lock()
-	socks := ifc.sockets
-	ifc.sockets = map[int32]*socket{}
+	if len(ifc.sockets) == 0 {
+		ifc.mu.Unlock()
+		return
+	}
+	socks := make([]*socket, 0, len(ifc.sockets))
+	for _, s := range ifc.sockets {
+		socks = append(socks, s)
+	}
+	clear(ifc.sockets)
 	ifc.mu.Unlock()
 	for _, s := range socks {
 		if s.conn != nil {

@@ -9,13 +9,24 @@
 // warm host if one exists; otherwise cold-start locally (and advertise this
 // host as warm). The goal is co-locating functions with the state they
 // need, minimising data shipping.
+//
+// The hot path is engineered for concurrency: the local warm check is a
+// lock-free per-function counter, capacity accounting is a single atomic,
+// and the peer warm set is cached with a short TTL (Cloudburst-style lazy
+// refresh), so steady-state warm traffic performs zero global-tier
+// operations. The global set is only written through on a cold-start
+// advertise (first warm Faaslet appears) and on retreat (the host's last
+// Faaslet for the function is gone).
 package sched
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/vtime"
 )
 
 // Placement says where a call should run.
@@ -53,26 +64,57 @@ type Decision struct {
 // warmSetKey is the global-tier key holding a function's warm hosts.
 func warmSetKey(fn string) string { return "sched/warm/" + fn }
 
+// DefaultPeerCacheTTL bounds the staleness of the cached peer warm set. A
+// new warm host becomes visible to peers within this window; a vanished one
+// stops receiving forwards within it (forwarding also falls back locally on
+// transport failure, so staleness is a latency cost, not a correctness one).
+const DefaultPeerCacheTTL = time.Second
+
+// Stats counts scheduling decisions per placement, for the evaluation.
+type Stats struct {
+	LocalWarm atomic.Int64
+	Forwarded atomic.Int64
+	ColdStart atomic.Int64
+}
+
+// fnState is the per-function scheduler state: the local idle-warm counter,
+// whether this host currently advertises itself in the function's global
+// warm set, and the cached peer warm set.
+type fnState struct {
+	// idle counts this host's idle warm Faaslets (including Faaslets whose
+	// post-call reset is still in flight — they are committed to the pool).
+	idle atomic.Int64
+	// advertised tracks membership in the global warm set, so steady-state
+	// warm traffic never re-issues SAdd.
+	advertised atomic.Bool
+
+	// cacheMu guards the cached peer set below.
+	cacheMu sync.Mutex
+	peers   []string
+	fetched time.Time
+	cached  bool
+}
+
 // Scheduler is one host's local scheduler.
 type Scheduler struct {
 	host     string
 	store    kvs.Store
-	capacity int
+	capacity int64
+	clock    vtime.Clock
 
-	mu sync.Mutex
-	// warm counts this host's idle warm Faaslets per function.
-	warm map[string]int
+	// PeerCacheTTL is how long a fetched peer warm set is trusted. Set it
+	// before first use; zero means DefaultPeerCacheTTL.
+	PeerCacheTTL time.Duration
+
+	// fns maps function name → *fnState.
+	fns sync.Map
 	// inflight counts executing calls on this host.
-	inflight int
-	// rrState round-robins forwarding across peers.
-	rr int
+	inflight atomic.Int64
+	// rr round-robins forwarding across peers.
+	rr atomic.Uint64
 
-	// Decisions made, per placement, for the evaluation.
-	Stats struct {
-		LocalWarm int64
-		Forwarded int64
-		ColdStart int64
-	}
+	// Stats counts decisions made, per placement, for the evaluation.
+	Stats Stats
 }
 
 // New creates a scheduler for host with the given concurrent-execution
@@ -81,30 +123,89 @@ func New(host string, store kvs.Store, capacity int) *Scheduler {
 	if capacity <= 0 {
 		capacity = 1 << 30
 	}
-	return &Scheduler{host: host, store: store, capacity: capacity, warm: map[string]int{}}
+	return &Scheduler{host: host, store: store, capacity: int64(capacity), clock: vtime.Real{}}
+}
+
+// SetClock replaces the clock driving peer-cache expiry (the runtime passes
+// its own, so simulated clusters expire in simulated time). Call before use.
+func (s *Scheduler) SetClock(c vtime.Clock) {
+	if c != nil {
+		s.clock = c
+	}
 }
 
 // Host returns this scheduler's host name.
 func (s *Scheduler) Host() string { return s.host }
 
-// Schedule decides where a call to fn should run.
-func (s *Scheduler) Schedule(fn string) (Decision, error) {
-	s.mu.Lock()
-	warmHere := s.warm[fn] > 0
-	hasCapacity := s.inflight < s.capacity
-	s.mu.Unlock()
+func (s *Scheduler) fn(name string) *fnState {
+	if e, ok := s.fns.Load(name); ok {
+		return e.(*fnState)
+	}
+	e, _ := s.fns.LoadOrStore(name, &fnState{})
+	return e.(*fnState)
+}
 
-	if warmHere && hasCapacity {
-		s.mu.Lock()
-		s.Stats.LocalWarm++
-		s.mu.Unlock()
+// Schedule decides where a call to fn should run. The warm local path is
+// lock-free and touches no global state.
+func (s *Scheduler) Schedule(fn string) (Decision, error) {
+	e := s.fn(fn)
+	warmHere := e.idle.Load() > 0
+	if warmHere && s.inflight.Load() < s.capacity {
+		s.Stats.LocalWarm.Add(1)
 		return Decision{Placement: PlaceLocalWarm}, nil
 	}
 
-	// Query the shared warm set for another host.
-	hosts, err := s.store.SMembers(warmSetKey(fn))
+	// Consult the (cached) shared warm set for another host.
+	peers, err := s.peers(e, fn)
 	if err != nil {
 		return Decision{}, fmt.Errorf("sched: warm set for %s: %w", fn, err)
+	}
+	if len(peers) > 0 {
+		// Share with a warm peer. Round-robin across them so load spreads.
+		target := peers[int(s.rr.Add(1)-1)%len(peers)]
+		s.Stats.Forwarded.Add(1)
+		return Decision{Placement: PlaceForward, TargetHost: target}, nil
+	}
+
+	if warmHere {
+		// Warm but at capacity with nowhere to share: still run locally
+		// (queueing), matching the paper's behaviour under saturation.
+		s.Stats.LocalWarm.Add(1)
+		return Decision{Placement: PlaceLocalWarm}, nil
+	}
+
+	// Cold start here and advertise this host as warm for fn. SAdd is the
+	// atomic update of the shared scheduler state; it is skipped when the
+	// host is already advertised (write-through only on the transition).
+	if e.advertised.CompareAndSwap(false, true) {
+		if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
+			e.advertised.Store(false)
+			return Decision{}, fmt.Errorf("sched: advertise warm %s: %w", fn, err)
+		}
+	}
+	s.Stats.ColdStart.Add(1)
+	return Decision{Placement: PlaceLocalCold}, nil
+}
+
+// peers returns the warm hosts for fn other than this one, serving from the
+// TTL cache when fresh and refreshing from the global tier when stale.
+func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
+	ttl := s.PeerCacheTTL
+	if ttl <= 0 {
+		ttl = DefaultPeerCacheTTL
+	}
+	now := s.clock.Now()
+	e.cacheMu.Lock()
+	if e.cached && now.Sub(e.fetched) < ttl {
+		peers := e.peers
+		e.cacheMu.Unlock()
+		return peers, nil
+	}
+	e.cacheMu.Unlock()
+
+	hosts, err := s.store.SMembers(warmSetKey(fn))
+	if err != nil {
+		return nil, err
 	}
 	var peers []string
 	for _, h := range hosts {
@@ -112,63 +213,68 @@ func (s *Scheduler) Schedule(fn string) (Decision, error) {
 			peers = append(peers, h)
 		}
 	}
-	if len(peers) > 0 {
-		// Share with a warm peer. Round-robin across them so load spreads.
-		s.mu.Lock()
-		target := peers[s.rr%len(peers)]
-		s.rr++
-		s.Stats.Forwarded++
-		s.mu.Unlock()
-		return Decision{Placement: PlaceForward, TargetHost: target}, nil
-	}
+	// Only non-empty peer sets are cached: a host with no warm peers is
+	// about to cold-start (or queue under saturation), and must notice a
+	// newly warm peer immediately rather than after a TTL.
+	e.cacheMu.Lock()
+	e.peers = peers
+	e.fetched = now
+	e.cached = len(peers) > 0
+	e.cacheMu.Unlock()
+	return peers, nil
+}
 
-	if warmHere {
-		// Warm but at capacity with nowhere to share: still run locally
-		// (queueing), matching the paper's behaviour under saturation.
-		s.mu.Lock()
-		s.Stats.LocalWarm++
-		s.mu.Unlock()
-		return Decision{Placement: PlaceLocalWarm}, nil
-	}
-
-	// Cold start here and advertise this host as warm for fn. SAdd is the
-	// atomic update of the shared scheduler state.
-	if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
-		return Decision{}, fmt.Errorf("sched: advertise warm %s: %w", fn, err)
-	}
-	s.mu.Lock()
-	s.Stats.ColdStart++
-	s.mu.Unlock()
-	return Decision{Placement: PlaceLocalCold}, nil
+// InvalidatePeers drops the cached peer warm set for fn, forcing the next
+// miss to refresh from the global tier (used when a forward fails).
+func (s *Scheduler) InvalidatePeers(fn string) {
+	e := s.fn(fn)
+	e.cacheMu.Lock()
+	e.cached = false
+	e.peers = nil
+	e.cacheMu.Unlock()
 }
 
 // NoteWarm records that this host now holds n more idle warm Faaslets for
-// fn (e.g. after a cold start completes or a call finishes), keeping the
-// global warm set in sync.
+// fn (e.g. after a cold start completes or a call finishes). The global
+// warm set is only written on the not-advertised → advertised transition;
+// steady-state warm churn performs zero global operations.
 func (s *Scheduler) NoteWarm(fn string, n int) error {
-	s.mu.Lock()
-	s.warm[fn] += n
-	nowWarm := s.warm[fn] > 0
-	s.mu.Unlock()
-	if nowWarm {
+	e := s.fn(fn)
+	e.idle.Add(int64(n))
+	if e.advertised.CompareAndSwap(false, true) {
 		if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
+			e.advertised.Store(false)
 			return err
 		}
 	}
 	return nil
 }
 
-// NoteEvicted records that this host dropped its warm Faaslets for fn,
-// removing it from the shared warm set when none remain.
+// NoteEvicted records that this host lost n idle warm Faaslets for fn (they
+// were acquired for execution, or evicted from the pool). Purely local: the
+// host stays advertised, because its Faaslets for fn are still alive (busy
+// or resetting). Use Retreat when the last Faaslet for fn is truly gone.
 func (s *Scheduler) NoteEvicted(fn string, n int) error {
-	s.mu.Lock()
-	s.warm[fn] -= n
-	if s.warm[fn] < 0 {
-		s.warm[fn] = 0
+	e := s.fn(fn)
+	for {
+		cur := e.idle.Load()
+		next := cur - int64(n)
+		if next < 0 {
+			next = 0
+		}
+		if e.idle.CompareAndSwap(cur, next) {
+			return nil
+		}
 	}
-	empty := s.warm[fn] == 0
-	s.mu.Unlock()
-	if empty {
+}
+
+// Retreat removes this host from fn's global warm set: its last live
+// Faaslet for fn is gone (failed cold start, eviction of the final pooled
+// Faaslet, shutdown), so peers must stop forwarding here.
+func (s *Scheduler) Retreat(fn string) error {
+	e := s.fn(fn)
+	e.idle.Store(0)
+	if e.advertised.Swap(false) {
 		if _, err := s.store.SRem(warmSetKey(fn), s.host); err != nil {
 			return err
 		}
@@ -178,36 +284,38 @@ func (s *Scheduler) NoteEvicted(fn string, n int) error {
 
 // WarmCount reports this host's idle warm Faaslets for fn.
 func (s *Scheduler) WarmCount(fn string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.warm[fn]
+	return int(s.fn(fn).idle.Load())
 }
 
-// WarmHosts lists the cluster's warm hosts for fn from the shared state.
+// Advertised reports whether this host is in fn's global warm set (per its
+// own bookkeeping).
+func (s *Scheduler) Advertised(fn string) bool {
+	return s.fn(fn).advertised.Load()
+}
+
+// WarmHosts lists the cluster's warm hosts for fn from the shared state
+// (uncached — tests and diagnostics).
 func (s *Scheduler) WarmHosts(fn string) ([]string, error) {
 	return s.store.SMembers(warmSetKey(fn))
 }
 
 // Begin marks a call executing on this host (capacity accounting).
 func (s *Scheduler) Begin() {
-	s.mu.Lock()
-	s.inflight++
-	s.mu.Unlock()
+	s.inflight.Add(1)
 }
 
 // End marks a call finished.
 func (s *Scheduler) End() {
-	s.mu.Lock()
-	s.inflight--
-	if s.inflight < 0 {
-		s.inflight = 0
+	if s.inflight.Add(-1) < 0 {
+		s.inflight.Store(0)
 	}
-	s.mu.Unlock()
 }
 
 // Inflight reports executing calls.
 func (s *Scheduler) Inflight() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inflight
+	n := s.inflight.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
 }

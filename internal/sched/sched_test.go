@@ -2,8 +2,10 @@ package sched
 
 import (
 	"testing"
+	"time"
 
 	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/kvs/kvstest"
 )
 
 func TestColdStartAdvertisesWarm(t *testing.T) {
@@ -20,7 +22,7 @@ func TestColdStartAdvertisesWarm(t *testing.T) {
 	if len(hosts) != 1 || hosts[0] != "host-1" {
 		t.Fatalf("warm set = %v", hosts)
 	}
-	if s.Stats.ColdStart != 1 {
+	if s.Stats.ColdStart.Load() != 1 {
 		t.Fatal("cold start not counted")
 	}
 }
@@ -51,7 +53,7 @@ func TestForwardToWarmPeer(t *testing.T) {
 	if d.Placement != PlaceForward || d.TargetHost != "host-b" {
 		t.Fatalf("decision = %+v", d)
 	}
-	if a.Stats.Forwarded != 1 {
+	if a.Stats.Forwarded.Load() != 1 {
 		t.Fatal("forward not counted")
 	}
 }
@@ -111,26 +113,32 @@ func TestSaturatedWithNoPeersRunsLocally(t *testing.T) {
 	}
 }
 
-func TestEvictionClearsWarmSet(t *testing.T) {
+func TestRetreatClearsWarmSet(t *testing.T) {
 	store := kvs.NewEngine()
 	a := New("host-a", store, 10)
 	a.Schedule("fn")
 	a.NoteWarm("fn", 2)
-	a.NoteEvicted("fn", 1)
+	// Acquiring warm Faaslets for execution is not a retreat: the host
+	// still owns them, so it must stay advertised.
+	a.NoteEvicted("fn", 2)
 	hosts, _ := a.WarmHosts("fn")
 	if len(hosts) != 1 {
-		t.Fatalf("partial evict removed warm entry: %v", hosts)
+		t.Fatalf("busy Faaslets removed warm entry: %v", hosts)
 	}
-	a.NoteEvicted("fn", 1)
+	// Retreat — the function's last Faaslet is gone — clears the entry.
+	a.Retreat("fn")
 	hosts, _ = a.WarmHosts("fn")
 	if len(hosts) != 0 {
-		t.Fatalf("full evict left warm entry: %v", hosts)
+		t.Fatalf("retreat left warm entry: %v", hosts)
+	}
+	if a.WarmCount("fn") != 0 {
+		t.Fatalf("warm count after retreat = %d", a.WarmCount("fn"))
 	}
 	// A peer now cold-starts rather than forwarding to a dead host.
 	b := New("host-b", store, 10)
 	d, _ := b.Schedule("fn")
 	if d.Placement != PlaceLocalCold {
-		t.Fatalf("post-evict placement = %v", d.Placement)
+		t.Fatalf("post-retreat placement = %v", d.Placement)
 	}
 }
 
@@ -146,5 +154,110 @@ func TestInflightAccounting(t *testing.T) {
 	s.End() // extra End clamps at zero
 	if s.Inflight() != 0 {
 		t.Fatalf("inflight after ends = %d", s.Inflight())
+	}
+}
+
+func TestWarmSteadyStateDoesZeroGlobalOps(t *testing.T) {
+	store := kvstest.NewCountingStore(kvs.NewEngine())
+	s := New("host-1", store, 10)
+	// Cold start + first warm transition pay their write-throughs.
+	s.Schedule("fn")
+	s.NoteWarm("fn", 1)
+	before := store.Ops()
+	// Steady state: acquire (NoteEvicted) / release (NoteWarm) around every
+	// warm local decision must touch the global tier zero times.
+	for k := 0; k < 1000; k++ {
+		d, err := s.Schedule("fn")
+		if err != nil || d.Placement != PlaceLocalWarm {
+			t.Fatalf("steady-state decision %d: %+v %v", k, d, err)
+		}
+		s.NoteEvicted("fn", 1)
+		s.NoteWarm("fn", 1)
+	}
+	if ops := store.Ops() - before; ops != 0 {
+		t.Fatalf("steady-state warm scheduling performed %d global ops, want 0", ops)
+	}
+}
+
+func TestPeerCacheServesMissesWithinTTL(t *testing.T) {
+	store := kvstest.NewCountingStore(kvs.NewEngine())
+	b := New("host-b", store, 10)
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+
+	a := New("host-a", store, 10)
+	a.PeerCacheTTL = time.Hour
+	before := store.Ops()
+	for k := 0; k < 100; k++ {
+		d, err := a.Schedule("fn")
+		if err != nil || d.Placement != PlaceForward || d.TargetHost != "host-b" {
+			t.Fatalf("forward %d: %+v %v", k, d, err)
+		}
+	}
+	// One SMembers to populate the cache; the other 99 misses are served
+	// from it.
+	if ops := store.Ops() - before; ops != 1 {
+		t.Fatalf("100 forwards performed %d global ops, want 1", ops)
+	}
+}
+
+func TestPeerCacheExpiresAndRefreshes(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+
+	a := New("host-a", store, 10)
+	a.PeerCacheTTL = time.Nanosecond // effectively always stale
+	if d, _ := a.Schedule("fn"); d.Placement != PlaceForward {
+		t.Fatalf("initial forward: %+v", d)
+	}
+	// Host B retreats; with an expired cache, A must observe it and
+	// cold-start instead of forwarding to a host with nothing warm.
+	b.Retreat("fn")
+	time.Sleep(time.Millisecond)
+	d, _ := a.Schedule("fn")
+	if d.Placement != PlaceLocalCold {
+		t.Fatalf("post-retreat placement = %v (stale cache?)", d.Placement)
+	}
+}
+
+func TestInvalidatePeersForcesRefresh(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+
+	a := New("host-a", store, 10)
+	a.PeerCacheTTL = time.Hour
+	if d, _ := a.Schedule("fn"); d.Placement != PlaceForward {
+		t.Fatal("expected forward")
+	}
+	b.Retreat("fn")
+	// The hour-long cache still names host-b ...
+	if d, _ := a.Schedule("fn"); d.Placement != PlaceForward {
+		t.Fatal("expected stale forward")
+	}
+	// ... until the transport failure path invalidates it.
+	a.InvalidatePeers("fn")
+	d, _ := a.Schedule("fn")
+	if d.Placement != PlaceLocalCold {
+		t.Fatalf("post-invalidate placement = %v", d.Placement)
+	}
+}
+
+func TestAdvertiseWriteThroughHappensOnce(t *testing.T) {
+	store := kvstest.NewCountingStore(kvs.NewEngine())
+	s := New("host-1", store, 10)
+	s.NoteWarm("fn", 1)
+	if !s.Advertised("fn") {
+		t.Fatal("first NoteWarm did not advertise")
+	}
+	before := store.Ops()
+	for k := 0; k < 50; k++ {
+		s.NoteWarm("fn", 1)
+	}
+	if ops := store.Ops() - before; ops != 0 {
+		t.Fatalf("repeat NoteWarm performed %d global ops, want 0", ops)
 	}
 }

@@ -43,9 +43,12 @@ var ErrSizeMismatch = errors.New("state: size mismatch")
 const DefaultLockTTL = 30 * time.Second
 
 // LocalTier is one host's local state tier: the registry of state-value
-// replicas living in shared memory.
+// replicas living in shared memory. The registry lock is read/write: the
+// hot path (Value lookups from concurrent Faaslets) shares a read lock and
+// never serialises; only first-use creation takes the write lock. Per-Value
+// locking semantics are unchanged.
 type LocalTier struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	values map[string]*Value
 	global kvs.Store
 
@@ -67,15 +70,18 @@ func (lt *LocalTier) Global() kvs.Store { return lt.global }
 // fixes the value size (creating the key locally if it is new). All
 // co-located Faaslets share the returned *Value — that is the point.
 func (lt *LocalTier) Value(key string, size int) (*Value, error) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	if v, ok := lt.values[key]; ok {
+	// Fast path: the replica already exists — a shared read lock suffices.
+	lt.mu.RLock()
+	v, ok := lt.values[key]
+	lt.mu.RUnlock()
+	if ok {
 		if size >= 0 && size != v.size {
 			return nil, fmt.Errorf("%w: %s is %d bytes, requested %d", ErrSizeMismatch, key, v.size, size)
 		}
 		return v, nil
 	}
 	if size < 0 {
+		// Size discovery hits the global tier; keep it outside the lock.
 		n, err := lt.global.Len(key)
 		if err != nil {
 			return nil, fmt.Errorf("state: size of %s: %w", key, err)
@@ -85,7 +91,15 @@ func (lt *LocalTier) Value(key string, size int) (*Value, error) {
 		}
 		size = n
 	}
-	v := &Value{
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if v, ok := lt.values[key]; ok { // raced with another creator
+		if size >= 0 && size != v.size {
+			return nil, fmt.Errorf("%w: %s is %d bytes, requested %d", ErrSizeMismatch, key, v.size, size)
+		}
+		return v, nil
+	}
+	v = &Value{
 		key:    key,
 		size:   size,
 		seg:    wamem.NewSegment(size),
@@ -98,8 +112,8 @@ func (lt *LocalTier) Value(key string, size int) (*Value, error) {
 
 // Lookup returns the replica for key if one exists on this host.
 func (lt *LocalTier) Lookup(key string) (*Value, bool) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
 	v, ok := lt.values[key]
 	return v, ok
 }
@@ -114,8 +128,8 @@ func (lt *LocalTier) Evict(key string) {
 
 // Keys lists locally replicated keys.
 func (lt *LocalTier) Keys() []string {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
 	out := make([]string, 0, len(lt.values))
 	for k := range lt.values {
 		out = append(out, k)
@@ -127,8 +141,8 @@ func (lt *LocalTier) Keys() []string {
 // backing replicated values. Because co-located Faaslets share them, this is
 // counted once per host, not once per function — the heart of Fig 6c.
 func (lt *LocalTier) LocalBytes() int64 {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
 	var n int64
 	for _, v := range lt.values {
 		n += int64(v.seg.Len())

@@ -507,3 +507,38 @@ func TestMarkPulledCounterTracksCompleteness(t *testing.T) {
 		t.Fatalf("pulled=%d all=%v after full chunk walk", pulled, all)
 	}
 }
+
+func TestConcurrentValueLookupsShareOneReplica(t *testing.T) {
+	// The registry's hot path is a shared read lock: concurrent lookups —
+	// including a racing first-use creation — must all land on the same
+	// *Value and never deadlock or duplicate the segment.
+	g := kvs.NewEngine()
+	g.Set("k", make([]byte, 4*ChunkSize))
+	lt := NewLocalTier(g)
+	const workers = 16
+	results := make([]*Value, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				v, err := lt.Value("k", -1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[w] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("worker %d got a different replica", w)
+		}
+	}
+	if n := len(lt.Keys()); n != 1 {
+		t.Fatalf("registry holds %d values, want 1", n)
+	}
+}

@@ -177,8 +177,8 @@ func New(global GlobalStore) *FS {
 // reset (§5.2) guarantees nothing leaks to the next tenant.
 func (fs *FS) Reset() {
 	fs.mu.Lock()
-	fs.local = map[string]*file{}
-	fs.fds = map[int32]*fdEntry{}
+	clear(fs.local)
+	clear(fs.fds)
 	fs.nextFD = 3
 	fs.BytesPulled = 0
 	fs.mu.Unlock()
