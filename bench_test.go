@@ -76,6 +76,10 @@ func BenchmarkStateScale(b *testing.B) { benchReport(b, experiments.StateScale) 
 // (parallel warm-call throughput + scheduler global-op accounting).
 func BenchmarkInvokeScale(b *testing.B) { benchReport(b, experiments.InvokeScale) }
 
+// BenchmarkElasticity regenerates the elastic-scheduling experiment
+// (warm-pool grow-ahead vs static sizing + leased-liveness failover drain).
+func BenchmarkElasticity(b *testing.B) { benchReport(b, experiments.Elasticity) }
+
 // BenchmarkBatchedVsSingleOps demonstrates the batch surface's win through
 // the TCP client: one pipelined MGet/MSet/GetRanges exchange against N
 // single round trips for the same data.

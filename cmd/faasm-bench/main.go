@@ -48,9 +48,11 @@ func main() {
 		"fig10":         experiments.Fig10,
 		"state-scale":   experiments.StateScale,
 		"invoke-scale":  experiments.InvokeScale,
+		"elastic-sched": experiments.Elasticity,
 	}
 	order := []string{"table1", "table3", "table3-python", "fig6", "fig6-small",
-		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "state-scale", "invoke-scale"}
+		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "state-scale", "invoke-scale",
+		"elastic-sched"}
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {

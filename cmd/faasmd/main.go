@@ -8,6 +8,11 @@
 //	faasmd -listen :8090 -state 10.0.0.5:6500      # join a shared global tier
 //	faasmd -listen :8090 -state a:6500,b:6500      # sharded global tier (ring)
 //	faasmd -kvs :6500                              # also serve one tier shard
+//	faasmd -elastic-pool -pool-idle-timeout 30s    # autoscale warm pools
+//
+// The scheduling knobs (-pool-cap, -lease-ttl, -peer-cache-ttl and the
+// elastic-pool flags) are documented in the README's "Operating faasmd"
+// section.
 //
 // Endpoints:
 //
@@ -38,6 +43,11 @@ func main() {
 	stateReplicas := flag.Int("state-replicas", 1, "copies per key when the tier is sharded")
 	kvsListen := flag.String("kvs", "", "also serve a kvs global-tier shard on this address")
 	host := flag.String("host", "faasmd-0", "this instance's cluster name")
+	poolCap := flag.Int("pool-cap", 0, "idle warm Faaslets kept per function (0 = runtime default, 64)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "liveness lease on this host's warm advertisements; heartbeats run at a third of it (0 = 10s)")
+	peerCacheTTL := flag.Duration("peer-cache-ttl", 0, "staleness bound on the cached peer warm set (0 = 1s)")
+	elasticPool := flag.Bool("elastic-pool", false, "autoscale warm pools: grow ahead of misses, shrink on idle")
+	poolIdleTimeout := flag.Duration("pool-idle-timeout", 0, "idle time before an elastic pool starts shrinking (0 = 30s)")
 	flag.Parse()
 
 	endpoints := *stateAddrs
@@ -77,7 +87,15 @@ func main() {
 
 	objects := objstore.NewMemory()
 	up := upload.New(objects)
-	inst := frt.New(frt.Config{Host: *host, Store: store})
+	inst := frt.New(frt.Config{
+		Host:            *host,
+		Store:           store,
+		PoolCap:         *poolCap,
+		LeaseTTL:        *leaseTTL,
+		PeerCacheTTL:    *peerCacheTTL,
+		ElasticPool:     *elasticPool,
+		PoolIdleTimeout: *poolIdleTimeout,
+	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/f/", deployingUploader{up: up, inst: inst, objects: objects})
@@ -101,6 +119,8 @@ func main() {
 			inst.Host(), inst.Functions(), inst.FaasletCount(),
 			inst.ColdStarts.Value(), inst.WarmStarts.Value(), inst.ProtoStarts.Value(),
 			inst.ExecLatency.Median())
+		fmt.Fprintf(w, "pool misses: %d prewarmed: %d idle reclaims: %d\n",
+			inst.PoolMisses.Value(), inst.Prewarmed.Value(), inst.IdleReclaims.Value())
 	})
 
 	log.Printf("faasmd %s listening on %s", *host, *listen)

@@ -70,6 +70,18 @@ type Config struct {
 	StateShards int
 	// StateReplicas is the copies kept per key when sharded (default 1).
 	StateReplicas int
+	// LeaseTTL / PeerCacheTTL tune the schedulers' liveness leases and
+	// peer-cache staleness on the experiment clock (FAASM mode; zero keeps
+	// the sched package defaults).
+	LeaseTTL     time.Duration
+	PeerCacheTTL time.Duration
+	// PoolCap bounds idle warm Faaslets per function per host (FAASM mode;
+	// 0 = frt default). ElasticPool turns on the per-host warm-pool
+	// autoscaler with the given idle timeout and controller interval.
+	PoolCap         int
+	ElasticPool     bool
+	PoolIdleTimeout time.Duration
+	ElasticInterval time.Duration
 }
 
 // Cluster is a live experiment cluster.
@@ -127,12 +139,18 @@ func New(cfg Config) *Cluster {
 				cold = cfg.ProtoColdStart
 			}
 			inst := frt.New(frt.Config{
-				Host:           host,
-				Store:          store,
-				Clock:          c.Clock,
-				Capacity:       cfg.Capacity,
-				Transport:      (*faasmTransport)(c),
-				ColdStartDelay: cold,
+				Host:            host,
+				Store:           store,
+				Clock:           c.Clock,
+				Capacity:        cfg.Capacity,
+				Transport:       (*faasmTransport)(c),
+				ColdStartDelay:  cold,
+				LeaseTTL:        cfg.LeaseTTL,
+				PeerCacheTTL:    cfg.PeerCacheTTL,
+				PoolCap:         cfg.PoolCap,
+				ElasticPool:     cfg.ElasticPool,
+				PoolIdleTimeout: cfg.PoolIdleTimeout,
+				ElasticInterval: cfg.ElasticInterval,
 			})
 			c.faasm = append(c.faasm, inst)
 		case ModeBaseline:
@@ -158,6 +176,16 @@ func (c *Cluster) Mode() Mode { return c.cfg.Mode }
 
 // Hosts reports the host count.
 func (c *Cluster) Hosts() int { return c.cfg.Hosts }
+
+// Instance returns host h's FAASM runtime (FAASM mode; tests and
+// experiments reach per-host schedulers and counters through it).
+func (c *Cluster) Instance(h int) *frt.Instance { return c.faasm[h] }
+
+// KillHost simulates a crash of host h (FAASM mode): the instance stops
+// heartbeating and fails every call, local or forwarded, without retreating
+// from anything — the cluster must notice through lease expiry, exactly as
+// it would a real dead machine.
+func (c *Cluster) KillHost(h int) { c.faasm[h].Kill() }
 
 // faasmTransport shares work between FAASM instances, paying network costs
 // for the call payloads.
@@ -238,6 +266,13 @@ func (c *Cluster) Call(fn string, input []byte) ([]byte, int32, error) {
 		idx := int(c.rr.Add(1)) % len(c.base)
 		return c.base[idx].Call(fn, input)
 	}
+}
+
+// CallOn executes one function synchronously entering at host h (FAASM
+// mode) — the failure experiments drive traffic through surviving hosts
+// instead of the round-robin front door.
+func (c *Cluster) CallOn(h int, fn string, input []byte) ([]byte, int32, error) {
+	return c.faasm[h].Call(fn, input)
 }
 
 // Invoke starts an asynchronous call, returning an awaitable handle.

@@ -295,3 +295,95 @@ func TestStatsAndReset(t *testing.T) {
 		t.Fatalf("post-reset stats = %+v", s)
 	}
 }
+
+func TestKilledHostDrainsFromForwardingWithinLease(t *testing.T) {
+	c := New(Config{
+		Mode: ModeFaasm, Hosts: 3, TimeScale: 1,
+		LeaseTTL:     60 * time.Millisecond,
+		PeerCacheTTL: 5 * time.Millisecond,
+	})
+	defer c.Shutdown()
+	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm host-1 only: it becomes the cluster's one forwarding target.
+	if _, ret, err := c.CallOn(1, "echo", []byte("warm")); err != nil || ret != 0 {
+		t.Fatalf("warming call: %d %v", ret, err)
+	}
+	if _, ret, err := c.CallOn(0, "echo", []byte("x")); err != nil || ret != 0 {
+		t.Fatalf("pre-kill call: %d %v", ret, err)
+	}
+	if fwd := c.Instance(0).Scheduler().Stats.Forwarded.Load(); fwd != 1 {
+		t.Fatalf("host-0 forwards before kill = %d, want 1", fwd)
+	}
+
+	c.KillHost(1)
+	// The very next call must still succeed: the transport failure falls
+	// back to local execution while the lease clock runs out.
+	if out, ret, err := c.CallOn(0, "echo", []byte("y")); err != nil || ret != 0 || string(out) != "y" {
+		t.Fatalf("post-kill call: %q %d %v", out, ret, err)
+	}
+
+	// Within one lease TTL the dead host is gone from the live warm set
+	// and receives no forwards from anyone — including host-2, which has
+	// never scheduled this function before.
+	time.Sleep(80 * time.Millisecond)
+	hosts, err := c.Instance(0).Scheduler().WarmHosts("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		if h == "host-1" {
+			t.Fatalf("dead host still in live warm set: %v", hosts)
+		}
+	}
+	warmBefore := c.Instance(1).WarmStarts.Value()
+	for k := 0; k < 10; k++ {
+		if _, ret, err := c.CallOn(2, "echo", []byte("z")); err != nil || ret != 0 {
+			t.Fatalf("post-expiry call %d: %d %v", k, ret, err)
+		}
+	}
+	if got := c.Instance(1).WarmStarts.Value() - warmBefore; got != 0 {
+		t.Fatalf("dead host executed %d forwarded calls after lease expiry", got)
+	}
+}
+
+func TestElasticClusterPoolsShrinkAndRetreat(t *testing.T) {
+	c := New(Config{
+		Mode: ModeFaasm, Hosts: 2, TimeScale: 1,
+		PeerCacheTTL:    5 * time.Millisecond,
+		ElasticPool:     true,
+		ElasticInterval: 2 * time.Millisecond,
+		PoolIdleTimeout: 10 * time.Millisecond,
+	})
+	defer c.Shutdown()
+	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ret, err := c.CallOn(0, "echo", []byte("x")); err != nil || ret != 0 {
+		t.Fatalf("call: %d %v", ret, err)
+	}
+	// The idle pool must drain to zero and the host must leave the global
+	// warm set, so no peer ever forwards to a host with nothing warm.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hosts, err := c.Instance(1).Scheduler().WarmHosts("echo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Instance(0).PoolSize("echo") == 0 && len(hosts) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle pool not reclaimed cluster-wide: size=%d warm=%v",
+				c.Instance(0).PoolSize("echo"), hosts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"faasm.dev/faasm/internal/cluster"
+	"faasm.dev/faasm/internal/core"
+	"faasm.dev/faasm/internal/frt"
+	"faasm.dev/faasm/internal/hostapi"
+)
+
+// Elasticity measures the elastic scheduling layer this repo grows beyond
+// the paper. Section "pool" ramps closed-loop load over a single host and
+// compares a static warm pool (misses pay cold starts on the critical path,
+// the paper's organic growth) against the elastic controller (grow-ahead
+// from observed misses, shrink on idle). Section "failover" kills a warm
+// host in a simnet cluster and verifies forwarding drains to survivors
+// within one liveness-lease TTL — the warm-set entries are leases, so a
+// crashed host evicts from the global set itself, Cloudburst-style.
+func Elasticity(opts Options) *Report {
+	r := &Report{
+		ID:     "elastic-sched",
+		Title:  "Elastic scheduling: warm-pool autoscaling and leased peer liveness",
+		Header: []string{"section", "config", "metric", "value"},
+	}
+
+	ramp := []int{2, 4, 8, 16, 32}
+	if opts.Quick {
+		ramp = []int{2, 4, 8}
+	}
+	for _, elastic := range []bool{false, true} {
+		name := "static pool"
+		if elastic {
+			name = "elastic pool"
+		}
+		misses, prewarmed, reclaims, err := measureRampMisses(ramp, elastic)
+		if err != nil {
+			r.Note("pool/%s: %v", name, err)
+			continue
+		}
+		r.Add("pool", name, "pool-empty misses (critical-path cold starts)", fmt.Sprintf("%d", misses))
+		r.Add("pool", name, "pre-provisioned Faaslets", fmt.Sprintf("%d", prewarmed))
+		r.Add("pool", name, "idle reclaims", fmt.Sprintf("%d", reclaims))
+	}
+
+	leaseTTL := 60 * time.Millisecond
+	drain, survived, forwarded, ctrlBytes, err := measureFailoverDrain(leaseTTL)
+	if err != nil {
+		r.Note("failover: %v", err)
+	} else {
+		r.Add("failover", "3 hosts, kill warm target", "forwards before kill", fmt.Sprintf("%d", forwarded))
+		r.Add("failover", "3 hosts, kill warm target", "calls failed during drain", fmt.Sprintf("%d", survived))
+		r.Add("failover", "3 hosts, kill warm target", "dead host evicted after", fmt.Sprintf("%.2f lease TTLs", float64(drain)/float64(leaseTTL)))
+		r.Add("failover", "3 hosts, kill warm target", "network bytes during drain", fmt.Sprintf("%d", ctrlBytes))
+	}
+
+	r.Note("pool: identical concurrency ramp %v per config; the elastic controller pre-provisions misses x grow-factor per tick, so later ramp steps find the pool already sized — the ramp's misses collapse toward the first step's", ramp)
+	r.Note("failover: a killed host stops heartbeating but retreats from nothing; its sched/alive/<host> lease expires and every peer's refresh filters it — forwards fall back locally in the meantime, so zero calls fail")
+	return r
+}
+
+// measureRampMisses drives a concurrency ramp against one instance and
+// returns the pool-miss, prewarm and reclaim counters.
+func measureRampMisses(ramp []int, elastic bool) (misses, prewarmed, reclaims int64, err error) {
+	inst := frt.New(frt.Config{
+		Host:            "elastic-host",
+		PoolCap:         256,
+		ElasticPool:     elastic,
+		ElasticInterval: 2 * time.Millisecond,
+		PoolIdleTimeout: time.Hour, // isolate grow-ahead from shrink
+	})
+	defer inst.Shutdown()
+	gate := make(chan struct{})
+	started := make(chan struct{}, 256)
+	inst.RegisterNative("ramp", func(ctx *core.Ctx) (int32, error) {
+		if len(ctx.Input()) > 0 {
+			started <- struct{}{}
+			<-gate
+		}
+		return 0, nil
+	})
+	for _, c := range ramp {
+		var wg sync.WaitGroup
+		var callErr error
+		var mu sync.Mutex
+		for k := 0; k < c; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, _, e := inst.Call("ramp", []byte("b")); e != nil {
+					mu.Lock()
+					callErr = e
+					mu.Unlock()
+				}
+			}()
+		}
+		for k := 0; k < c; k++ {
+			<-started
+		}
+		for k := 0; k < c; k++ {
+			gate <- struct{}{}
+		}
+		wg.Wait()
+		if callErr != nil {
+			return 0, 0, 0, callErr
+		}
+		// The gap between ramp steps, identical for both configs; the
+		// elastic controller uses it to grow ahead of the next step.
+		time.Sleep(20 * time.Millisecond)
+	}
+	return inst.PoolMisses.Value(), inst.Prewarmed.Value(), inst.IdleReclaims.Value(), nil
+}
+
+// measureFailoverDrain warms one cluster host, kills it, and measures how
+// long its stale warm-set entry keeps appearing in the live view. Returns
+// the drain duration, the count of calls that FAILED during it (want 0),
+// the forwards recorded before the kill, and the simulated-network bytes
+// the cluster spent while healing (call payloads + lease reads).
+func measureFailoverDrain(leaseTTL time.Duration) (drain time.Duration, failed int, forwarded, ctrlBytes int64, err error) {
+	c := cluster.New(cluster.Config{
+		Mode: cluster.ModeFaasm, Hosts: 3, TimeScale: 1,
+		LeaseTTL:     leaseTTL,
+		PeerCacheTTL: 5 * time.Millisecond,
+	})
+	defer c.Shutdown()
+	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// Warm host-1 only, then route traffic through host-0 so every call
+	// forwards to the one warm peer.
+	if _, _, err := c.CallOn(1, "echo", []byte("w")); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for k := 0; k < 10; k++ {
+		if _, _, err := c.CallOn(0, "echo", []byte("x")); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	forwarded = c.Instance(0).Scheduler().Stats.Forwarded.Load()
+
+	c.KillHost(1)
+	start := time.Now()
+	bytesBefore := c.Net.TotalBytes()
+	hostBytesAtKill := c.Net.HostBytes("host-1")
+	deadline := start.Add(10 * leaseTTL)
+	for {
+		// Traffic keeps flowing through the survivors the whole time.
+		if _, _, err := c.CallOn(0, "echo", []byte("y")); err != nil {
+			failed++
+		}
+		hosts, err := c.Instance(2).Scheduler().WarmHosts("echo")
+		if err != nil {
+			return 0, failed, forwarded, 0, err
+		}
+		dead := false
+		for _, h := range hosts {
+			if h == "host-1" {
+				dead = true
+			}
+		}
+		if !dead {
+			// Sanity: the dead host itself moved no bytes since the kill.
+			ctrlBytes = c.Net.TotalBytes() - bytesBefore - c.Net.HostBytes("host-1") + hostBytesAtKill
+			return time.Since(start), failed, forwarded, ctrlBytes, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, failed, forwarded, 0, fmt.Errorf("dead host still listed after %v", time.Since(start))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,44 @@
+// Package frt implements the FAASM runtime instance of §5: the server-side
+// component that manages a pool of Faaslets, schedules and executes function
+// calls (locally or by sharing them with warm peers), implements the
+// chaining half of the host interface, and generates/restores Proto-Faaslet
+// snapshots to minimise cold-start latency.
+//
+// Multiple instances — one per host — form the distributed runtime of
+// Fig 5: each has a local scheduler, a Faaslet pool, a slice of the local
+// state tier, and a sharing path to its peers.
+//
+// # Concurrency model
+//
+// The invocation hot path is engineered to scale with cores:
+//
+//   - Lock-free: function definitions and Proto-Faaslets live in
+//     copy-on-write maps behind atomic pointers — an invoke reads them with
+//     no lock; deployment-time writers clone under regMu and swap. Live
+//     Faaslet accounting is a single atomic.
+//   - Striped by function: the warm pool is a per-function structure
+//     (fnPool), so acquire and release for different functions never touch
+//     the same mutex; within one function the critical sections are a
+//     slice push/pop plus counter updates.
+//   - Off the critical path: the post-call Faaslet reset (§5.2's
+//     Proto-Faaslet restore that discards all guest residue) runs on
+//     background resetter goroutines bounded by a GOMAXPROCS-wide
+//     semaphore — the caller's response returns as soon as execution
+//     finishes, and the pool only ever hands out fully reset Faaslets
+//     (an acquire that races an in-flight reset waits for it). The
+//     scheduler's liveness heartbeat and the elastic pool controller are
+//     background goroutines too; neither ever runs inside a call.
+//
+// # Elastic warm pools
+//
+// PoolCap bounds each function's warm pool; by default the pool grows only
+// organically (a Faaslet is created when a call finds the pool empty) and
+// never shrinks. With Config.ElasticPool, a background controller watches
+// per-function demand — acquire counts and pool-empty misses — and (a)
+// grows the pool ahead of demand by pre-provisioning PoolGrowFactor× the
+// observed misses through the resetter machinery, so ramping load stops
+// paying cold starts on the critical path, and (b) shrinks idle pools after
+// PoolIdleTimeout, halving the idle set per controller tick and feeding
+// every eviction through sched.NoteEvicted/Retreat so the global warm set
+// stays truthful as capacity drains.
+package frt

@@ -1,0 +1,193 @@
+package frt
+
+import (
+	"time"
+
+	"faasm.dev/faasm/internal/core"
+)
+
+// elasticLoop is the warm-pool autoscaler (Config.ElasticPool). Once per
+// ElasticInterval it reads each function's demand counters and either grows
+// the pool ahead of demand or reclaims it after idleness. It is a background
+// goroutine in the same sense as the resetters: nothing on a call's critical
+// path ever waits for it.
+func (i *Instance) elasticLoop() {
+	defer close(i.elasticDone)
+	interval := i.cfg.ElasticInterval
+	if interval <= 0 {
+		interval = defaultElasticInterval
+	}
+	for {
+		i.clock.Sleep(interval)
+		select {
+		case <-i.elasticStop:
+			return
+		default:
+		}
+		i.elasticTick()
+	}
+}
+
+// elasticTick runs one controller pass over every function pool.
+func (i *Instance) elasticTick() {
+	grow := i.cfg.PoolGrowFactor
+	if grow <= 0 {
+		grow = defaultPoolGrowFactor
+	}
+	idleTimeout := i.cfg.PoolIdleTimeout
+	if idleTimeout <= 0 {
+		idleTimeout = defaultPoolIdleTimeout
+	}
+	now := i.clock.Now()
+	i.pools.Range(func(k, v any) bool {
+		fn := k.(string)
+		p := v.(*fnPool)
+
+		p.mu.Lock()
+		newAcquires := p.acquires - p.seenAcquires
+		newMisses := p.misses - p.seenMisses
+		p.seenAcquires = p.acquires
+		p.seenMisses = p.misses
+		if newAcquires > 0 {
+			p.idleSince = time.Time{}
+		} else if p.idleSince.IsZero() {
+			p.idleSince = now
+		}
+		idleFor := time.Duration(0)
+		if !p.idleSince.IsZero() {
+			idleFor = now.Sub(p.idleSince)
+		}
+		idleCount := len(p.idle)
+		pooled := len(p.idle) + p.resetting
+		p.mu.Unlock()
+
+		switch {
+		case newMisses > 0:
+			// Calls paid cold starts on their critical path this tick: grow
+			// ahead so the next ramp step finds the pool already provisioned.
+			want := int(float64(newMisses) * grow)
+			if want < 1 {
+				want = 1
+			}
+			if room := i.cfg.PoolCap - pooled; want > room {
+				want = room
+			}
+			i.prewarm(fn, want)
+		case newAcquires == 0 && idleCount > 0 && idleFor >= idleTimeout:
+			// The pool sat unused for a full idle window: reclaim half its
+			// idle Faaslets per tick (exponential decay, so a briefly idle
+			// pool is not emptied in one shot).
+			i.reclaimIdle(fn, p, (idleCount+1)/2)
+		}
+		return true
+	})
+}
+
+// prewarm pre-provisions up to n reset Faaslets for fn, making the misses
+// that drove the growth the last ones to pay a cold start inline. A freshly
+// created Faaslet is clean by construction, so it enters the idle pool
+// directly — the same state a background reset leaves a pooled one in.
+func (i *Instance) prewarm(fn string, n int) {
+	def, ok := i.def(fn)
+	if !ok {
+		return
+	}
+	for j := 0; j < n; j++ {
+		// The provisioning cost is paid here, off every call's critical path
+		// (this is the entire point of growing ahead).
+		if i.cfg.ColdStartDelay > 0 {
+			i.clock.Sleep(i.cfg.ColdStartDelay)
+		}
+		i.shutMu.RLock()
+		if i.closed.Load() || i.killed.Load() {
+			i.shutMu.RUnlock()
+			return
+		}
+		var f *core.Faaslet
+		var err error
+		if proto := i.proto(fn); proto != nil {
+			f, err = core.NewFromProto(def, i.env, proto)
+			i.ProtoStarts.Add(1)
+		} else {
+			f, err = core.New(def, i.env)
+		}
+		if err != nil {
+			i.shutMu.RUnlock()
+			return
+		}
+		p := i.poolFor(fn)
+		p.mu.Lock()
+		if len(p.idle)+p.resetting >= i.cfg.PoolCap {
+			p.mu.Unlock()
+			i.shutMu.RUnlock()
+			f.Close()
+			return
+		}
+		p.idle = append(p.idle, f)
+		p.live++
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		i.faasletCount.Add(1)
+		i.Prewarmed.Add(1)
+		i.sched.NoteWarm(fn, 1)
+		i.shutMu.RUnlock()
+	}
+}
+
+// reclaimIdle evicts up to n idle Faaslets from fn's pool, feeding the
+// evictions through the scheduler so the global warm set stays truthful: the
+// idle count drops, and when the last live Faaslet goes the host retreats
+// from sched/warm/<fn> entirely.
+func (i *Instance) reclaimIdle(fn string, p *fnPool, n int) {
+	p.mu.Lock()
+	if n > len(p.idle) {
+		n = len(p.idle)
+	}
+	if n == 0 {
+		p.mu.Unlock()
+		return
+	}
+	victims := make([]*core.Faaslet, n)
+	copy(victims, p.idle[len(p.idle)-n:])
+	for j := len(p.idle) - n; j < len(p.idle); j++ {
+		p.idle[j] = nil
+	}
+	p.idle = p.idle[:len(p.idle)-n]
+	p.live -= n
+	last := p.live == 0
+	p.mu.Unlock()
+
+	for _, f := range victims {
+		f.Close()
+	}
+	i.faasletCount.Add(int64(-n))
+	i.IdleReclaims.Add(int64(n))
+	i.sched.NoteEvicted(fn, n)
+	if last {
+		i.sched.Retreat(fn)
+	}
+}
+
+// stopElastic ends the controller goroutine (idempotent; no-op when
+// ElasticPool is off).
+func (i *Instance) stopElastic() {
+	if i.elasticStop == nil {
+		return
+	}
+	i.elasticOnce.Do(func() { close(i.elasticStop) })
+}
+
+// Kill simulates a host crash for tests and experiments: the instance stops
+// heartbeating and refuses all work — including forwarded work from peers —
+// but deliberately retreats from nothing. Its entries in the global warm set
+// linger exactly as a crashed host's would, and peers must discover the
+// death through lease expiry (plus the transport-failure fallback in the
+// meantime).
+func (i *Instance) Kill() {
+	i.killed.Store(true)
+	i.sched.StopHeartbeat()
+	i.stopElastic()
+}
+
+// Killed reports whether Kill was called.
+func (i *Instance) Killed() bool { return i.killed.Load() }

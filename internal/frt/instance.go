@@ -1,20 +1,3 @@
-// Package frt implements the FAASM runtime instance of §5: the server-side
-// component that manages a pool of Faaslets, schedules and executes function
-// calls (locally or by sharing them with warm peers), implements the
-// chaining half of the host interface, and generates/restores Proto-Faaslet
-// snapshots to minimise cold-start latency.
-//
-// Multiple instances — one per host — form the distributed runtime of
-// Fig 5: each has a local scheduler, a Faaslet pool, a slice of the local
-// state tier, and a sharing path to its peers.
-//
-// The invocation hot path is engineered to scale with cores: function and
-// proto registries are copy-on-write maps behind atomic pointers (lock-free
-// lookup on invoke), the warm pool is a per-function structure so acquire
-// and release for different functions never contend, and the post-call
-// Faaslet reset runs on background resetter goroutines — the caller's
-// response returns as soon as execution finishes, and the warm pool only
-// ever hands out fully reset Faaslets.
 package frt
 
 import (
@@ -62,7 +45,35 @@ type Config struct {
 	// (used by the cluster simulator to model measured constants; zero for
 	// real deployments, where the true cost is measured).
 	ColdStartDelay time.Duration
+
+	// LeaseTTL bounds how long this host's warm advertisements outlive its
+	// last liveness heartbeat (0 = sched.DefaultLeaseTTL). The instance
+	// heartbeats at LeaseTTL/3.
+	LeaseTTL time.Duration
+	// PeerCacheTTL bounds the staleness of the scheduler's cached peer
+	// warm set (0 = sched.DefaultPeerCacheTTL).
+	PeerCacheTTL time.Duration
+
+	// ElasticPool enables the warm-pool autoscaler: grow ahead of demand
+	// on pool-empty misses, shrink after idleness. Off by default — the
+	// pool then grows organically up to PoolCap and never shrinks.
+	ElasticPool bool
+	// PoolGrowFactor scales grow-ahead: the controller pre-provisions
+	// misses×factor Faaslets per tick (0 = 2).
+	PoolGrowFactor float64
+	// PoolIdleTimeout is how long a pool must see no acquires before the
+	// controller starts reclaiming its idle Faaslets (0 = 30s).
+	PoolIdleTimeout time.Duration
+	// ElasticInterval is the controller's tick (0 = 100ms).
+	ElasticInterval time.Duration
 }
+
+// Elastic-pool defaults.
+const (
+	defaultPoolGrowFactor  = 2.0
+	defaultPoolIdleTimeout = 30 * time.Second
+	defaultElasticInterval = 100 * time.Millisecond
+)
 
 // fnPool is one function's warm-Faaslet pool. Each function has its own
 // lock, so acquire/release for different functions never contend; within a
@@ -78,6 +89,15 @@ type fnPool struct {
 	idle      []*core.Faaslet
 	resetting int
 	live      int
+
+	// Demand signals for the elastic controller (under mu; no clock reads
+	// on the acquire path — idleness is inferred from the counter).
+	acquires int64
+	misses   int64
+	// Controller-private cursors, touched only by the elastic loop.
+	seenAcquires int64
+	seenMisses   int64
+	idleSince    time.Time
 }
 
 func newFnPool() *fnPool {
@@ -119,6 +139,15 @@ type Instance struct {
 	shutMu   sync.RWMutex
 	closed   atomic.Bool
 
+	// killed marks a simulated crash (Kill): the instance refuses work but
+	// nothing retreats — peers must discover the death via lease expiry.
+	killed atomic.Bool
+
+	// elastic controller lifecycle (nil when ElasticPool is off).
+	elasticStop chan struct{}
+	elasticDone chan struct{}
+	elasticOnce sync.Once
+
 	// Metrics for the evaluation.
 	ColdStarts  metrics.Counter
 	WarmStarts  metrics.Counter
@@ -126,6 +155,13 @@ type Instance struct {
 	ExecLatency metrics.Latencies
 	InitLatency metrics.Latencies
 	Billable    metrics.BillableMemory
+	// PoolMisses counts calls that found the warm pool empty and paid a
+	// cold start on the critical path; Prewarmed counts Faaslets the
+	// elastic controller pre-provisioned off it; IdleReclaims counts
+	// Faaslets the controller evicted from idle pools.
+	PoolMisses   metrics.Counter
+	Prewarmed    metrics.Counter
+	IdleReclaims metrics.Counter
 }
 
 // New creates a runtime instance.
@@ -151,6 +187,8 @@ func New(cfg Config) *Instance {
 		resetSem: make(chan struct{}, max(runtime.GOMAXPROCS(0), 2)),
 	}
 	inst.sched.SetClock(cfg.Clock)
+	inst.sched.LeaseTTL = cfg.LeaseTTL
+	inst.sched.PeerCacheTTL = cfg.PeerCacheTTL
 	defs := map[string]core.FuncDef{}
 	protos := map[string]*core.Proto{}
 	inst.defs.Store(&defs)
@@ -163,6 +201,15 @@ func New(cfg Config) *Instance {
 	}
 	if cfg.Capacity > 0 {
 		inst.slots = make(chan struct{}, cfg.Capacity)
+	}
+	// The liveness heartbeat keeps this host's warm advertisements leased;
+	// it beats at lease cadence and only while something is advertised, so
+	// steady-state warm calls still see zero global-tier operations.
+	inst.sched.StartHeartbeat()
+	if cfg.ElasticPool {
+		inst.elasticStop = make(chan struct{})
+		inst.elasticDone = make(chan struct{})
+		go inst.elasticLoop()
 	}
 	return inst
 }
@@ -373,14 +420,24 @@ func (i *Instance) dispatch(id uint64, function string, input []byte) {
 
 // route executes one call per the scheduler's decision: forward to a warm
 // peer when told to (falling back locally — and dropping the stale peer
-// cache — if the peer fails), execute here otherwise.
+// cache — if the peer fails), execute here otherwise. Every forward's
+// round-trip is reported back to the scheduler, feeding the per-peer
+// latency/load scores that weighted forwarding picks by.
 func (i *Instance) route(function string, input []byte) ([]byte, int32, error) {
+	// A killed host can no more originate calls than serve them: the crash
+	// semantics Kill simulates cover both directions.
+	if i.killed.Load() {
+		return nil, -1, fmt.Errorf("frt: host %s is down", i.cfg.Host)
+	}
 	decision, err := i.sched.Schedule(function)
 	if err != nil {
 		return nil, -1, err
 	}
 	if decision.Placement == sched.PlaceForward && i.cfg.Transport != nil {
+		start := i.clock.Now()
+		i.sched.ForwardBegin(decision.TargetHost)
 		out, ret, err := i.cfg.Transport.ExecuteOn(decision.TargetHost, function, input)
+		i.sched.ForwardEnd(decision.TargetHost, i.clock.Now().Sub(start), err == nil)
 		if err == nil {
 			return out, ret, nil
 		}
@@ -395,6 +452,9 @@ func (i *Instance) route(function string, input []byte) ([]byte, int32, error) {
 // sharing work with this host. The response returns as soon as execution
 // finishes; the Faaslet's reset happens off this path.
 func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, error) {
+	if i.killed.Load() {
+		return nil, -1, fmt.Errorf("frt: host %s is down", i.cfg.Host)
+	}
 	def, ok := i.def(function)
 	if !ok {
 		return nil, -1, fmt.Errorf("frt: unknown function %q", function)
@@ -429,6 +489,7 @@ func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, e
 func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, error) {
 	p := i.poolFor(def.Name)
 	p.mu.Lock()
+	p.acquires++
 	for {
 		if n := len(p.idle); n > 0 {
 			f := p.idle[n-1]
@@ -444,7 +505,11 @@ func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, error) {
 		}
 		p.cond.Wait()
 	}
+	// Pool-empty miss: this call pays a cold start on its critical path —
+	// the demand signal the elastic controller grows ahead of.
+	p.misses++
 	p.mu.Unlock()
+	i.PoolMisses.Add(1)
 
 	// Cold start.
 	if i.cfg.ColdStartDelay > 0 {
@@ -581,7 +646,9 @@ func (i *Instance) LocalFootprint() int64 {
 	return n + i.local.LocalBytes()
 }
 
-// Shutdown closes all pooled Faaslets after draining in-flight resets.
+// Shutdown closes all pooled Faaslets after draining in-flight resets, and
+// stops the background heartbeat and elastic-pool goroutines. The host's
+// liveness lease is left to expire on its own (see sched.StopHeartbeat).
 func (i *Instance) Shutdown() {
 	i.shutMu.Lock()
 	if !i.closed.CompareAndSwap(false, true) {
@@ -589,6 +656,13 @@ func (i *Instance) Shutdown() {
 		return
 	}
 	i.shutMu.Unlock()
+	i.sched.StopHeartbeat()
+	i.stopElastic()
+	if i.elasticDone != nil {
+		// Wait the controller out (≤ one tick) so no grow/reclaim pass can
+		// race the pool teardown below.
+		<-i.elasticDone
+	}
 	i.resetWG.Wait()
 	i.pools.Range(func(k, v any) bool {
 		fn := k.(string)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"faasm.dev/faasm/internal/core"
 	"faasm.dev/faasm/internal/kvs"
@@ -558,5 +559,145 @@ func TestRegisterDuringInvocationIsSafe(t *testing.T) {
 	wg.Wait()
 	if got := len(inst.Functions()); got != 201 {
 		t.Fatalf("functions registered = %d, want 201", got)
+	}
+}
+
+// --- Elastic warm pools ---
+
+// burst holds n calls to fn open simultaneously, forcing the pool to n
+// concurrent Faaslets, then releases them. The guest must block on gate
+// after signalling started when given non-empty input.
+func burst(t *testing.T, inst *Instance, fn string, n int, gate chan struct{}, started chan struct{}) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ret, err := inst.Call(fn, []byte("b")); err != nil || ret != 0 {
+				t.Errorf("burst call: %d %v", ret, err)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		<-started
+	}
+	for k := 0; k < n; k++ {
+		gate <- struct{}{}
+	}
+	wg.Wait()
+}
+
+func TestElasticPoolGrowsAheadOfDemand(t *testing.T) {
+	inst := New(Config{
+		Host:            "h1",
+		PoolCap:         64,
+		ElasticPool:     true,
+		ElasticInterval: 2 * time.Millisecond,
+		PoolIdleTimeout: time.Hour, // shrink must not interfere here
+	})
+	defer inst.Shutdown()
+	gate := make(chan struct{})
+	started := make(chan struct{}, 64)
+	inst.RegisterNative("fn", func(ctx *core.Ctx) (int32, error) {
+		if len(ctx.Input()) > 0 {
+			started <- struct{}{}
+			<-gate
+		}
+		return 0, nil
+	})
+
+	// First burst: every call misses the empty pool and pays a cold start.
+	burst(t, inst, "fn", 4, gate, started)
+	if got := inst.PoolMisses.Value(); got != 4 {
+		t.Fatalf("first-burst pool misses = %d, want 4", got)
+	}
+	// The controller must grow the pool ahead: beyond the 4 organically
+	// pooled Faaslets, pre-provisioned ones appear without any call paying
+	// for them.
+	deadline := time.Now().Add(2 * time.Second)
+	for inst.PoolSize("fn") < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not grow ahead: size=%d prewarmed=%d",
+				inst.PoolSize("fn"), inst.Prewarmed.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if inst.Prewarmed.Value() == 0 {
+		t.Fatal("no Faaslets were pre-provisioned")
+	}
+	// A second, larger burst now fits inside the grown pool: zero new
+	// misses, zero new cold starts on any call's critical path.
+	before := inst.PoolMisses.Value()
+	burst(t, inst, "fn", 8, gate, started)
+	if got := inst.PoolMisses.Value() - before; got != 0 {
+		t.Fatalf("second burst paid %d pool misses, want 0", got)
+	}
+}
+
+func TestElasticPoolShrinksOnIdleAndRetreats(t *testing.T) {
+	store := kvs.NewEngine()
+	inst := New(Config{
+		Host:            "h1",
+		Store:           store,
+		PoolCap:         16,
+		ElasticPool:     true,
+		ElasticInterval: 2 * time.Millisecond,
+		PoolIdleTimeout: 10 * time.Millisecond,
+	})
+	defer inst.Shutdown()
+	inst.RegisterNative("fn", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	for k := 0; k < 3; k++ {
+		if _, _, err := inst.Call("fn", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hosts, _ := store.SMembers("sched/warm/fn"); len(hosts) != 1 {
+		t.Fatalf("warm set before idle = %v", hosts)
+	}
+	// The pool sits idle: the controller must reclaim every Faaslet and,
+	// with the last one, retreat the host from the global warm set.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hosts, _ := store.SMembers("sched/warm/fn")
+		if inst.PoolSize("fn") == 0 && inst.FaasletCount() == 0 && len(hosts) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle pool not reclaimed: size=%d count=%d warm=%v",
+				inst.PoolSize("fn"), inst.FaasletCount(), hosts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if inst.IdleReclaims.Value() == 0 {
+		t.Fatal("IdleReclaims counted nothing")
+	}
+	// Demand returns: the pool regrows from a cold start, not an error.
+	if _, ret, err := inst.Call("fn", nil); err != nil || ret != 0 {
+		t.Fatalf("call after shrink-to-zero: %d %v", ret, err)
+	}
+}
+
+func TestKilledInstanceRefusesWorkWithoutRetreating(t *testing.T) {
+	store := kvs.NewEngine()
+	inst := New(Config{Host: "h1", Store: store})
+	defer inst.Shutdown()
+	inst.RegisterNative("fn", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	if _, _, err := inst.Call("fn", nil); err != nil {
+		t.Fatal(err)
+	}
+	inst.Kill()
+	if _, _, err := inst.ExecuteLocal("fn", nil); err == nil {
+		t.Fatal("killed instance executed forwarded work")
+	}
+	// Outbound too: a crashed host cannot originate calls either, even if
+	// the scheduler would forward them to a live peer.
+	if _, _, err := inst.Call("fn", nil); err == nil {
+		t.Fatal("killed instance originated a call")
+	}
+	// A crash retreats nothing: the stale warm entry must linger for the
+	// lease machinery (not a clean shutdown) to clean up.
+	if hosts, _ := store.SMembers("sched/warm/fn"); len(hosts) != 1 {
+		t.Fatalf("kill mutated the global warm set: %v", hosts)
 	}
 }

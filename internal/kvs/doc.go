@@ -1,0 +1,30 @@
+// Package kvs implements the global state tier (§4.2): a Redis-like
+// in-memory key-value store holding the authoritative value for every state
+// key, plus the auxiliary structures the runtime needs — sets for the
+// scheduler's warm-host bookkeeping and lease-based global read/write locks
+// for strong consistency.
+//
+// The engine can be reached three ways, matching the deployment modes of the
+// repo: direct (in-process, for unit tests), over TCP with a small line
+// protocol (real distributed mode, see Server/Client), and through the
+// cluster simulator's accounting client which charges transferred bytes to
+// the simulated network (see internal/cluster).
+//
+// # Concurrency model
+//
+//   - Striped: the Engine spreads the key space over 64 lock stripes
+//     (FNV-1a on the key); operations on keys in different stripes never
+//     contend. Stripes are RWMutexes — reads share the read lock, so a
+//     read-heavy key set scales with cores.
+//   - Separately striped: the lease-lock table. Global state locks
+//     (Lock/Unlock) live on their own stripe array, so lock traffic from
+//     §4.2's consistency protocol does not contend with data operations on
+//     unrelated keys.
+//   - Batched: the Batcher surface (MGet/MSet/GetRanges) and the pipelined
+//     wire commands (MGET/MSET/GETRANGES) move N keys in one exchange — one
+//     network round trip and at most one stripe acquisition per key, never
+//     a global pause.
+//
+// Nothing in the engine runs in the background; every cost is paid by the
+// calling operation.
+package kvs

@@ -1,14 +1,3 @@
-// Package kvs implements the global state tier (§4.2): a Redis-like
-// in-memory key-value store holding the authoritative value for every state
-// key, plus the auxiliary structures the runtime needs — sets for the
-// scheduler's warm-host bookkeeping and lease-based global read/write locks
-// for strong consistency.
-//
-// The engine can be reached three ways, matching the deployment modes of the
-// repo: direct (in-process, for unit tests), over TCP with a small line
-// protocol (real distributed mode, see Server/Client), and through the
-// cluster simulator's accounting client which charges transferred bytes to
-// the simulated network (see internal/cluster).
 package kvs
 
 import (

@@ -1,0 +1,25 @@
+// Package mbus implements the message bus of Fig 1: the channel through
+// which Faaslets communicate with their parent runtime and each other —
+// receiving function calls, sharing work, invoking and awaiting chained
+// calls, and being told to spawn or terminate.
+//
+// It has two parts: named Endpoints carrying Messages (the transport), and
+// the CallTable tracking the lifecycle of every function call so that
+// chain_call / await_call / get_call_output (Table 2) can be implemented on
+// top of it.
+//
+// # Concurrency model
+//
+//   - Striped: the CallTable is sharded 64 ways by call id. Ids are dense
+//     (one atomic counter), so id&63 spreads concurrent calls evenly and
+//     operations on different calls take different shard mutexes — there is
+//     no table-wide lock on the invoke path.
+//   - Targeted wakeups: each call carries its own completion channel.
+//     Complete closes exactly that call's channel, waking only its waiters;
+//     there is no shared condition variable and no broadcast that wakes
+//     waiters of unrelated calls.
+//   - Off the table entirely: the synchronous warm path. When the scheduler
+//     places a call locally, frt.Instance.Call executes inline and never
+//     creates a table entry — the CallTable only tracks asynchronous
+//     (chained or shared) calls.
+package mbus

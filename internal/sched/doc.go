@@ -1,0 +1,57 @@
+// Package sched implements the distributed shared-state scheduler of §5.1.
+// FAASM runs one local scheduler per runtime instance; the set of warm hosts
+// for every function lives in the global state tier, and each scheduler
+// queries and atomically updates that set while deciding — the
+// Omega-style [71] shared-state design the paper adopts.
+//
+// The decision rule, verbatim from the paper: execute locally if this host
+// has a warm Faaslet and capacity; otherwise share the call with another
+// warm host if one exists; otherwise cold-start locally (and advertise this
+// host as warm). The goal is co-locating functions with the state they
+// need, minimising data shipping.
+//
+// # Concurrency model
+//
+// The hot path is engineered so that steady-state warm traffic performs
+// zero global-tier operations and takes zero locks:
+//
+//   - Lock-free: the local warm check is a per-function atomic counter
+//     (fnState.idle), capacity accounting is a single atomic
+//     (Scheduler.inflight), advertise/retreat transitions are a CAS on
+//     fnState.advertised, and the per-peer forwarding statistics (EWMA
+//     latency, in-flight count) are atomics updated by CAS loops.
+//   - Locked, but off the warm path: the cached peer warm set is guarded
+//     by a tiny per-function mutex (fnState.cacheMu) that is only touched
+//     when the local warm check misses.
+//   - Off the critical path entirely: the global tier. The warm set
+//     sched/warm/<fn> is written only on the advertise transition (first
+//     warm Faaslet appears) and on retreat (last one gone); reads are
+//     served from a TTL cache (Cloudburst-style lazy refresh) and refresh
+//     at most once per PeerCacheTTL per function. Host liveness runs on a
+//     background heartbeat goroutine at lease cadence (LeaseTTL/3), never
+//     inside a scheduling decision.
+//
+// # Peer liveness
+//
+// Warm-set entries are leases. Every host maintains a TTL record
+// sched/alive/<host> in the global tier: it is written when the host first
+// advertises and then refreshed by the heartbeat loop. When a scheduler
+// refreshes its peer cache it batch-reads the lease records of the listed
+// hosts and filters the expired ones — a crashed host stops receiving
+// forwards within one lease TTL plus one peer-cache TTL even though its
+// warm-set entries linger. The observer also best-effort-removes the dead
+// host's warm entry and the heartbeat re-asserts live hosts' entries each
+// beat, so the global set itself heals in both directions: dead hosts are
+// evicted by their peers, and a live host that was wrongly evicted (e.g. a
+// long GC pause expired its lease) reappears at the next beat.
+//
+// # Weighted forwarding
+//
+// Forwarding picks the peer with the lowest load-adjusted latency score:
+// an EWMA of observed forward round-trips (fed by ForwardBegin/ForwardEnd
+// around the transport call) scaled by the peer's in-flight forward count.
+// Peers that have never been probed are explored first, round-robin, so
+// the scheduler degrades exactly to the previous round-robin behaviour
+// when it has no observations; a failed forward multiplies the peer's
+// score so traffic drains from flaky hosts before liveness expires them.
+package sched

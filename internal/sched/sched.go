@@ -1,26 +1,8 @@
-// Package sched implements the distributed shared-state scheduler of §5.1.
-// FAASM runs one local scheduler per runtime instance; the set of warm hosts
-// for every function lives in the global state tier, and each scheduler
-// queries and atomically updates that set while deciding — the
-// Omega-style [71] shared-state design the paper adopts.
-//
-// The decision rule, verbatim from the paper: execute locally if this host
-// has a warm Faaslet and capacity; otherwise share the call with another
-// warm host if one exists; otherwise cold-start locally (and advertise this
-// host as warm). The goal is co-locating functions with the state they
-// need, minimising data shipping.
-//
-// The hot path is engineered for concurrency: the local warm check is a
-// lock-free per-function counter, capacity accounting is a single atomic,
-// and the peer warm set is cached with a short TTL (Cloudburst-style lazy
-// refresh), so steady-state warm traffic performs zero global-tier
-// operations. The global set is only written through on a cold-start
-// advertise (first warm Faaslet appears) and on retreat (the host's last
-// Faaslet for the function is gone).
 package sched
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,11 +46,23 @@ type Decision struct {
 // warmSetKey is the global-tier key holding a function's warm hosts.
 func warmSetKey(fn string) string { return "sched/warm/" + fn }
 
+// aliveKey is the global-tier key holding a host's liveness lease: the
+// expiry instant (unix nanoseconds on the writer's clock) of its last
+// heartbeat. A host whose record is missing or expired is dead to peers.
+func aliveKey(host string) string { return "sched/alive/" + host }
+
 // DefaultPeerCacheTTL bounds the staleness of the cached peer warm set. A
 // new warm host becomes visible to peers within this window; a vanished one
 // stops receiving forwards within it (forwarding also falls back locally on
 // transport failure, so staleness is a latency cost, not a correctness one).
 const DefaultPeerCacheTTL = time.Second
+
+// DefaultLeaseTTL is how long a host's warm advertisements outlive its last
+// heartbeat. The heartbeat loop refreshes the lease every LeaseTTL/3, so a
+// healthy host misses two beats before anyone doubts it; a crashed host is
+// filtered from every peer's forwarding within one lease TTL (plus at most
+// one peer-cache TTL of staleness).
+const DefaultLeaseTTL = 10 * time.Second
 
 // Stats counts scheduling decisions per placement, for the evaluation.
 type Stats struct {
@@ -95,6 +89,34 @@ type fnState struct {
 	cached  bool
 }
 
+// peerStat is this scheduler's view of one forwarding target: an EWMA of
+// observed round-trip latency and the number of forwards in flight to it.
+type peerStat struct {
+	// inflight counts forwards currently executing on the peer.
+	inflight atomic.Int64
+	// ewmaNanos is the smoothed forward latency; 0 means never probed.
+	ewmaNanos atomic.Int64
+}
+
+// ewmaShift is the EWMA smoothing factor as a power of two: each sample
+// moves the estimate 1/4 of the way to itself.
+const ewmaShift = 2
+
+// failurePenalty multiplies a peer's latency estimate when a forward to it
+// fails, sinking it in the weighted ranking until successes pull it back.
+const failurePenalty = 8
+
+// minFailureBase is the floor the failure penalty multiplies when a forward
+// fails faster than this (a connection refused returns in microseconds —
+// without the floor, a fast failure would hand a dead peer the best score
+// in the cluster).
+const minFailureBase = int64(time.Millisecond)
+
+// maxEwmaNanos caps the latency estimate so repeated failure penalties
+// saturate instead of overflowing int64 (an overflow would wrap negative
+// and clamp back to 1, scoring a persistently failing peer best again).
+const maxEwmaNanos = int64(time.Hour)
+
 // Scheduler is one host's local scheduler.
 type Scheduler struct {
 	host     string
@@ -106,12 +128,26 @@ type Scheduler struct {
 	// before first use; zero means DefaultPeerCacheTTL.
 	PeerCacheTTL time.Duration
 
+	// LeaseTTL is this host's liveness lease duration and the horizon it
+	// applies when judging peers' leases. Set before first use; zero means
+	// DefaultLeaseTTL.
+	LeaseTTL time.Duration
+
 	// fns maps function name → *fnState.
 	fns sync.Map
 	// inflight counts executing calls on this host.
 	inflight atomic.Int64
-	// rr round-robins forwarding across peers.
+	// rr round-robins forwarding across unprobed peers.
 	rr atomic.Uint64
+	// peerStats maps host → *peerStat (latency/load across all functions).
+	peerStats sync.Map
+
+	// lastBeat is the unix-nano instant of the last lease write, 0 if never.
+	lastBeat atomic.Int64
+	// hbStop ends the heartbeat loop; hbMu orders Start/Stop.
+	hbMu      sync.Mutex
+	hbStop    chan struct{}
+	hbStopped atomic.Bool
 
 	// Stats counts decisions made, per placement, for the evaluation.
 	Stats Stats
@@ -126,8 +162,9 @@ func New(host string, store kvs.Store, capacity int) *Scheduler {
 	return &Scheduler{host: host, store: store, capacity: int64(capacity), clock: vtime.Real{}}
 }
 
-// SetClock replaces the clock driving peer-cache expiry (the runtime passes
-// its own, so simulated clusters expire in simulated time). Call before use.
+// SetClock replaces the clock driving peer-cache expiry and lease judgement
+// (the runtime passes its own, so simulated clusters expire in simulated
+// time). Call before use.
 func (s *Scheduler) SetClock(c vtime.Clock) {
 	if c != nil {
 		s.clock = c
@@ -143,6 +180,28 @@ func (s *Scheduler) fn(name string) *fnState {
 	}
 	e, _ := s.fns.LoadOrStore(name, &fnState{})
 	return e.(*fnState)
+}
+
+func (s *Scheduler) peerStat(host string) *peerStat {
+	if e, ok := s.peerStats.Load(host); ok {
+		return e.(*peerStat)
+	}
+	e, _ := s.peerStats.LoadOrStore(host, &peerStat{})
+	return e.(*peerStat)
+}
+
+func (s *Scheduler) peerCacheTTL() time.Duration {
+	if s.PeerCacheTTL > 0 {
+		return s.PeerCacheTTL
+	}
+	return DefaultPeerCacheTTL
+}
+
+func (s *Scheduler) leaseTTL() time.Duration {
+	if s.LeaseTTL > 0 {
+		return s.LeaseTTL
+	}
+	return DefaultLeaseTTL
 }
 
 // Schedule decides where a call to fn should run. The warm local path is
@@ -161,8 +220,9 @@ func (s *Scheduler) Schedule(fn string) (Decision, error) {
 		return Decision{}, fmt.Errorf("sched: warm set for %s: %w", fn, err)
 	}
 	if len(peers) > 0 {
-		// Share with a warm peer. Round-robin across them so load spreads.
-		target := peers[int(s.rr.Add(1)-1)%len(peers)]
+		// Share with a warm peer: lowest load-adjusted latency first,
+		// round-robin across peers we have never probed.
+		target := s.pickPeer(peers)
 		s.Stats.Forwarded.Add(1)
 		return Decision{Placement: PlaceForward, TargetHost: target}, nil
 	}
@@ -177,23 +237,143 @@ func (s *Scheduler) Schedule(fn string) (Decision, error) {
 	// Cold start here and advertise this host as warm for fn. SAdd is the
 	// atomic update of the shared scheduler state; it is skipped when the
 	// host is already advertised (write-through only on the transition).
-	if e.advertised.CompareAndSwap(false, true) {
-		if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
-			e.advertised.Store(false)
-			return Decision{}, fmt.Errorf("sched: advertise warm %s: %w", fn, err)
-		}
+	if err := s.advertise(e, fn); err != nil {
+		return Decision{}, fmt.Errorf("sched: advertise warm %s: %w", fn, err)
 	}
 	s.Stats.ColdStart.Add(1)
 	return Decision{Placement: PlaceLocalCold}, nil
 }
 
-// peers returns the warm hosts for fn other than this one, serving from the
-// TTL cache when fresh and refreshing from the global tier when stale.
-func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
-	ttl := s.PeerCacheTTL
-	if ttl <= 0 {
-		ttl = DefaultPeerCacheTTL
+// advertise performs the not-advertised → advertised transition: make sure
+// this host's liveness lease exists (peers treat a warm entry without a live
+// lease as a dead host), then add it to the function's warm set.
+func (s *Scheduler) advertise(e *fnState, fn string) error {
+	if !e.advertised.CompareAndSwap(false, true) {
+		return nil
 	}
+	if err := s.ensureLease(); err != nil {
+		e.advertised.Store(false)
+		return err
+	}
+	if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
+		e.advertised.Store(false)
+		return err
+	}
+	return nil
+}
+
+// pickPeer chooses a forwarding target: unprobed peers first (round-robin,
+// so the scheduler explores and degrades to plain round-robin when it has
+// no data), then the probed peer with the lowest EWMA latency scaled by its
+// in-flight forward count.
+func (s *Scheduler) pickPeer(peers []string) string {
+	unprobed := 0
+	for _, h := range peers {
+		if s.peerStat(h).ewmaNanos.Load() == 0 {
+			unprobed++
+		}
+	}
+	if unprobed > 0 {
+		n := int(s.rr.Add(1)-1) % unprobed
+		for _, h := range peers {
+			if s.peerStat(h).ewmaNanos.Load() == 0 {
+				if n == 0 {
+					return h
+				}
+				n--
+			}
+		}
+	}
+	best := peers[0]
+	var bestScore int64 = -1
+	for _, h := range peers {
+		st := s.peerStat(h)
+		score := st.ewmaNanos.Load() * (1 + st.inflight.Load())
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = h, score
+		}
+	}
+	return best
+}
+
+// ForwardBegin records a forward in flight to host (load signal for the
+// weighted picker). Pair with ForwardEnd around the transport call.
+func (s *Scheduler) ForwardBegin(host string) {
+	s.peerStat(host).inflight.Add(1)
+}
+
+// ForwardEnd records a completed forward to host: the observed round-trip
+// feeds the latency EWMA, and a failure multiplies the estimate so traffic
+// drains from a flaky peer before its lease expires.
+func (s *Scheduler) ForwardEnd(host string, d time.Duration, ok bool) {
+	st := s.peerStat(host)
+	if st.inflight.Add(-1) < 0 {
+		st.inflight.Store(0)
+	}
+	sample := int64(d)
+	if sample <= 0 {
+		sample = 1
+	}
+	for {
+		old := st.ewmaNanos.Load()
+		var next int64
+		switch {
+		case !ok:
+			// Penalise relative to the larger of the estimate and the
+			// observed round-trip, floored so a fast failure (connection
+			// refused) cannot score a dead peer as the fastest host.
+			base := old
+			if sample > base {
+				base = sample
+			}
+			if base < minFailureBase {
+				base = minFailureBase
+			}
+			if base > maxEwmaNanos/failurePenalty {
+				next = maxEwmaNanos
+			} else {
+				next = base * failurePenalty
+			}
+		case old == 0:
+			next = sample
+		default:
+			next = old + (sample-old)>>ewmaShift
+			if next == old && sample != old {
+				// Make tiny deltas converge instead of sticking.
+				if sample > old {
+					next = old + 1
+				} else {
+					next = old - 1
+				}
+			}
+		}
+		if next <= 0 {
+			next = 1
+		}
+		if st.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// PeerLatency reports the smoothed forward latency observed for host
+// (0 = never probed). Diagnostics and tests.
+func (s *Scheduler) PeerLatency(host string) time.Duration {
+	return time.Duration(s.peerStat(host).ewmaNanos.Load())
+}
+
+// PeerInflight reports forwards currently in flight to host.
+func (s *Scheduler) PeerInflight(host string) int {
+	return int(s.peerStat(host).inflight.Load())
+}
+
+// peers returns the live warm hosts for fn other than this one, serving
+// from the TTL cache when fresh and refreshing from the global tier when
+// stale. A refresh reads the function's warm set plus the listed hosts'
+// liveness leases (one batched read), filters the dead, and best-effort
+// evicts their stale entries from the global set.
+func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
+	ttl := s.peerCacheTTL()
 	now := s.clock.Now()
 	e.cacheMu.Lock()
 	if e.cached && now.Sub(e.fetched) < ttl {
@@ -207,11 +387,20 @@ func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	var peers []string
+	candidates := hosts[:0]
 	for _, h := range hosts {
 		if h != s.host {
-			peers = append(peers, h)
+			candidates = append(candidates, h)
 		}
+	}
+	peers, dead, err := s.filterAlive(candidates, now)
+	if err != nil {
+		return nil, err
+	}
+	// A dead host's warm entries are evicted by whoever notices: the global
+	// set heals itself instead of waiting for the crashed owner's retreat.
+	for _, h := range dead {
+		s.store.SRem(warmSetKey(fn), h)
 	}
 	// Only non-empty peer sets are cached: a host with no warm peers is
 	// about to cold-start (or queue under saturation), and must notice a
@@ -222,6 +411,141 @@ func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
 	e.cached = len(peers) > 0
 	e.cacheMu.Unlock()
 	return peers, nil
+}
+
+// filterAlive splits hosts into live and dead by their lease records, read
+// in one batched global-tier operation. A missing record counts as dead:
+// every advertiser writes its lease before its first SAdd, so only crashed
+// (or fabricated) hosts lack one.
+func (s *Scheduler) filterAlive(hosts []string, now time.Time) (alive, dead []string, err error) {
+	if len(hosts) == 0 {
+		return nil, nil, nil
+	}
+	keys := make([]string, len(hosts))
+	for i, h := range hosts {
+		keys[i] = aliveKey(h)
+	}
+	leases, err := kvs.MGet(s.store, keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, h := range hosts {
+		if leaseLive(leases[i], now) {
+			alive = append(alive, h)
+		} else {
+			dead = append(dead, h)
+		}
+	}
+	return alive, dead, nil
+}
+
+// leaseLive reports whether a lease record holds an unexpired expiry.
+func leaseLive(rec []byte, now time.Time) bool {
+	if len(rec) == 0 {
+		return false
+	}
+	exp, err := strconv.ParseInt(string(rec), 10, 64)
+	if err != nil {
+		return false
+	}
+	return now.UnixNano() < exp
+}
+
+// Heartbeat writes this host's liveness lease: alive until now+LeaseTTL.
+// It also re-asserts the host's warm-set entries for every advertised
+// function (idempotent SAdds), so an entry wrongly evicted while the host
+// was unresponsive reappears within one beat.
+func (s *Scheduler) Heartbeat() error {
+	now := s.clock.Now()
+	exp := now.Add(s.leaseTTL())
+	if err := s.store.Set(aliveKey(s.host), []byte(strconv.FormatInt(exp.UnixNano(), 10))); err != nil {
+		return err
+	}
+	s.lastBeat.Store(now.UnixNano())
+	var firstErr error
+	s.fns.Range(func(k, v any) bool {
+		if v.(*fnState).advertised.Load() {
+			if _, err := s.store.SAdd(warmSetKey(k.(string)), s.host); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return true
+	})
+	return firstErr
+}
+
+// ensureLease writes the lease if it has never been written or is due for
+// refresh — called on the advertise transition so the warm set never names
+// a host without a live lease, whether or not the heartbeat loop runs.
+func (s *Scheduler) ensureLease() error {
+	now := s.clock.Now().UnixNano()
+	if last := s.lastBeat.Load(); last != 0 && now-last < int64(s.leaseTTL()/3) {
+		return nil
+	}
+	// Write only the lease record here: advertise is on a caller's critical
+	// path and the fns walk belongs to the background beat.
+	exp := s.clock.Now().Add(s.leaseTTL())
+	if err := s.store.Set(aliveKey(s.host), []byte(strconv.FormatInt(exp.UnixNano(), 10))); err != nil {
+		return err
+	}
+	s.lastBeat.Store(s.clock.Now().UnixNano())
+	return nil
+}
+
+// StartHeartbeat launches the background lease refresher: one beat every
+// LeaseTTL/3 while at least one function is advertised. Idempotent.
+func (s *Scheduler) StartHeartbeat() {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	if s.hbStop != nil || s.hbStopped.Load() {
+		return
+	}
+	stop := make(chan struct{})
+	s.hbStop = stop
+	go s.heartbeatLoop(stop)
+}
+
+// StopHeartbeat ends the heartbeat loop. The lease record is deliberately
+// left to expire on its own: a clean shutdown retreats its warm entries
+// anyway, and expiry-as-departure keeps one code path for clean and
+// crashed exits.
+func (s *Scheduler) StopHeartbeat() {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	s.hbStopped.Store(true)
+	if s.hbStop != nil {
+		close(s.hbStop)
+		s.hbStop = nil
+	}
+}
+
+func (s *Scheduler) heartbeatLoop(stop chan struct{}) {
+	for {
+		s.clock.Sleep(s.leaseTTL() / 3)
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if s.hbStopped.Load() {
+			return
+		}
+		if s.anyAdvertised() {
+			s.Heartbeat()
+		}
+	}
+}
+
+func (s *Scheduler) anyAdvertised() bool {
+	found := false
+	s.fns.Range(func(_, v any) bool {
+		if v.(*fnState).advertised.Load() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // InvalidatePeers drops the cached peer warm set for fn, forcing the next
@@ -241,13 +565,7 @@ func (s *Scheduler) InvalidatePeers(fn string) {
 func (s *Scheduler) NoteWarm(fn string, n int) error {
 	e := s.fn(fn)
 	e.idle.Add(int64(n))
-	if e.advertised.CompareAndSwap(false, true) {
-		if _, err := s.store.SAdd(warmSetKey(fn), s.host); err != nil {
-			e.advertised.Store(false)
-			return err
-		}
-	}
-	return nil
+	return s.advertise(e, fn)
 }
 
 // NoteEvicted records that this host lost n idle warm Faaslets for fn (they
@@ -293,10 +611,16 @@ func (s *Scheduler) Advertised(fn string) bool {
 	return s.fn(fn).advertised.Load()
 }
 
-// WarmHosts lists the cluster's warm hosts for fn from the shared state
-// (uncached — tests and diagnostics).
+// WarmHosts lists the cluster's live warm hosts for fn from the shared
+// state: the raw set filtered by liveness leases, uncached and without the
+// eviction side effect (tests and diagnostics).
 func (s *Scheduler) WarmHosts(fn string) ([]string, error) {
-	return s.store.SMembers(warmSetKey(fn))
+	hosts, err := s.store.SMembers(warmSetKey(fn))
+	if err != nil {
+		return nil, err
+	}
+	alive, _, err := s.filterAlive(hosts, s.clock.Now())
+	return alive, err
 }
 
 // Begin marks a call executing on this host (capacity accounting).

@@ -194,10 +194,10 @@ func TestPeerCacheServesMissesWithinTTL(t *testing.T) {
 			t.Fatalf("forward %d: %+v %v", k, d, err)
 		}
 	}
-	// One SMembers to populate the cache; the other 99 misses are served
-	// from it.
-	if ops := store.Ops() - before; ops != 1 {
-		t.Fatalf("100 forwards performed %d global ops, want 1", ops)
+	// One SMembers plus one batched lease read to populate the cache; the
+	// other 99 misses are served from it.
+	if ops := store.Ops() - before; ops != 2 {
+		t.Fatalf("100 forwards performed %d global ops, want 2 (SMembers + lease MGet)", ops)
 	}
 }
 
@@ -259,5 +259,244 @@ func TestAdvertiseWriteThroughHappensOnce(t *testing.T) {
 	}
 	if ops := store.Ops() - before; ops != 0 {
 		t.Fatalf("repeat NoteWarm performed %d global ops, want 0", ops)
+	}
+}
+
+// --- Peer liveness (leased warm-set entries) ---
+
+func TestDeadPeerDisappearsWithinLeaseTTL(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.LeaseTTL = 40 * time.Millisecond
+	b.Schedule("fn") // advertises with a 40ms lease; no heartbeat loop runs
+	b.NoteWarm("fn", 1)
+
+	a := New("host-a", store, 10)
+	a.PeerCacheTTL = 5 * time.Millisecond
+	if d, _ := a.Schedule("fn"); d.Placement != PlaceForward || d.TargetHost != "host-b" {
+		t.Fatalf("live peer not used: %+v", d)
+	}
+	// host-b "crashes": it never heartbeats again. After one lease TTL it
+	// must vanish from forwarding, from WarmHosts, and from the global set.
+	time.Sleep(60 * time.Millisecond)
+	d, err := a.Schedule("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Placement != PlaceLocalCold {
+		t.Fatalf("dead peer still receives forwards: %+v", d)
+	}
+	if hosts, _ := a.WarmHosts("fn"); len(hosts) != 1 || hosts[0] != "host-a" {
+		t.Fatalf("WarmHosts after peer death = %v, want only the cold-started host-a", hosts)
+	}
+	// The observer evicted the stale entry from the global set itself.
+	raw, _ := store.SMembers("sched/warm/fn")
+	for _, h := range raw {
+		if h == "host-b" {
+			t.Fatalf("dead host still in global warm set: %v", raw)
+		}
+	}
+}
+
+func TestHeartbeatKeepsPeerAlive(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.LeaseTTL = 30 * time.Millisecond
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	b.StartHeartbeat()
+	defer b.StopHeartbeat()
+
+	a := New("host-a", store, 10)
+	a.PeerCacheTTL = 5 * time.Millisecond
+	// Several lease TTLs pass; the beating host must keep receiving
+	// forwards the whole time.
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		d, err := a.Schedule("fn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Placement != PlaceForward || d.TargetHost != "host-b" {
+			t.Fatalf("beating peer dropped: %+v", d)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHeartbeatReassertsEvictedWarmEntry(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.LeaseTTL = 30 * time.Millisecond
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	b.StartHeartbeat()
+	defer b.StopHeartbeat()
+	// Simulate a peer wrongly evicting host-b (e.g. a pause expired the
+	// lease): the next beat must put the entry back.
+	store.SRem("sched/warm/fn", "host-b")
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for {
+		hosts, _ := store.SMembers("sched/warm/fn")
+		if len(hosts) == 1 && hosts[0] == "host-b" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warm entry not re-asserted by heartbeat: %v", hosts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStopHeartbeatLetsLeaseExpire(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.LeaseTTL = 30 * time.Millisecond
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	b.StartHeartbeat()
+	b.StopHeartbeat()
+
+	a := New("host-a", store, 10)
+	a.PeerCacheTTL = 5 * time.Millisecond
+	time.Sleep(50 * time.Millisecond)
+	if d, _ := a.Schedule("fn"); d.Placement != PlaceLocalCold {
+		t.Fatalf("stopped host still receives forwards: %+v", d)
+	}
+}
+
+// --- Weighted forwarding ---
+
+func TestWeightedForwardPrefersFastPeer(t *testing.T) {
+	store := kvs.NewEngine()
+	for _, h := range []string{"host-b", "host-c"} {
+		p := New(h, store, 10)
+		p.Schedule("fn")
+		p.NoteWarm("fn", 1)
+	}
+	a := New("host-a", store, 10)
+	// Probe both peers: b is 10x faster than c.
+	a.ForwardBegin("host-b")
+	a.ForwardEnd("host-b", time.Millisecond, true)
+	a.ForwardBegin("host-c")
+	a.ForwardEnd("host-c", 10*time.Millisecond, true)
+	for i := 0; i < 20; i++ {
+		d, err := a.Schedule("fn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Placement != PlaceForward || d.TargetHost != "host-b" {
+			t.Fatalf("forward %d went to %q, want fast host-b", i, d.TargetHost)
+		}
+	}
+}
+
+func TestWeightedForwardAvoidsLoadedPeer(t *testing.T) {
+	store := kvs.NewEngine()
+	for _, h := range []string{"host-b", "host-c"} {
+		p := New(h, store, 10)
+		p.Schedule("fn")
+		p.NoteWarm("fn", 1)
+	}
+	a := New("host-a", store, 10)
+	a.ForwardBegin("host-b")
+	a.ForwardEnd("host-b", time.Millisecond, true)
+	a.ForwardBegin("host-c")
+	a.ForwardEnd("host-c", 2*time.Millisecond, true)
+	// Pile in-flight forwards onto the faster peer: score must flip to c.
+	for i := 0; i < 4; i++ {
+		a.ForwardBegin("host-b")
+	}
+	d, _ := a.Schedule("fn")
+	if d.TargetHost != "host-c" {
+		t.Fatalf("loaded fast peer still picked over idle slower one: %+v", d)
+	}
+	// Load drains: the fast peer wins again.
+	for i := 0; i < 4; i++ {
+		a.ForwardEnd("host-b", time.Millisecond, true)
+	}
+	d, _ = a.Schedule("fn")
+	if d.TargetHost != "host-b" {
+		t.Fatalf("drained fast peer not reselected: %+v", d)
+	}
+}
+
+func TestUnprobedPeerExploredBeforeProbed(t *testing.T) {
+	store := kvs.NewEngine()
+	for _, h := range []string{"host-b", "host-c"} {
+		p := New(h, store, 10)
+		p.Schedule("fn")
+		p.NoteWarm("fn", 1)
+	}
+	a := New("host-a", store, 10)
+	// Only host-b probed (and fast): the never-probed host-c must still be
+	// explored rather than starved.
+	a.ForwardBegin("host-b")
+	a.ForwardEnd("host-b", time.Microsecond, true)
+	d, _ := a.Schedule("fn")
+	if d.TargetHost != "host-c" {
+		t.Fatalf("unprobed peer not explored: %+v", d)
+	}
+}
+
+func TestForwardFailurePenalisesPeer(t *testing.T) {
+	store := kvs.NewEngine()
+	for _, h := range []string{"host-b", "host-c"} {
+		p := New(h, store, 10)
+		p.Schedule("fn")
+		p.NoteWarm("fn", 1)
+	}
+	a := New("host-a", store, 10)
+	a.ForwardBegin("host-b")
+	a.ForwardEnd("host-b", time.Millisecond, true)
+	a.ForwardBegin("host-c")
+	a.ForwardEnd("host-c", 2*time.Millisecond, true)
+	// host-b starts failing: its score inflates past host-c's.
+	a.ForwardBegin("host-b")
+	a.ForwardEnd("host-b", time.Millisecond, false)
+	d, _ := a.Schedule("fn")
+	if d.TargetHost != "host-c" {
+		t.Fatalf("failing peer still preferred: %+v", d)
+	}
+}
+
+func TestFastFailureDoesNotScoreDeadPeerBest(t *testing.T) {
+	store := kvs.NewEngine()
+	for _, h := range []string{"host-b", "host-c"} {
+		p := New(h, store, 10)
+		p.Schedule("fn")
+		p.NoteWarm("fn", 1)
+	}
+	a := New("host-a", store, 10)
+	a.ForwardBegin("host-b")
+	a.ForwardEnd("host-b", time.Millisecond, true)
+	// host-c dies and refuses connections instantly: the near-zero failed
+	// round-trip must not become the best latency estimate in the cluster.
+	a.ForwardBegin("host-c")
+	a.ForwardEnd("host-c", time.Nanosecond, false)
+	if got := a.PeerLatency("host-c"); got < 8*time.Millisecond {
+		t.Fatalf("fast failure scored dead peer at %v, want >= 8ms floor", got)
+	}
+	for i := 0; i < 20; i++ {
+		d, err := a.Schedule("fn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.TargetHost != "host-b" {
+			t.Fatalf("forward %d picked fast-failing dead peer: %+v", i, d)
+		}
+	}
+}
+
+func TestRepeatedFailuresSaturateInsteadOfOverflowing(t *testing.T) {
+	store := kvs.NewEngine()
+	a := New("host-a", store, 10)
+	for i := 0; i < 100; i++ {
+		a.ForwardBegin("host-b")
+		a.ForwardEnd("host-b", time.Millisecond, false)
+	}
+	got := a.PeerLatency("host-b")
+	if got <= 0 || got > time.Hour {
+		t.Fatalf("failure penalty overflowed: estimate = %v", got)
 	}
 }

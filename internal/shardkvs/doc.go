@@ -1,0 +1,33 @@
+// Package shardkvs scales the global state tier horizontally. The paper
+// backs every host's local tier with a single Redis-like store (§4.2); one
+// engine is the ceiling on cluster-wide state throughput. Ring shards the
+// key space across N nodes with a consistent-hash ring (virtual nodes, as in
+// Dynamo/Cassandra), so the tier grows by adding nodes instead of growing
+// one node.
+//
+// Ring implements the full kvs.Store interface: every operation routes to
+// the owning shard, lease locks included (a key's lock lives on its primary,
+// so lock semantics are exactly one engine's semantics). Replication factor
+// R places each key on the R distinct nodes clockwise from its hash. Nodes
+// join and leave at runtime: the rebalancer streams only the hash ranges
+// whose ownership changed, never the whole keyspace.
+//
+// # Concurrency model
+//
+//   - Lock-free routing: ownership lookups hash the key onto an immutable
+//     ring snapshot; only membership changes (Join/Leave) rebuild it.
+//   - Parallel fan-out: a replicated write goes to all R copies
+//     concurrently — it costs the slowest copy, not R serial writes. Batched
+//     operations (kvs.Batcher) group their keys by owning shard and issue
+//     one batch per shard, shards in parallel.
+//   - Per-key write fence: concurrent writers to the same key through one
+//     ring instance are ordered by a small fence, so an error-free write
+//     leaves all R copies identical; writers on different ring instances
+//     coordinate through the kvs global lock (the paper's §4.2 recipe).
+//
+// Consistency notes: replica fan-out is synchronous (read-your-writes
+// everywhere). Rebalancing serialises against itself but not against
+// in-flight operations — a write racing a migration can land on the old
+// owner after its range moved. The cluster harness rebalances only between
+// experiment phases, matching how operators resize a tier.
+package shardkvs

@@ -1,29 +1,3 @@
-// Package shardkvs scales the global state tier horizontally. The paper
-// backs every host's local tier with a single Redis-like store (§4.2); one
-// engine is the ceiling on cluster-wide state throughput. Ring shards the
-// key space across N nodes with a consistent-hash ring (virtual nodes, as in
-// Dynamo/Cassandra), so the tier grows by adding nodes instead of growing
-// one node.
-//
-// Ring implements the full kvs.Store interface: every operation routes to
-// the owning shard, lease locks included (a key's lock lives on its primary,
-// so lock semantics are exactly one engine's semantics). Replication factor
-// R places each key on the R distinct nodes clockwise from its hash; writes
-// fan out to all R copies in parallel (a replicated write costs the slowest
-// copy, not R serial writes), reads follow a configurable preference. Ring
-// also implements kvs.Batcher: batched operations group their keys by owner
-// and issue one batch per shard, shards in parallel. Nodes join and leave at
-// runtime: the rebalancer streams only the hash ranges whose ownership
-// changed, never the whole keyspace.
-//
-// Consistency notes: replica fan-out is synchronous and a per-key write
-// fence orders concurrent writers through one ring instance, so an
-// error-free write leaves all R copies identical; writers on different
-// ring instances coordinate through the kvs global lock (the paper's §4.2
-// recipe). Rebalancing serialises against itself but not against in-flight
-// operations — a write racing a migration can land on the old owner after
-// its range moved. The cluster harness rebalances only between experiment
-// phases, matching how operators resize a tier.
 package shardkvs
 
 import (

@@ -96,6 +96,14 @@ func (n *Network) TotalBytes() int64 {
 	return n.Sent.Value() + n.Received.Value()
 }
 
+// HostBytes reports one host's sent+received bytes — the failure
+// experiments use it to price the background control traffic (liveness
+// heartbeats, lease reads) a host pays while the cluster heals.
+func (n *Network) HostBytes(host string) int64 {
+	hc := n.Host(host)
+	return hc.Sent.Value() + hc.Received.Value()
+}
+
 // Reset zeroes all counters.
 func (n *Network) Reset() {
 	n.mu.Lock()

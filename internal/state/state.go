@@ -1,19 +1,3 @@
-// Package state implements the two-tier state architecture of §4: a local
-// tier holding replicas of state values in shared memory segments (so
-// co-located Faaslets access them in place, with zero copies), and a global
-// tier — the distributed KVS — holding the authoritative value for every
-// key.
-//
-// Faaslets write changes from the local to the global tier with a push and
-// read from the global to the local tier with a pull. Values may be
-// accessed in chunks: a pull of a byte range replicates only the covering
-// chunks of the value into the local tier (Fig 4's state value C), which is
-// how the SparseMatrix DDO avoids transferring whole matrices.
-//
-// Consistency follows §4.2: every state API function implicitly takes the
-// value's local read or write lock (but direct pointer access does not),
-// and strong cross-host consistency is available through the global
-// lease-based locks exposed by LockGlobal/UnlockGlobal.
 package state
 
 import (

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Fails when any internal/* package ships without a package comment. Every
+# package must carry a `// Package <name> ...` doc comment (by convention in
+# doc.go for the hot-path packages, where it also states the concurrency
+# model) so a new package cannot land undocumented.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for d in $(find internal -type d | sort); do
+    # Only directories that directly contain Go files form a package.
+    ls "$d"/*.go >/dev/null 2>&1 || continue
+    if ! grep -q "^// Package " "$d"/*.go 2>/dev/null; then
+        echo "FAIL: package $d has no package comment (add one, ideally in $d/doc.go)"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "package docs: all internal packages documented"
