@@ -10,9 +10,9 @@
 //	faasmd -kvs :6500                              # also serve one tier shard
 //	faasmd -elastic-pool -pool-idle-timeout 30s    # autoscale warm pools
 //
-// The scheduling knobs (-pool-cap, -lease-ttl, -peer-cache-ttl and the
-// elastic-pool flags) are documented in the README's "Operating faasmd"
-// section.
+// The scheduling and state knobs (-pool-cap, -lease-ttl, -peer-cache-ttl,
+// -expiry-sweep and the elastic-pool flags) are documented in the README's
+// "Operating faasmd" section.
 //
 // Endpoints:
 //
@@ -48,6 +48,7 @@ func main() {
 	peerCacheTTL := flag.Duration("peer-cache-ttl", 0, "staleness bound on the cached peer warm set (0 = 1s)")
 	elasticPool := flag.Bool("elastic-pool", false, "autoscale warm pools: grow ahead of misses, shrink on idle")
 	poolIdleTimeout := flag.Duration("pool-idle-timeout", 0, "idle time before an elastic pool starts shrinking (0 = 30s)")
+	expirySweep := flag.Duration("expiry-sweep", 0, "background sweep cadence for tier-side key expiry on engines this process hosts (0 = 1s)")
 	flag.Parse()
 
 	endpoints := *stateAddrs
@@ -57,8 +58,13 @@ func main() {
 
 	var store kvs.Store
 	var served *kvs.Engine
+	newEngine := func() *kvs.Engine {
+		eng := kvs.NewEngine()
+		eng.SetSweepInterval(*expirySweep)
+		return eng
+	}
 	if *kvsListen != "" {
-		served = kvs.NewEngine()
+		served = newEngine()
 		srv, err := kvs.NewServer(served, *kvsListen)
 		if err != nil {
 			log.Fatalf("kvs listen: %v", err)
@@ -82,7 +88,7 @@ func main() {
 	case served != nil:
 		store = served
 	default:
-		store = kvs.NewEngine()
+		store = newEngine()
 	}
 
 	objects := objstore.NewMemory()

@@ -72,9 +72,15 @@ type Config struct {
 	StateReplicas int
 	// LeaseTTL / PeerCacheTTL tune the schedulers' liveness leases and
 	// peer-cache staleness on the experiment clock (FAASM mode; zero keeps
-	// the sched package defaults).
+	// the sched package defaults). Leases are SetEx'd tier-side records:
+	// the tier's engines run on the experiment clock too, so expiry is
+	// judged in experiment time like everything else.
 	LeaseTTL     time.Duration
 	PeerCacheTTL time.Duration
+	// ExpirySweep tunes the tier engines' background expiry-sweep cadence
+	// (0 keeps kvs.DefaultSweepInterval). Visibility of expired keys does
+	// not depend on it — reads hide them lazily.
+	ExpirySweep time.Duration
 	// PoolCap bounds idle warm Faaslets per function per host (FAASM mode;
 	// 0 = frt default). ElasticPool turns on the per-host warm-pool
 	// autoscaler with the given idle timeout and controller interval.
@@ -121,12 +127,25 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{cfg: cfg}
 	c.Clock = vtime.NewScaled(cfg.TimeScale)
 	c.Net = simnet.New(cfg.BandwidthBps, cfg.Latency, c.Clock)
+	// Tier engines judge key expiry (liveness leases, SETEX'd state) on
+	// their own clock; hand them the experiment clock so tier-side TTLs
+	// run in experiment time like every other duration in the harness.
+	newEngine := func() *kvs.Engine {
+		eng := kvs.NewEngine()
+		eng.SetNowFunc(c.Clock.Now)
+		if cfg.ExpirySweep > 0 {
+			eng.SetSweepInterval(cfg.ExpirySweep)
+		}
+		return eng
+	}
 	if cfg.StateShards > 1 {
-		c.State = shardkvs.NewLocal(cfg.StateShards, shardkvs.Options{
-			Replication: cfg.StateReplicas,
-		})
+		ring := shardkvs.New(shardkvs.Options{Replication: cfg.StateReplicas})
+		for i := 0; i < cfg.StateShards; i++ {
+			ring.Attach(fmt.Sprintf("shard-%d", i), newEngine())
+		}
+		c.State = ring
 	} else {
-		c.State = kvs.NewEngine()
+		c.State = newEngine()
 	}
 
 	for h := 0; h < cfg.Hosts; h++ {

@@ -313,6 +313,15 @@ func TestKilledHostDrainsFromForwardingWithinLease(t *testing.T) {
 	if _, ret, err := c.CallOn(1, "echo", []byte("warm")); err != nil || ret != 0 {
 		t.Fatalf("warming call: %d %v", ret, err)
 	}
+	// The advertised host's lease is a tier-judged record: present, armed
+	// with a tier-side TTL, and carrying no clock stamp an observer could
+	// misjudge under skew.
+	if rec, _ := c.GetState("sched/alive/host-1"); len(rec) == 0 {
+		t.Fatal("advertised host has no liveness lease")
+	}
+	if d, err := c.State.TTL("sched/alive/host-1"); err != nil || d <= 0 {
+		t.Fatalf("lease ttl = %v %v, want a tier-side expiry", d, err)
+	}
 	if _, ret, err := c.CallOn(0, "echo", []byte("x")); err != nil || ret != 0 {
 		t.Fatalf("pre-kill call: %d %v", ret, err)
 	}

@@ -57,7 +57,7 @@ func Elasticity(opts Options) *Report {
 	}
 
 	r.Note("pool: identical concurrency ramp %v per config; the elastic controller pre-provisions misses x grow-factor per tick, so later ramp steps find the pool already sized — the ramp's misses collapse toward the first step's", ramp)
-	r.Note("failover: a killed host stops heartbeating but retreats from nothing; its sched/alive/<host> lease expires and every peer's refresh filters it — forwards fall back locally in the meantime, so zero calls fail")
+	r.Note("failover: a killed host stops heartbeating but retreats from nothing; its SetEx'd sched/alive/<host> lease expires on the tier's clock (no observer ever judges a timestamp, so host clock skew cannot delay or hasten the drain) and every peer's refresh filters it — forwards fall back locally in the meantime, so zero calls fail")
 	return r
 }
 

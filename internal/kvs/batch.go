@@ -1,5 +1,7 @@
 package kvs
 
+import "time"
+
 // The batch surface of the global tier. The state stack's hot paths — DDO
 // chunk pulls, sharded writes, prefetch — issue many small operations whose
 // cost is dominated by per-operation overhead: a round trip on the wire, a
@@ -41,6 +43,9 @@ type Range struct {
 type Batcher interface {
 	MGet(keys []string) ([][]byte, error)
 	MSet(pairs []Pair) error
+	// MSetEx applies the pairs like MSet and arms every key with the same
+	// tier-side ttl (one deadline per batch, on the store's clock).
+	MSetEx(pairs []Pair, ttl time.Duration) error
 	GetRanges(key string, ranges []Range) ([][]byte, error)
 }
 
@@ -69,6 +74,22 @@ func MSet(s Store, pairs []Pair) error {
 	}
 	for _, p := range pairs {
 		if err := s.Set(p.Key, p.Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MSetEx writes many pairs with one shared ttl through s, using its native
+// batch support when present and falling back to one SetEx per pair
+// otherwise (each fallback write computes its own deadline, so the batch's
+// keys may expire microseconds apart — semantically the same lease).
+func MSetEx(s Store, pairs []Pair, ttl time.Duration) error {
+	if b, ok := s.(Batcher); ok {
+		return b.MSetEx(pairs, ttl)
+	}
+	for _, p := range pairs {
+		if err := s.SetEx(p.Key, p.Val, ttl); err != nil {
 			return err
 		}
 	}

@@ -20,11 +20,22 @@
 //     (Lock/Unlock) live on their own stripe array, so lock traffic from
 //     §4.2's consistency protocol does not contend with data operations on
 //     unrelated keys.
-//   - Batched: the Batcher surface (MGet/MSet/GetRanges) and the pipelined
-//     wire commands (MGET/MSET/GETRANGES) move N keys in one exchange — one
-//     network round trip and at most one stripe acquisition per key, never
-//     a global pause.
+//   - Batched: the Batcher surface (MGet/MSet/MSetEx/GetRanges) and the
+//     pipelined wire commands (MGET/MSET/MSETEX/GETRANGES) move N keys in
+//     one exchange — one network round trip and at most one stripe
+//     acquisition per key, never a global pause.
+//   - Tier-judged expiry: SetEx/TTL/Persist give keys a lifetime measured
+//     on the engine's own clock (SetNowFunc overrides it for tests and
+//     simulated clusters). Reads check the per-stripe deadline map lazily —
+//     an expired key is simply invisible, at zero cost when a stripe has no
+//     expiring keys — so correctness never depends on collection. The
+//     scheduler's liveness leases ride on this: clients never compare a
+//     stored deadline against their own clock.
 //
-// Nothing in the engine runs in the background; every cost is paid by the
-// calling operation.
+// One thing runs in the background: the expiry sweeper, a self-rescheduling
+// timer (cadence SetSweepInterval, default DefaultSweepInterval) that
+// physically deletes expired entries so they don't pin memory. It is armed
+// only while deadlines exist — an engine with no expiring keys does no
+// background work — and it only bounds memory, never visibility. Every
+// other cost is paid by the calling operation.
 package kvs

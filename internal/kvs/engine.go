@@ -28,6 +28,20 @@ type Store interface {
 	Len(key string) (int, error)
 	// Delete removes a key.
 	Delete(key string) error
+	// SetEx replaces the value at key and arms a tier-side expiry: the
+	// store hides (and eventually deletes) the key once ttl elapses on the
+	// store's own clock. Callers never judge expiry themselves — that is
+	// the point: writer and observer clocks drop out entirely (scheduler
+	// liveness leases ride on this). ttl must be positive. Expiry applies
+	// to value keys only; sets and counters never expire.
+	SetEx(key string, val []byte, ttl time.Duration) error
+	// TTL reports the remaining lifetime of the value at key, measured on
+	// the store's clock: TTLPersistent for a present key without expiry,
+	// TTLMissing for an absent (or already expired) key, > 0 otherwise.
+	TTL(key string) (time.Duration, error)
+	// Persist removes key's expiry, reporting whether an expiry was
+	// removed (false for missing, expired or already-persistent keys).
+	Persist(key string) (bool, error)
 	// SAdd adds a member to a set, reporting whether it was new.
 	SAdd(key, member string) (bool, error)
 	// SRem removes a member from a set, reporting whether it was present.
@@ -43,6 +57,20 @@ type Store interface {
 	// Unlock releases a previously acquired lock.
 	Unlock(key string, token uint64) error
 }
+
+// TTL sentinels, Redis-style: lifetime queries on keys without one return a
+// negative marker rather than an error.
+const (
+	// TTLPersistent is TTL's result for a present key with no expiry.
+	TTLPersistent = time.Duration(-1)
+	// TTLMissing is TTL's result for an absent (or expired) key.
+	TTLMissing = time.Duration(-2)
+)
+
+// DefaultSweepInterval is the default cadence of the background sweep that
+// physically deletes expired keys. Reads already hide expired entries; the
+// sweep only bounds how long their memory stays pinned.
+const DefaultSweepInterval = time.Second
 
 // Kind classifies which of the engine's structures holds a key; enumeration
 // and shard migration need to know how to read and re-create an entry.
@@ -94,6 +122,10 @@ type stripe struct {
 	vals map[string][]byte
 	sets map[string]map[string]struct{}
 	ints map[string]int64
+	// exp maps value keys to their expiry deadline on the engine's clock.
+	// Reads check it lazily (an expired entry is simply invisible); the
+	// background sweeper deletes expired entries so they don't pin memory.
+	exp map[string]time.Time
 }
 
 // lockStripe is one slice of the lease-lock table. Lock state keeps its own
@@ -112,8 +144,18 @@ type Engine struct {
 	stripes [numStripes]stripe
 	lockTab [numStripes]lockStripe
 	tokens  atomic.Uint64
-	// now is overridable for lease-expiry tests.
+	// now is the engine's clock: key expiry and lock leases are judged on
+	// it and nothing else — no caller's clock ever enters the decision.
+	// Overridable via SetNowFunc (tests, simulated clusters).
 	now func() time.Time
+
+	// sweepTimer drives the self-rescheduling expiry sweep: armed when a
+	// deadline is registered, re-armed after each pass while deadlines
+	// remain, and left idle otherwise, so an engine with no expiring keys
+	// runs no background work at all.
+	sweepMu    sync.Mutex
+	sweepTimer *time.Timer
+	sweepEvery time.Duration
 }
 
 type lockState struct {
@@ -128,11 +170,12 @@ type lockState struct {
 
 // NewEngine returns an empty store.
 func NewEngine() *Engine {
-	e := &Engine{now: time.Now}
+	e := &Engine{now: time.Now, sweepEvery: DefaultSweepInterval}
 	for i := range e.stripes {
 		e.stripes[i].vals = map[string][]byte{}
 		e.stripes[i].sets = map[string]map[string]struct{}{}
 		e.stripes[i].ints = map[string]int64{}
+		e.stripes[i].exp = map[string]time.Time{}
 	}
 	for i := range e.lockTab {
 		e.lockTab[i].locks = map[string]*lockState{}
@@ -140,14 +183,67 @@ func NewEngine() *Engine {
 	return e
 }
 
+// SetNowFunc replaces the engine's clock (tests, simulated clusters whose
+// experiment time runs faster than the wall). Call before the engine serves
+// traffic; the function must be safe for concurrent use.
+func (e *Engine) SetNowFunc(f func() time.Time) {
+	if f != nil {
+		e.now = f
+	}
+}
+
+// SetSweepInterval tunes the background expiry-sweep cadence (0 or negative
+// keeps DefaultSweepInterval). Call before the engine serves traffic.
+func (e *Engine) SetSweepInterval(d time.Duration) {
+	if d > 0 {
+		e.sweepMu.Lock()
+		e.sweepEvery = d
+		e.sweepMu.Unlock()
+	}
+}
+
 func (e *Engine) stripeOf(key string) *stripe { return &e.stripes[stripeIdx(key)] }
+
+// expiredAt reports whether key carries a deadline at or before now. The
+// len check keeps the common no-expiring-keys case to one branch with no
+// map lookup and no clock read by the caller.
+func expiredAt(st *stripe, key string, now time.Time) bool {
+	if len(st.exp) == 0 {
+		return false
+	}
+	dl, ok := st.exp[key]
+	return ok && !dl.After(now)
+}
+
+// liveLocked returns the value at key and whether it is present and
+// unexpired, with the stripe (read-)locked by the caller.
+func (e *Engine) liveLocked(st *stripe, key string) ([]byte, bool) {
+	v, ok := st.vals[key]
+	if !ok {
+		return nil, false
+	}
+	if len(st.exp) != 0 && expiredAt(st, key, e.now()) {
+		return nil, false
+	}
+	return v, true
+}
+
+// purgeLocked lazily deletes key if its expiry has passed, so mutating
+// operations (SetRange, Append) never revive an expired value. Caller holds
+// the stripe write lock.
+func (e *Engine) purgeLocked(st *stripe, key string) {
+	if len(st.exp) != 0 && expiredAt(st, key, e.now()) {
+		delete(st.vals, key)
+		delete(st.exp, key)
+	}
+}
 
 // Get implements Store.
 func (e *Engine) Get(key string) ([]byte, error) {
 	st := e.stripeOf(key)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	v, ok := st.vals[key]
+	v, ok := e.liveLocked(st, key)
 	if !ok {
 		return nil, nil
 	}
@@ -156,23 +252,76 @@ func (e *Engine) Get(key string) ([]byte, error) {
 	return out, nil
 }
 
-// Set implements Store.
+// Set implements Store. Like Redis SET, it clears any expiry on the key.
 func (e *Engine) Set(key string, val []byte) error {
 	cp := make([]byte, len(val))
 	copy(cp, val)
 	st := e.stripeOf(key)
 	st.mu.Lock()
 	st.vals[key] = cp
+	delete(st.exp, key)
 	st.mu.Unlock()
 	return nil
 }
 
-// getRangeLocked reads [off, off+n) of key with the stripe lock held.
-func getRangeLocked(st *stripe, key string, off, n int) ([]byte, error) {
+// SetEx implements Store: Set plus a tier-side expiry deadline on the
+// engine's clock.
+func (e *Engine) SetEx(key string, val []byte, ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("kvs: setex ttl must be positive, got %v", ttl)
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	deadline := e.now().Add(ttl)
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	st.vals[key] = cp
+	st.exp[key] = deadline
+	st.mu.Unlock()
+	e.scheduleSweep()
+	return nil
+}
+
+// TTL implements Store.
+func (e *Engine) TTL(key string) (time.Duration, error) {
+	st := e.stripeOf(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if _, ok := st.vals[key]; !ok {
+		return TTLMissing, nil
+	}
+	dl, ok := st.exp[key]
+	if !ok {
+		return TTLPersistent, nil
+	}
+	now := e.now()
+	if !dl.After(now) {
+		return TTLMissing, nil
+	}
+	return dl.Sub(now), nil
+}
+
+// Persist implements Store.
+func (e *Engine) Persist(key string) (bool, error) {
+	st := e.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e.purgeLocked(st, key)
+	if _, ok := st.vals[key]; !ok {
+		return false, nil
+	}
+	if _, ok := st.exp[key]; !ok {
+		return false, nil
+	}
+	delete(st.exp, key)
+	return true, nil
+}
+
+// rangeOf reads [off, off+n) of a value snapshot.
+func rangeOf(v []byte, off, n int) ([]byte, error) {
 	if off < 0 || n < 0 {
 		return nil, fmt.Errorf("kvs: negative range [%d,%d)", off, off+n)
 	}
-	v := st.vals[key]
 	if off >= len(v) {
 		return nil, nil
 	}
@@ -190,10 +339,13 @@ func (e *Engine) GetRange(key string, off, n int) ([]byte, error) {
 	st := e.stripeOf(key)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return getRangeLocked(st, key, off, n)
+	v, _ := e.liveLocked(st, key)
+	return rangeOf(v, off, n)
 }
 
-// SetRange implements Store.
+// SetRange implements Store. An expired value is purged first, so writing
+// into it starts from an empty value like any other missing key; an
+// unexpired deadline survives the write (Redis SETRANGE keeps the TTL).
 func (e *Engine) SetRange(key string, off int, val []byte) error {
 	if off < 0 {
 		return fmt.Errorf("kvs: negative offset %d", off)
@@ -201,6 +353,7 @@ func (e *Engine) SetRange(key string, off int, val []byte) error {
 	st := e.stripeOf(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	e.purgeLocked(st, key)
 	v := st.vals[key]
 	if need := off + len(val); need > len(v) {
 		grown := make([]byte, need)
@@ -212,11 +365,12 @@ func (e *Engine) SetRange(key string, off int, val []byte) error {
 	return nil
 }
 
-// Append implements Store.
+// Append implements Store. Expiry semantics match SetRange.
 func (e *Engine) Append(key string, val []byte) (int, error) {
 	st := e.stripeOf(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	e.purgeLocked(st, key)
 	st.vals[key] = append(st.vals[key], val...)
 	return len(st.vals[key]), nil
 }
@@ -226,7 +380,8 @@ func (e *Engine) Len(key string) (int, error) {
 	st := e.stripeOf(key)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return len(st.vals[key]), nil
+	v, _ := e.liveLocked(st, key)
+	return len(v), nil
 }
 
 // Delete implements Store.
@@ -236,6 +391,7 @@ func (e *Engine) Delete(key string) error {
 	delete(st.vals, key)
 	delete(st.sets, key)
 	delete(st.ints, key)
+	delete(st.exp, key)
 	st.mu.Unlock()
 	return nil
 }
@@ -309,6 +465,7 @@ func (e *Engine) MGet(keys []string) ([][]byte, error) {
 		sids[i] = uint8(s)
 		mask |= 1 << s
 	}
+	now := e.now()
 	for mask != 0 {
 		si := uint8(bits.TrailingZeros64(mask))
 		mask &= mask - 1
@@ -318,7 +475,7 @@ func (e *Engine) MGet(keys []string) ([][]byte, error) {
 			if s != si {
 				continue
 			}
-			if v, ok := st.vals[keys[i]]; ok {
+			if v, ok := st.vals[keys[i]]; ok && !expiredAt(st, keys[i], now) {
 				cp := make([]byte, len(v))
 				copy(cp, v)
 				out[i] = cp
@@ -352,9 +509,46 @@ func (e *Engine) MSet(pairs []Pair) error {
 		for i, s := range sids {
 			if s == si {
 				st.vals[pairs[i].Key] = cps[i]
+				delete(st.exp, pairs[i].Key)
 			}
 		}
 		st.mu.Unlock()
+	}
+	return nil
+}
+
+// MSetEx implements Batcher: MSet with one expiry deadline — computed once,
+// on the engine's clock — armed for every key in the batch.
+func (e *Engine) MSetEx(pairs []Pair, ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("kvs: msetex ttl must be positive, got %v", ttl)
+	}
+	cps := make([][]byte, len(pairs))
+	sids := make([]uint8, len(pairs))
+	var mask uint64
+	for i, p := range pairs {
+		cps[i] = make([]byte, len(p.Val))
+		copy(cps[i], p.Val)
+		s := stripeIdx(p.Key)
+		sids[i] = uint8(s)
+		mask |= 1 << s
+	}
+	deadline := e.now().Add(ttl)
+	for mask != 0 {
+		si := uint8(bits.TrailingZeros64(mask))
+		mask &= mask - 1
+		st := &e.stripes[si]
+		st.mu.Lock()
+		for i, s := range sids {
+			if s == si {
+				st.vals[pairs[i].Key] = cps[i]
+				st.exp[pairs[i].Key] = deadline
+			}
+		}
+		st.mu.Unlock()
+	}
+	if len(pairs) > 0 {
+		e.scheduleSweep()
 	}
 	return nil
 }
@@ -366,8 +560,9 @@ func (e *Engine) GetRanges(key string, ranges []Range) ([][]byte, error) {
 	st := e.stripeOf(key)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	val, _ := e.liveLocked(st, key)
 	for i, r := range ranges {
-		v, err := getRangeLocked(st, key, r.Off, r.N)
+		v, err := rangeOf(val, r.Off, r.N)
 		if err != nil {
 			return nil, err
 		}
@@ -376,14 +571,17 @@ func (e *Engine) GetRanges(key string, ranges []Range) ([][]byte, error) {
 	return out, nil
 }
 
-// Keys returns all value keys (diagnostics and tests).
+// Keys returns all live value keys (diagnostics and tests).
 func (e *Engine) Keys() []string {
 	var out []string
+	now := e.now()
 	for i := range e.stripes {
 		st := &e.stripes[i]
 		st.mu.RLock()
 		for k := range st.vals {
-			out = append(out, k)
+			if !expiredAt(st, k, now) {
+				out = append(out, k)
+			}
 		}
 		st.mu.RUnlock()
 	}
@@ -391,15 +589,20 @@ func (e *Engine) Keys() []string {
 	return out
 }
 
-// AllKeys implements Lister: every entry across values, sets and counters,
-// sorted by kind then key.
+// AllKeys implements Lister: every live entry across values, sets and
+// counters, sorted by kind then key. Expired values are invisible here too —
+// the shard rebalancer enumerates through this, so a migration can never
+// copy (and thereby resurrect) a key the tier already expired.
 func (e *Engine) AllKeys() ([]KeyInfo, error) {
 	var out []KeyInfo
+	now := e.now()
 	for i := range e.stripes {
 		st := &e.stripes[i]
 		st.mu.RLock()
 		for k := range st.vals {
-			out = append(out, KeyInfo{KindValue, k})
+			if !expiredAt(st, k, now) {
+				out = append(out, KeyInfo{KindValue, k})
+			}
 		}
 		for k := range st.sets {
 			out = append(out, KeyInfo{KindSet, k})
@@ -418,18 +621,75 @@ func (e *Engine) AllKeys() ([]KeyInfo, error) {
 	return out, nil
 }
 
-// TotalBytes reports the sum of value lengths (memory accounting).
+// TotalBytes reports the sum of live value lengths (memory accounting).
 func (e *Engine) TotalBytes() int64 {
 	var n int64
+	now := e.now()
 	for i := range e.stripes {
 		st := &e.stripes[i]
 		st.mu.RLock()
-		for _, v := range st.vals {
-			n += int64(len(v))
+		for k, v := range st.vals {
+			if !expiredAt(st, k, now) {
+				n += int64(len(v))
+			}
 		}
 		st.mu.RUnlock()
 	}
 	return n
+}
+
+// scheduleSweep arms the expiry sweep if it is not already armed. The timer
+// runs on the wall clock regardless of the engine clock — it is memory
+// hygiene only; visibility is decided by the lazy checks on e.now.
+func (e *Engine) scheduleSweep() {
+	e.sweepMu.Lock()
+	defer e.sweepMu.Unlock()
+	if e.sweepTimer != nil {
+		return
+	}
+	e.sweepTimer = time.AfterFunc(e.sweepEvery, e.sweepTick)
+}
+
+// sweepTick disarms first, then sweeps, then re-arms while deadlines remain:
+// a SetEx racing the pass sees the timer disarmed and arms a fresh one, so
+// no deadline is ever left without a scheduled sweep.
+func (e *Engine) sweepTick() {
+	e.sweepMu.Lock()
+	e.sweepTimer = nil
+	e.sweepMu.Unlock()
+	if _, remaining := e.sweepOnce(); remaining > 0 {
+		e.scheduleSweep()
+	}
+}
+
+// sweepOnce deletes every expired entry, reporting how many were removed and
+// how many armed deadlines remain.
+func (e *Engine) sweepOnce() (removed, remaining int) {
+	now := e.now()
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.Lock()
+		for k, dl := range st.exp {
+			if !dl.After(now) {
+				delete(st.vals, k)
+				delete(st.exp, k)
+				removed++
+			} else {
+				remaining++
+			}
+		}
+		st.mu.Unlock()
+	}
+	return removed, remaining
+}
+
+// SweepExpired runs one expiry sweep immediately, physically deleting every
+// expired entry, and reports how many were dropped. The background sweeper
+// calls this on its timer; tests call it to make "expired and collected"
+// deterministic.
+func (e *Engine) SweepExpired() int {
+	removed, _ := e.sweepOnce()
+	return removed
 }
 
 // Lock implements Store. Lock ordering is writer-preferring within a key:

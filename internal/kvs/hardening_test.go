@@ -76,6 +76,102 @@ func TestMalformedRequestLines(t *testing.T) {
 	serverStillHealthy(t, srv)
 }
 
+func TestExpiryCommandHardening(t *testing.T) {
+	// The expiry commands take the same abuse as the rest of the protocol:
+	// zero, negative, non-numeric and overflowing TTLs, bad arities and
+	// oversized batches must all produce a clean ERR (or a dropped
+	// connection) — never a hang, a wrapped deadline or an immortal key.
+	srv := newTestServer(t)
+	for _, line := range []string{
+		"SETEX \"k\" 0 3",                    // zero ttl
+		"SETEX \"k\" -5 3",                   // negative ttl
+		"SETEX \"k\" nan 3",                  // non-numeric ttl
+		"SETEX \"k\" 99999999999999999999 3", // ttl overflows int64
+		"SETEX \"k\" 9223372036854775807 3",  // ms count overflows Duration
+		"SETEX \"k\"",                        // missing fields
+		"SETEX \"k\" 100",                    // missing payload length
+		"TTL",                                // missing key
+		"TTL \"k\" extra",                    // too many fields
+		"PERSIST",                            // missing key
+		"MSETEX 2 0",                         // zero batch ttl
+		"MSETEX 2 -9",                        // negative batch ttl
+		"MSETEX nan 100",                     // non-numeric batch size
+		"MSETEX -1 100",                      // negative batch size
+		"MSETEX 1",                           // missing ttl
+		fmt.Sprintf("MSETEX %d 100", kvs.MaxBatch+1), // batch cap
+	} {
+		conn := rawConn(t, srv.Addr())
+		fmt.Fprintf(conn, "%s\n", line)
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		if err == nil && !strings.HasPrefix(reply, "ERR ") {
+			t.Errorf("line %q: reply %q, want ERR", line, reply)
+		}
+		conn.Close()
+	}
+	serverStillHealthy(t, srv)
+	// None of the abuse may have landed a key.
+	c := kvs.NewClient(srv.Addr())
+	defer c.Close()
+	if v, _ := c.Get("k"); v != nil {
+		t.Fatalf("rejected SETEX landed a value: %q", v)
+	}
+}
+
+func TestSetExOversizedDeclaredPayload(t *testing.T) {
+	// SETEX enforces the same payload cap as SET: an absurd declared length
+	// gets ERR and the connection drops (no resync mid-payload).
+	srv := newTestServer(t)
+	conn := rawConn(t, srv.Addr())
+	fmt.Fprintf(conn, "SETEX \"k\" 1000 %d\n", int64(1)<<60)
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no reply to oversized declaration: %v", err)
+	}
+	if !strings.HasPrefix(reply, "ERR ") {
+		t.Fatalf("reply %q, want ERR", reply)
+	}
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("connection survived an unreadable payload declaration")
+	}
+	serverStillHealthy(t, srv)
+}
+
+func TestMSetExMalformedEntriesDropConnection(t *testing.T) {
+	// A well-formed MSETEX header followed by garbage entries must not
+	// desynchronise the server into treating payload bytes as commands.
+	srv := newTestServer(t)
+	conn := rawConn(t, srv.Addr())
+	fmt.Fprintf(conn, "MSETEX 2 100\nnot an entry line\n")
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err == nil && !strings.HasPrefix(reply, "ERR ") {
+		t.Fatalf("reply %q, want ERR or dropped connection", reply)
+	}
+	serverStillHealthy(t, srv)
+}
+
+func TestExpiryCommandsWorkThroughAbusePath(t *testing.T) {
+	// Hardening must not break the legitimate commands it guards.
+	srv := newTestServer(t)
+	c := kvs.NewClient(srv.Addr())
+	defer c.Close()
+	if err := c.SetEx("lease", []byte("up"), 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := c.TTL("lease"); err != nil || d <= 0 || d > time.Second {
+		t.Fatalf("ttl over the wire = %v %v", d, err)
+	}
+	removed, err := c.Persist("lease")
+	if err != nil || !removed {
+		t.Fatalf("persist over the wire: %v %v", removed, err)
+	}
+	if err := kvs.MSetEx(c, []kvs.Pair{{Key: "b1", Val: []byte("x")}, {Key: "b2", Val: []byte("y")}}, 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := c.TTL("b2"); err != nil || d <= 0 {
+		t.Fatalf("batch ttl over the wire = %v %v", d, err)
+	}
+}
+
 func TestOversizedDeclaredPayload(t *testing.T) {
 	srv := newTestServer(t)
 	conn := rawConn(t, srv.Addr())

@@ -43,6 +43,12 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("FallbackMGet", func(t *testing.T) { testBatchMGet(t, NonBatching(mk(t))) })
 	t.Run("FallbackMSet", func(t *testing.T) { testBatchMSet(t, NonBatching(mk(t))) })
 	t.Run("FallbackGetRanges", func(t *testing.T) { testBatchGetRanges(t, NonBatching(mk(t))) })
+	t.Run("TTLExpireInvisible", func(t *testing.T) { testTTLExpireInvisible(t, mk(t)) })
+	t.Run("TTLReSetExtends", func(t *testing.T) { testTTLReSetExtends(t, mk(t)) })
+	t.Run("TTLPersistCancels", func(t *testing.T) { testTTLPersistCancels(t, mk(t)) })
+	t.Run("TTLQueriesAndGuards", func(t *testing.T) { testTTLQueriesAndGuards(t, mk(t)) })
+	t.Run("BatchMSetEx", func(t *testing.T) { testBatchMSetEx(t, mk(t)) })
+	t.Run("FallbackMSetEx", func(t *testing.T) { testBatchMSetEx(t, NonBatching(mk(t))) })
 }
 
 // NonBatching hides a store's native batch support: the wrapper's method set
@@ -230,6 +236,197 @@ func testBatchAtomicity(t *testing.T, s kvs.Store) {
 				}
 			}
 		}
+	}
+}
+
+// --- Tier-side key expiry (SETEX/TTL/PERSIST) conformance ---
+//
+// Expiry is judged on the store's own clock, never the test's; these tests
+// therefore only assert orderings (visible now, gone eventually) with real
+// sleeps and generous poll deadlines, so they hold identically for the
+// in-process engine, the TCP client and the sharded ring.
+
+// ttlShort is the lease length the expiry tests arm. Long enough that the
+// pre-expiry asserts cannot race it on a loaded CI machine, short enough to
+// keep the suite quick.
+const ttlShort = 80 * time.Millisecond
+
+// waitGone polls until key is invisible to Get, failing after a generous
+// deadline. Polling (rather than one calibrated sleep) keeps the suite
+// robust against scheduler hiccups and replica-clock skew in the ring.
+func waitGone(t *testing.T, s kvs.Store, key string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := s.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("key %q never expired", key)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func testTTLExpireInvisible(t *testing.T, s kvs.Store) {
+	if err := s.SetEx("gone", []byte("v"), ttlShort); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("gone"); string(v) != "v" {
+		t.Fatalf("fresh SetEx invisible: %q", v)
+	}
+	if d, err := s.TTL("gone"); err != nil || d <= 0 || d > ttlShort+time.Second {
+		t.Fatalf("armed ttl = %v %v, want in (0, ~%v]", d, err, ttlShort)
+	}
+	s.Set("stays", []byte("s"))
+	waitGone(t, s, "gone")
+	// Expired means invisible everywhere, not just to Get.
+	vals, err := kvs.MGet(s, []string{"gone", "stays"})
+	if err != nil || vals[0] != nil || string(vals[1]) != "s" {
+		t.Fatalf("mget after expiry: %v %v", vals, err)
+	}
+	if n, _ := s.Len("gone"); n != 0 {
+		t.Fatalf("len after expiry = %d", n)
+	}
+	if v, _ := s.GetRange("gone", 0, 1); v != nil {
+		t.Fatalf("getrange after expiry: %q", v)
+	}
+	if rv, _ := kvs.GetRanges(s, "gone", []kvs.Range{{Off: 0, N: 1}}); rv[0] != nil {
+		t.Fatalf("getranges after expiry: %q", rv[0])
+	}
+	if d, _ := s.TTL("gone"); d != kvs.TTLMissing {
+		t.Fatalf("ttl after expiry = %v, want TTLMissing", d)
+	}
+	if removed, _ := s.Persist("gone"); removed {
+		t.Fatal("persist resurrected an expired key")
+	}
+	if l, ok := s.(kvs.Lister); ok {
+		infos, err := l.AllKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ki := range infos {
+			if ki.Kind == kvs.KindValue && ki.Key == "gone" {
+				t.Fatal("expired key still enumerated by AllKeys")
+			}
+		}
+	}
+}
+
+func testTTLReSetExtends(t *testing.T, s kvs.Store) {
+	if err := s.SetEx("ext", []byte("1"), ttlShort); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(ttlShort / 2)
+	// Re-arming replaces the deadline: the key must survive well past the
+	// first lease — exactly how a heartbeat keeps a liveness lease alive.
+	if err := s.SetEx("ext", []byte("2"), 5*ttlShort); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(ttlShort)
+	if v, _ := s.Get("ext"); string(v) != "2" {
+		t.Fatalf("re-SetEx did not extend the lease: %q", v)
+	}
+	if d, _ := s.TTL("ext"); d <= 0 {
+		t.Fatalf("extended ttl = %v, want positive", d)
+	}
+	// And the extension is a lease, not immortality.
+	waitGone(t, s, "ext")
+}
+
+func testTTLPersistCancels(t *testing.T, s kvs.Store) {
+	if err := s.SetEx("p", []byte("v"), ttlShort); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.Persist("p")
+	if err != nil || !removed {
+		t.Fatalf("persist on expiring key: %v %v, want removed", removed, err)
+	}
+	time.Sleep(ttlShort + ttlShort/2)
+	if v, _ := s.Get("p"); string(v) != "v" {
+		t.Fatalf("persisted key expired anyway: %q", v)
+	}
+	if d, _ := s.TTL("p"); d != kvs.TTLPersistent {
+		t.Fatalf("ttl after persist = %v, want TTLPersistent", d)
+	}
+	// Nothing left to remove the second time.
+	if removed, _ := s.Persist("p"); removed {
+		t.Fatal("second persist reported an expiry removed")
+	}
+}
+
+func testTTLQueriesAndGuards(t *testing.T, s kvs.Store) {
+	if d, err := s.TTL("missing"); err != nil || d != kvs.TTLMissing {
+		t.Fatalf("ttl of missing key = %v %v, want TTLMissing", d, err)
+	}
+	s.Set("plain", []byte("x"))
+	if d, _ := s.TTL("plain"); d != kvs.TTLPersistent {
+		t.Fatalf("ttl of plain key = %v, want TTLPersistent", d)
+	}
+	if removed, _ := s.Persist("plain"); removed {
+		t.Fatal("persist on a persistent key reported an expiry removed")
+	}
+	// A plain Set clears a previous expiry (Redis SET semantics).
+	if err := s.SetEx("cleared", []byte("old"), ttlShort); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("cleared", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := s.TTL("cleared"); d != kvs.TTLPersistent {
+		t.Fatalf("ttl after Set = %v, want TTLPersistent", d)
+	}
+	time.Sleep(ttlShort + ttlShort/2)
+	if v, _ := s.Get("cleared"); string(v) != "new" {
+		t.Fatalf("Set-cleared key expired anyway: %q", v)
+	}
+	// Non-positive TTLs are rejected outright, batched or not.
+	if err := s.SetEx("bad", []byte("x"), 0); err == nil {
+		t.Fatal("zero ttl accepted")
+	}
+	if err := s.SetEx("bad", []byte("x"), -time.Second); err == nil {
+		t.Fatal("negative ttl accepted")
+	}
+	if err := kvs.MSetEx(s, []kvs.Pair{{Key: "bad", Val: []byte("x")}}, -time.Second); err == nil {
+		t.Fatal("negative batch ttl accepted")
+	}
+	if v, _ := s.Get("bad"); v != nil {
+		t.Fatalf("rejected SetEx landed a value: %q", v)
+	}
+}
+
+func testBatchMSetEx(t *testing.T, s kvs.Store) {
+	if err := kvs.MSetEx(s, nil, ttlShort); err != nil {
+		t.Fatalf("empty msetex: %v", err)
+	}
+	pairs := []kvs.Pair{
+		{Key: "ex-0", Val: []byte("a")},
+		{Key: "ex-1", Val: []byte{0, 255, '\n'}},
+		{Key: "ex-dup", Val: []byte("first")},
+		{Key: "ex-dup", Val: []byte("last")},
+	}
+	s.Set("ex-keep", []byte("k"))
+	if err := kvs.MSetEx(s, pairs, ttlShort); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("ex-dup"); string(v) != "last" {
+		t.Fatalf("duplicated key must keep the last value, got %q", v)
+	}
+	for _, k := range []string{"ex-0", "ex-1", "ex-dup"} {
+		if d, _ := s.TTL(k); d <= 0 {
+			t.Fatalf("batch key %s ttl = %v, want positive", k, d)
+		}
+	}
+	for _, k := range []string{"ex-0", "ex-1", "ex-dup"} {
+		waitGone(t, s, k)
+	}
+	// The untouched persistent neighbour survives the batch's expiry.
+	if v, _ := s.Get("ex-keep"); string(v) != "k" {
+		t.Fatalf("persistent key lost: %q", v)
 	}
 }
 
@@ -499,6 +696,24 @@ func (c *CountingStore) Set(key string, val []byte) error {
 	return c.Store.Set(key, val)
 }
 
+// SetEx implements kvs.Store.
+func (c *CountingStore) SetEx(key string, val []byte, ttl time.Duration) error {
+	c.ops.Add(1)
+	return c.Store.SetEx(key, val, ttl)
+}
+
+// TTL implements kvs.Store.
+func (c *CountingStore) TTL(key string) (time.Duration, error) {
+	c.ops.Add(1)
+	return c.Store.TTL(key)
+}
+
+// Persist implements kvs.Store.
+func (c *CountingStore) Persist(key string) (bool, error) {
+	c.ops.Add(1)
+	return c.Store.Persist(key)
+}
+
 // GetRange implements kvs.Store.
 func (c *CountingStore) GetRange(key string, off, n int) ([]byte, error) {
 	c.ops.Add(1)
@@ -571,6 +786,12 @@ func (c *CountingStore) MGet(keys []string) ([][]byte, error) {
 func (c *CountingStore) MSet(pairs []kvs.Pair) error {
 	c.ops.Add(1)
 	return kvs.MSet(c.Store, pairs)
+}
+
+// MSetEx implements kvs.Batcher.
+func (c *CountingStore) MSetEx(pairs []kvs.Pair, ttl time.Duration) error {
+	c.ops.Add(1)
+	return kvs.MSetEx(c.Store, pairs, ttl)
 }
 
 // GetRanges implements kvs.Batcher.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -32,6 +33,13 @@ import (
 // batch costs one network round trip per command window of up to MaxBatch
 // entries (MSET windows additionally travel in a single flush), instead of
 // one round trip per key.
+//
+// Key expiry is a tier-side primitive, mirroring Redis SETEX: the server's
+// engine judges expiry on its own clock, so clients never compare stored
+// deadlines against their clocks. SETEX "key" ttlMS len\n<payload> writes a
+// value that the tier hides once ttlMS milliseconds elapse; TTL "key"
+// replies INT remainingMS (-1 persistent, -2 missing); PERSIST "key" clears
+// an expiry (INT 0|1); MSETEX n ttlMS is MSET with one shared TTL.
 
 // MaxPayload bounds a single declared payload length. A malicious or corrupt
 // length field must not make the server allocate unbounded memory or block
@@ -161,6 +169,33 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 		return buf, nil
 	}
 
+	// readPairs consumes n MSET/MSETEX entries ("key" len\n<payload>),
+	// enforcing the aggregate payload bound — the batch buffers before
+	// applying, so the total, not just each entry, must respect it.
+	readPairs := func(n int) ([]Pair, error) {
+		pairs := make([]Pair, 0, n)
+		var total int
+		for i := 0; i < n; i++ {
+			line, err := readLine(r)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := splitFields(line)
+			if err != nil || len(sub) != 2 {
+				return nil, fmt.Errorf("bad batch entry %q", line)
+			}
+			payload, err := readPayload(sub[1])
+			if err != nil {
+				return nil, err
+			}
+			if total += len(payload); total > MaxPayload {
+				return nil, fmt.Errorf("batch payload total exceeds limit %d", MaxPayload)
+			}
+			pairs = append(pairs, Pair{Key: sub[0], Val: payload})
+		}
+		return pairs, nil
+	}
+
 	// writeVals emits one VAL/NIL reply per entry (batch replies).
 	writeVals := func(vals [][]byte) {
 		reply("MULTI %d\n", len(vals))
@@ -196,29 +231,34 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 		if n > MaxBatch {
 			return fmt.Errorf("batch size %d exceeds limit %d", n, MaxBatch)
 		}
-		pairs := make([]Pair, 0, n)
-		var total int
-		for i := 0; i < n; i++ {
-			line, err := readLine(r)
-			if err != nil {
-				return err
-			}
-			sub, err := splitFields(line)
-			if err != nil || len(sub) != 2 {
-				return fmt.Errorf("bad MSET entry %q", line)
-			}
-			payload, err := readPayload(sub[1])
-			if err != nil {
-				return err
-			}
-			// The batch buffers before applying, so the aggregate — not
-			// just each entry — must respect the payload memory bound.
-			if total += len(payload); total > MaxPayload {
-				return fmt.Errorf("batch payload total exceeds limit %d", MaxPayload)
-			}
-			pairs = append(pairs, Pair{Key: sub[0], Val: payload})
+		pairs, err := readPairs(n)
+		if err != nil {
+			return err
 		}
 		if err := s.engine.MSet(pairs); err != nil {
+			errReply(err)
+		} else {
+			reply("OK\n")
+		}
+	case cmd == "MSETEX" && len(fields) == 3:
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad batch size %q", fields[1])
+		}
+		if n > MaxBatch {
+			return fmt.Errorf("batch size %d exceeds limit %d", n, MaxBatch)
+		}
+		// A bad TTL is connection-fatal: the n entries are already in
+		// flight and resynchronising mid-payload is impossible.
+		ttl, err := parseTTLMillis(fields[2])
+		if err != nil {
+			return err
+		}
+		pairs, err := readPairs(n)
+		if err != nil {
+			return err
+		}
+		if err := s.engine.MSetEx(pairs, ttl); err != nil {
 			errReply(err)
 		} else {
 			reply("OK\n")
@@ -265,6 +305,55 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 			errReply(err)
 		} else {
 			reply("OK\n")
+		}
+	case cmd == "SETEX" && len(fields) == 4:
+		// A bad TTL is connection-fatal like a bad payload length: the
+		// payload is already in flight and cannot be resynchronised past.
+		ttl, err := parseTTLMillis(fields[2])
+		if err != nil {
+			return err
+		}
+		payload, err := readPayload(fields[3])
+		if err != nil {
+			return err
+		}
+		if err := s.engine.SetEx(fields[1], payload, ttl); err != nil {
+			errReply(err)
+		} else {
+			reply("OK\n")
+		}
+	case cmd == "TTL" && len(fields) == 2:
+		d, err := s.engine.TTL(fields[1])
+		if err != nil {
+			errReply(err)
+			return nil
+		}
+		var ms int64
+		switch d {
+		case TTLPersistent:
+			ms = -1
+		case TTLMissing:
+			ms = -2
+		default:
+			// Round up so a live key never reports 0 (which would be
+			// indistinguishable from "expiring this instant"). Divide
+			// before rounding: adding first would overflow for a maximal
+			// TTL and report a ~292-year lease as 1ms.
+			ms = int64(d / time.Millisecond)
+			if d%time.Millisecond != 0 {
+				ms++
+			}
+			if ms <= 0 {
+				ms = 1
+			}
+		}
+		reply("INT %d\n", ms)
+	case cmd == "PERSIST" && len(fields) == 2:
+		removed, err := s.engine.Persist(fields[1])
+		if err != nil {
+			errReply(err)
+		} else {
+			reply("INT %d\n", boolInt(removed))
 		}
 	case cmd == "GETRANGE" && len(fields) == 4:
 		off, err1 := strconv.Atoi(fields[2])
@@ -413,6 +502,23 @@ func readLine(r *bufio.Reader) (string, error) {
 		return "", err
 	}
 	return strings.TrimSuffix(string(raw), "\n"), nil
+}
+
+// maxTTLMillis bounds a wire TTL so converting it to a time.Duration cannot
+// overflow into a negative (already-expired, or worse, never-expiring)
+// deadline.
+const maxTTLMillis = math.MaxInt64 / int64(time.Millisecond)
+
+// parseTTLMillis validates a TTL field: it must be a positive millisecond
+// count small enough to survive the Duration conversion. Zero, negative,
+// overflowing and non-numeric TTLs are all rejected — an unbounded or
+// wrapped TTL would silently turn a lease into a permanent record.
+func parseTTLMillis(field string) (time.Duration, error) {
+	ms, err := strconv.ParseInt(field, 10, 64)
+	if err != nil || ms <= 0 || ms > maxTTLMillis {
+		return 0, fmt.Errorf("bad ttl %q", field)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 func boolInt(b bool) int {
@@ -679,6 +785,68 @@ func expectOK(status string, _ *bufio.Reader) error {
 		return replyError(status)
 	}
 	return nil
+}
+
+// ttlMillis renders a TTL for the wire: client-side validation mirrors the
+// server's, and sub-millisecond TTLs round up to the wire's granularity
+// rather than down to an instantly-rejected zero.
+func ttlMillis(ttl time.Duration) (int64, error) {
+	if ttl <= 0 {
+		return 0, fmt.Errorf("kvs: ttl must be positive, got %v", ttl)
+	}
+	ms := ttl.Milliseconds()
+	if ms == 0 {
+		ms = 1
+	}
+	return ms, nil
+}
+
+// SetEx implements Store. Safe to replay on a stale pooled conn: a second
+// application writes the same bytes and re-arms an equivalent lease.
+func (c *Client) SetEx(key string, val []byte, ttl time.Duration) error {
+	ms, err := ttlMillis(ttl)
+	if err != nil {
+		return err
+	}
+	return c.roundTrip(fmt.Sprintf("SETEX %s %d %d\n", strconv.Quote(key), ms, len(val)), val, expectOK)
+}
+
+// TTL implements Store.
+func (c *Client) TTL(key string) (time.Duration, error) {
+	var out time.Duration
+	err := c.roundTrip(fmt.Sprintf("TTL %s\n", strconv.Quote(key)), nil,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			if err != nil {
+				return err
+			}
+			switch {
+			case n == -1:
+				out = TTLPersistent
+			case n == -2:
+				out = TTLMissing
+			case n > 0:
+				out = time.Duration(n) * time.Millisecond
+			default:
+				return fmt.Errorf("kvs: bad TTL reply %d", n)
+			}
+			return nil
+		})
+	return out, err
+}
+
+// Persist implements Store. No stale-conn replay, mirroring SAdd: a replay
+// of an applied PERSIST would report removed=false for a call that in fact
+// cancelled the expiry.
+func (c *Client) Persist(key string) (bool, error) {
+	var out bool
+	err := c.roundTripOnce(fmt.Sprintf("PERSIST %s\n", strconv.Quote(key)), nil,
+		func(status string, _ *bufio.Reader) error {
+			n, err := parseIntReply(status)
+			out = n == 1
+			return err
+		})
+	return out, err
 }
 
 // GetRange implements Store.
@@ -958,6 +1126,28 @@ func (c *Client) MGet(keys []string) ([][]byte, error) {
 // size: the server consumes the request stream before each tiny OK reply,
 // so reply backpressure cannot wedge the writing client.
 func (c *Client) MSet(pairs []Pair) error {
+	return c.msetPipelined(pairs, func(n int) string {
+		return fmt.Sprintf("MSET %d\n", n)
+	})
+}
+
+// MSetEx implements Batcher over the wire: MSET's pipeline with a shared
+// TTL in each command header. Safe to replay like SetEx.
+func (c *Client) MSetEx(pairs []Pair, ttl time.Duration) error {
+	ms, err := ttlMillis(ttl)
+	if err != nil {
+		return err
+	}
+	return c.msetPipelined(pairs, func(n int) string {
+		return fmt.Sprintf("MSETEX %d %d\n", n, ms)
+	})
+}
+
+// msetPipelined is the shared MSET/MSETEX transport: the whole batch — split
+// into commands of at most MaxBatch entries — is written and flushed once,
+// then one OK per command is read back. cmdFor renders the command header
+// for a chunk of n entries.
+func (c *Client) msetPipelined(pairs []Pair, cmdFor func(n int) string) error {
 	if len(pairs) == 0 {
 		return nil
 	}
@@ -979,7 +1169,7 @@ func (c *Client) MSet(pairs []Pair) error {
 	cmds := make([]string, len(chunks))
 	reqBytes := 0
 	for ci, ch := range chunks {
-		cmds[ci] = fmt.Sprintf("MSET %d\n", len(ch))
+		cmds[ci] = cmdFor(len(ch))
 		reqBytes += len(cmds[ci])
 		headers[ci] = make([]string, len(ch))
 		for i, p := range ch {

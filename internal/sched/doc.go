@@ -33,17 +33,27 @@
 //
 // # Peer liveness
 //
-// Warm-set entries are leases. Every host maintains a TTL record
-// sched/alive/<host> in the global tier: it is written when the host first
-// advertises and then refreshed by the heartbeat loop. When a scheduler
-// refreshes its peer cache it batch-reads the lease records of the listed
-// hosts and filters the expired ones — a crashed host stops receiving
-// forwards within one lease TTL plus one peer-cache TTL even though its
-// warm-set entries linger. The observer also best-effort-removes the dead
-// host's warm entry and the heartbeat re-asserts live hosts' entries each
-// beat, so the global set itself heals in both directions: dead hosts are
-// evicted by their peers, and a live host that was wrongly evicted (e.g. a
-// long GC pause expired its lease) reappears at the next beat.
+// Warm-set entries are leases, and the lease clock is the tier's. Every
+// host maintains a presence record sched/alive/<host> in the global tier,
+// written with SetEx — a tier-side TTL primitive — when the host first
+// advertises and re-armed by the heartbeat loop at LeaseTTL/3. The tier
+// judges expiry on its own clock and hides an expired record from reads, so
+// a peer-cache refresh is a batched existence check (one MGet over the
+// listed hosts' lease keys): a record that comes back means alive, nil
+// means dead. No timestamp is stored, parsed or compared against any local
+// clock anywhere on this path, which makes liveness immune to clock skew
+// between hosts — a cluster whose machines disagree by far more than the
+// lease TTL neither falsely evicts live hosts nor retains dead ones (the
+// previous design stamped the writer's expiry instant and judged it on the
+// observer's clock, which broke under skew greater than the TTL).
+//
+// A crashed host stops receiving forwards within one lease TTL plus one
+// peer-cache TTL even though its warm-set entries linger. The observer also
+// best-effort-removes the dead host's warm entry and the heartbeat
+// re-asserts live hosts' entries each beat, so the global set itself heals
+// in both directions: dead hosts are evicted by their peers, and a live
+// host that was wrongly evicted (e.g. a long GC pause outlasted its lease)
+// reappears at the next beat.
 //
 // # Weighted forwarding
 //

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,10 +45,16 @@ type Decision struct {
 // warmSetKey is the global-tier key holding a function's warm hosts.
 func warmSetKey(fn string) string { return "sched/warm/" + fn }
 
-// aliveKey is the global-tier key holding a host's liveness lease: the
-// expiry instant (unix nanoseconds on the writer's clock) of its last
-// heartbeat. A host whose record is missing or expired is dead to peers.
+// aliveKey is the global-tier key holding a host's liveness lease: a
+// presence marker written with SetEx, so the tier itself expires it on its
+// own clock. A host whose record has vanished is dead to peers; no writer
+// or observer clock ever enters the judgement.
 func aliveKey(host string) string { return "sched/alive/" + host }
+
+// leaseMark is the lease record's payload. Deliberately non-numeric: the
+// previous release stored a writer-clock expiry stamp (decimal unix nanos)
+// here, and nothing must ever mistake the new marker for one.
+var leaseMark = []byte("up")
 
 // DefaultPeerCacheTTL bounds the staleness of the cached peer warm set. A
 // new warm host becomes visible to peers within this window; a vanished one
@@ -128,9 +133,10 @@ type Scheduler struct {
 	// before first use; zero means DefaultPeerCacheTTL.
 	PeerCacheTTL time.Duration
 
-	// LeaseTTL is this host's liveness lease duration and the horizon it
-	// applies when judging peers' leases. Set before first use; zero means
-	// DefaultLeaseTTL.
+	// LeaseTTL is this host's liveness lease duration: each heartbeat
+	// re-arms the tier-side expiry for this long. Peers never judge the
+	// lease themselves — the tier hides it once it expires on the tier's
+	// clock. Set before first use; zero means DefaultLeaseTTL.
 	LeaseTTL time.Duration
 
 	// fns maps function name → *fnState.
@@ -162,9 +168,10 @@ func New(host string, store kvs.Store, capacity int) *Scheduler {
 	return &Scheduler{host: host, store: store, capacity: int64(capacity), clock: vtime.Real{}}
 }
 
-// SetClock replaces the clock driving peer-cache expiry and lease judgement
-// (the runtime passes its own, so simulated clusters expire in simulated
-// time). Call before use.
+// SetClock replaces the clock driving peer-cache expiry and the heartbeat
+// cadence (the runtime passes its own, so simulated clusters beat in
+// simulated time). Liveness itself is judged on the global tier's clock,
+// never this one. Call before use.
 func (s *Scheduler) SetClock(c vtime.Clock) {
 	if c != nil {
 		s.clock = c
@@ -393,7 +400,7 @@ func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
 			candidates = append(candidates, h)
 		}
 	}
-	peers, dead, err := s.filterAlive(candidates, now)
+	peers, dead, err := s.filterAlive(candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -413,11 +420,14 @@ func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
 	return peers, nil
 }
 
-// filterAlive splits hosts into live and dead by their lease records, read
-// in one batched global-tier operation. A missing record counts as dead:
-// every advertiser writes its lease before its first SAdd, so only crashed
-// (or fabricated) hosts lack one.
-func (s *Scheduler) filterAlive(hosts []string, now time.Time) (alive, dead []string, err error) {
+// filterAlive splits hosts into live and dead by a single batched existence
+// check on their lease records: the records are SetEx'd, so the tier hides
+// an expired lease from the MGet and liveness is decided entirely on the
+// tier's clock — no timestamp is parsed and no local clock is consulted
+// anywhere on this path. A missing record counts as dead: every advertiser
+// writes its lease before its first SAdd, so only crashed (or fabricated)
+// hosts lack one.
+func (s *Scheduler) filterAlive(hosts []string) (alive, dead []string, err error) {
 	if len(hosts) == 0 {
 		return nil, nil, nil
 	}
@@ -430,7 +440,7 @@ func (s *Scheduler) filterAlive(hosts []string, now time.Time) (alive, dead []st
 		return nil, nil, err
 	}
 	for i, h := range hosts {
-		if leaseLive(leases[i], now) {
+		if leaseLive(leases[i]) {
 			alive = append(alive, h)
 		} else {
 			dead = append(dead, h)
@@ -439,29 +449,36 @@ func (s *Scheduler) filterAlive(hosts []string, now time.Time) (alive, dead []st
 	return alive, dead, nil
 }
 
-// leaseLive reports whether a lease record holds an unexpired expiry.
-func leaseLive(rec []byte, now time.Time) bool {
-	if len(rec) == 0 {
-		return false
-	}
-	exp, err := strconv.ParseInt(string(rec), 10, 64)
-	if err != nil {
-		return false
-	}
-	return now.UnixNano() < exp
-}
+// leaseLive reports whether a lease record marks a live host: any record
+// the tier still returns is one whose tier-side TTL has not run out.
+//
+// Mixed-version fallback, to be removed in the next release: hosts from the
+// previous release wrote a writer-clock expiry stamp (decimal unix nanos)
+// with a plain Set. Those records are non-empty and therefore count as live
+// here — presence only, never judged against a clock. They also never
+// expire tier-side, so a crashed old-version host lingers until an operator
+// deletes its sched/alive/<host> record or its warm entries are evicted;
+// acceptable for the one transitional release this tolerance exists for.
+// The tolerance is deliberately read-side only (the stamp format is gone
+// from the write path), so it is one-directional: not-yet-upgraded
+// observers cannot parse the new marker and judge upgraded hosts dead
+// until they themselves upgrade. That degrades old→new forwarding during
+// the rolling upgrade — never correctness: forwards fall back locally, and
+// the upgraded hosts' heartbeats re-assert any warm entries an old host
+// evicts. Upgrade observers before (or with) writers to avoid the window.
+func leaseLive(rec []byte) bool { return len(rec) > 0 }
 
-// Heartbeat writes this host's liveness lease: alive until now+LeaseTTL.
-// It also re-asserts the host's warm-set entries for every advertised
-// function (idempotent SAdds), so an entry wrongly evicted while the host
-// was unresponsive reappears within one beat.
+// Heartbeat re-arms this host's liveness lease for another LeaseTTL on the
+// tier's clock (SetEx — the tier expires the record itself; nothing here
+// writes or compares a timestamp). It also re-asserts the host's warm-set
+// entries for every advertised function (idempotent SAdds), so an entry
+// wrongly evicted while the host was unresponsive reappears within one
+// beat.
 func (s *Scheduler) Heartbeat() error {
-	now := s.clock.Now()
-	exp := now.Add(s.leaseTTL())
-	if err := s.store.Set(aliveKey(s.host), []byte(strconv.FormatInt(exp.UnixNano(), 10))); err != nil {
+	if err := s.store.SetEx(aliveKey(s.host), leaseMark, s.leaseTTL()); err != nil {
 		return err
 	}
-	s.lastBeat.Store(now.UnixNano())
+	s.lastBeat.Store(s.clock.Now().UnixNano())
 	var firstErr error
 	s.fns.Range(func(k, v any) bool {
 		if v.(*fnState).advertised.Load() {
@@ -478,14 +495,15 @@ func (s *Scheduler) Heartbeat() error {
 // refresh — called on the advertise transition so the warm set never names
 // a host without a live lease, whether or not the heartbeat loop runs.
 func (s *Scheduler) ensureLease() error {
+	// The local clock here only rate-limits redundant writes (beat cadence);
+	// it never judges the lease itself — that is the tier's job.
 	now := s.clock.Now().UnixNano()
 	if last := s.lastBeat.Load(); last != 0 && now-last < int64(s.leaseTTL()/3) {
 		return nil
 	}
 	// Write only the lease record here: advertise is on a caller's critical
 	// path and the fns walk belongs to the background beat.
-	exp := s.clock.Now().Add(s.leaseTTL())
-	if err := s.store.Set(aliveKey(s.host), []byte(strconv.FormatInt(exp.UnixNano(), 10))); err != nil {
+	if err := s.store.SetEx(aliveKey(s.host), leaseMark, s.leaseTTL()); err != nil {
 		return err
 	}
 	s.lastBeat.Store(s.clock.Now().UnixNano())
@@ -619,7 +637,7 @@ func (s *Scheduler) WarmHosts(fn string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	alive, _, err := s.filterAlive(hosts, s.clock.Now())
+	alive, _, err := s.filterAlive(hosts)
 	return alive, err
 }
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strconv"
 	"testing"
 	"time"
 
@@ -365,7 +366,104 @@ func TestStopHeartbeatLetsLeaseExpire(t *testing.T) {
 	}
 }
 
-// --- Weighted forwarding ---
+// offsetClock skews a host's view of wall time by a fixed delta; Sleep is
+// real. It models a cluster machine whose clock drifted.
+type offsetClock struct{ d time.Duration }
+
+func (c offsetClock) Now() time.Time        { return time.Now().Add(c.d) }
+func (c offsetClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// TestClockSkewDoesNotAffectLiveness is the tier-clock regression test:
+// hosts whose clocks disagree by 10× the lease TTL must neither falsely
+// evict a live peer nor retain a killed one past ~1 TTL. The lease is a
+// SetEx'd presence key judged only on the tier's clock, so host clocks
+// cannot enter the decision. Against the previous writer-clock design —
+// the writer stamped its own expiry instant and observers compared it to
+// their clock — this test fails on both counts: the fast observer below
+// would judge every stamp long expired (false eviction), and a slow
+// observer would keep a dead host's stamp "live" for ~11 TTLs.
+func TestClockSkewDoesNotAffectLiveness(t *testing.T) {
+	store := kvs.NewEngine()
+	const ttl = 50 * time.Millisecond
+	const skew = 10 * ttl
+
+	b := New("host-b", store, 10)
+	b.LeaseTTL = ttl
+	b.SetClock(offsetClock{-skew}) // writer runs 10 TTLs behind
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	b.StartHeartbeat()
+	defer b.StopHeartbeat()
+
+	a := New("host-a", store, 10)
+	a.LeaseTTL = ttl
+	a.PeerCacheTTL = 5 * time.Millisecond
+	a.SetClock(offsetClock{+skew}) // observer runs 10 TTLs ahead
+
+	// No false eviction: across several lease TTLs the far-ahead observer
+	// keeps forwarding to the far-behind (but beating) writer.
+	deadline := time.Now().Add(4 * ttl)
+	for time.Now().Before(deadline) {
+		d, err := a.Schedule("fn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Placement != PlaceForward || d.TargetHost != "host-b" {
+			t.Fatalf("clock skew evicted a live peer: %+v", d)
+		}
+		time.Sleep(ttl / 10)
+	}
+
+	// No retention: the killed host's lease expires on the tier's clock,
+	// so it drains in ~1 TTL regardless of anyone's skew.
+	b.StopHeartbeat()
+	time.Sleep(2 * ttl)
+	d, err := a.Schedule("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Placement != PlaceLocalCold {
+		t.Fatalf("killed host retained past its lease under clock skew: %+v", d)
+	}
+}
+
+// TestLeaseRecordIsTierJudged pins the lease format: a SetEx'd presence
+// marker with a tier-side TTL and nothing a clock comparison could latch
+// onto.
+func TestLeaseRecordIsTierJudged(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.LeaseTTL = time.Second
+	b.Schedule("fn")
+	rec, err := store.Get("sched/alive/host-b")
+	if err != nil || len(rec) == 0 {
+		t.Fatalf("no lease written: %q %v", rec, err)
+	}
+	if _, err := strconv.ParseInt(string(rec), 10, 64); err == nil {
+		t.Fatalf("lease record %q parses as a clock stamp; liveness must be tier-judged", rec)
+	}
+	ttl, err := store.TTL("sched/alive/host-b")
+	if err != nil || ttl <= 0 || ttl > time.Second {
+		t.Fatalf("lease ttl = %v %v, want a tier-side expiry in (0, 1s]", ttl, err)
+	}
+}
+
+// TestLegacyStampRecordCountsAsPresent pins the one-release mixed-version
+// fallback: an old-format writer-clock stamp (written by the previous
+// release with a plain Set) is honoured as presence — never judged against
+// a clock. Delete this test together with the tolerance in leaseLive.
+func TestLegacyStampRecordCountsAsPresent(t *testing.T) {
+	store := kvs.NewEngine()
+	// A legacy host advertised and stamped its lease the old way.
+	store.SAdd("sched/warm/fn", "host-legacy")
+	store.Set("sched/alive/host-legacy", []byte("1700000000000000000"))
+
+	a := New("host-a", store, 10)
+	hosts, err := a.WarmHosts("fn")
+	if err != nil || len(hosts) != 1 || hosts[0] != "host-legacy" {
+		t.Fatalf("legacy-stamped host not honoured as present: %v %v", hosts, err)
+	}
+}
 
 func TestWeightedForwardPrefersFastPeer(t *testing.T) {
 	store := kvs.NewEngine()

@@ -7,10 +7,15 @@
 //
 // Ring implements the full kvs.Store interface: every operation routes to
 // the owning shard, lease locks included (a key's lock lives on its primary,
-// so lock semantics are exactly one engine's semantics). Replication factor
-// R places each key on the R distinct nodes clockwise from its hash. Nodes
-// join and leave at runtime: the rebalancer streams only the hash ranges
-// whose ownership changed, never the whole keyspace.
+// so lock semantics are exactly one engine's semantics). Tier-side expiry
+// routes the same way: SetEx/MSetEx fan out to primary and replicas like any
+// write, TTL reads the primary (the authority for a key's lifetime), and the
+// rebalancer carries each key's remaining TTL with its bytes — enumeration
+// skips expired keys and the copy re-checks the TTL, so a resize can never
+// resurrect a key the tier already expired. Replication factor R places each
+// key on the R distinct nodes clockwise from its hash. Nodes join and leave
+// at runtime: the rebalancer streams only the hash ranges whose ownership
+// changed, never the whole keyspace.
 //
 // # Concurrency model
 //

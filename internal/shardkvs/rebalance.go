@@ -224,11 +224,45 @@ func dropPhase(drops []pendingDrop, stats *MigrationStats) error {
 func copyKind(src, dst kvs.Store, key string, kind kvs.Kind) (int64, error) {
 	switch kind {
 	case kvs.KindValue:
+		// Read the value first and its TTL second, so the expiry class
+		// written to the new owner reflects the *latest* of the two reads:
+		// if the key expires in between, the TTL read returns TTLMissing
+		// and the copy is skipped (a rebalance must never resurrect an
+		// expired key); if a racing writer re-classifies the key (Set
+		// clearing a lease, SetEx arming one), the copy lands with the
+		// new class rather than a stale one — the reverse order could
+		// stamp a just-persisted value with a long-dead lease and silently
+		// delete it, or make a leased value immortal. The value itself may
+		// still be one write stale under racing traffic, which is the
+		// rebalancer's documented (and pre-existing) write-race semantics;
+		// only the expiry class decides life and death, so it follows the
+		// later read.
 		v, err := src.Get(key)
 		if err != nil {
 			return 0, err
 		}
-		if err := dst.Set(key, v); err != nil {
+		if v == nil {
+			// Expired (or deleted) since enumeration named it.
+			return 0, nil
+		}
+		ttl, err := src.TTL(key)
+		if err != nil {
+			return 0, err
+		}
+		if ttl == kvs.TTLMissing {
+			// Expired between the value read and the TTL read.
+			return 0, nil
+		}
+		if ttl == kvs.TTLPersistent {
+			err = dst.Set(key, v)
+		} else {
+			// The remaining lifetime travels with the copy, so the new
+			// owner's clock expires it at (its now + remaining) — clock
+			// skew between shards shifts the deadline by at most the skew,
+			// never into immortality.
+			err = dst.SetEx(key, v, ttl)
+		}
+		if err != nil {
 			return 0, err
 		}
 		return int64(len(v)), nil

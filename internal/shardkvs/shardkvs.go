@@ -385,6 +385,32 @@ func (r *Ring) Set(key string, val []byte) error {
 	return r.write(key, func(s kvs.Store) error { return s.Set(key, val) })
 }
 
+// SetEx implements kvs.Store: the expiring write lands on the key's primary
+// and fans out to its replicas in parallel like any other write. Each copy
+// arms its own deadline on its own clock at fan-out time, so replica
+// deadlines can skew by the fan-out latency — which is why TTL reads route
+// to the primary.
+func (r *Ring) SetEx(key string, val []byte, ttl time.Duration) error {
+	return r.write(key, func(s kvs.Store) error { return s.SetEx(key, val, ttl) })
+}
+
+// TTL implements kvs.Store, always reading the primary: the primary's clock
+// is the authority for a key's lifetime, and ReadAny replicas may hold
+// deadlines skewed by replication latency.
+func (r *Ring) TTL(key string) (time.Duration, error) {
+	primary, _, err := r.route(key)
+	if err != nil {
+		return 0, err
+	}
+	return primary.store.TTL(key)
+}
+
+// Persist implements kvs.Store. The primary's removed result is
+// authoritative.
+func (r *Ring) Persist(key string) (bool, error) {
+	return writeVal(r, key, func(s kvs.Store) (bool, error) { return s.Persist(key) })
+}
+
 // GetRange implements kvs.Store.
 func (r *Ring) GetRange(key string, off, n int) ([]byte, error) {
 	nd, err := r.readNode(key)
@@ -575,6 +601,28 @@ func (r *Ring) MGet(keys []string) ([][]byte, error) {
 // batch landed, so a primary error cannot leave replicas ahead of their
 // primary. The multi-key write fence holds for the whole batch.
 func (r *Ring) MSet(pairs []kvs.Pair) error {
+	return r.msetBatched(pairs, func(s kvs.Store, sub []kvs.Pair) error {
+		return kvs.MSet(s, sub)
+	})
+}
+
+// MSetEx implements kvs.Batcher: MSet's per-shard batching and
+// primaries-first ordering, with every sub-batch armed with the shared ttl.
+func (r *Ring) MSetEx(pairs []kvs.Pair, ttl time.Duration) error {
+	if ttl <= 0 {
+		// Fail before any shard is touched: a partial batch where some
+		// shards rejected the ttl and others never saw it is avoidable here.
+		return fmt.Errorf("shardkvs: msetex ttl must be positive, got %v", ttl)
+	}
+	return r.msetBatched(pairs, func(s kvs.Store, sub []kvs.Pair) error {
+		return kvs.MSetEx(s, sub, ttl)
+	})
+}
+
+// msetBatched is the shared MSet/MSetEx fan-out: pairs grouped by owner,
+// one batch per shard, primaries committed (concurrently) before any
+// replica batch starts.
+func (r *Ring) msetBatched(pairs []kvs.Pair, apply func(s kvs.Store, sub []kvs.Pair) error) error {
 	if len(pairs) == 0 {
 		return nil
 	}
@@ -597,7 +645,7 @@ func (r *Ring) MSet(pairs []kvs.Pair) error {
 			for j, i := range g.idx {
 				sub[j] = pairs[i]
 			}
-			if err := kvs.MSet(g.n.store, sub); err != nil {
+			if err := apply(g.n.store, sub); err != nil {
 				return fmt.Errorf("shardkvs: node %s: %w", g.n.id, err)
 			}
 			return nil
@@ -632,7 +680,7 @@ func (r *Ring) MSet(pairs []kvs.Pair) error {
 		for j, i := range g.idx {
 			sub[j] = pairs[places[i].pair]
 		}
-		if err := kvs.MSet(g.n.store, sub); err != nil {
+		if err := apply(g.n.store, sub); err != nil {
 			return fmt.Errorf("shardkvs: replica %s: %w", g.n.id, err)
 		}
 		return nil

@@ -528,3 +528,144 @@ func TestConcurrentBatchedAndSingleWritesDoNotDiverge(t *testing.T) {
 		}
 	}
 }
+
+// --- Tier-side expiry across the ring ---
+
+func TestMigrationCarriesTTLs(t *testing.T) {
+	r := shardkvs.NewLocal(2, shardkvs.Options{})
+	if err := r.SetEx("expired", []byte("stale"), 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetEx("leased", []byte("live"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("forever", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // "expired" is now past its deadline, possibly unswept
+
+	if _, err := r.Join("shard-new", kvs.NewEngine()); err != nil {
+		t.Fatal(err)
+	}
+	// A rebalance must not resurrect the expired key anywhere.
+	if v, _ := r.Get("expired"); v != nil {
+		t.Fatalf("rebalance resurrected an expired key: %q", v)
+	}
+	infos, err := r.AllKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ki := range infos {
+		if ki.Kind == kvs.KindValue && ki.Key == "expired" {
+			t.Fatal("expired key enumerated after rebalance")
+		}
+	}
+	// The live lease travelled with its remaining TTL, wherever it landed.
+	if v, _ := r.Get("leased"); string(v) != "live" {
+		t.Fatalf("leased key lost in migration: %q", v)
+	}
+	if d, _ := r.TTL("leased"); d <= 0 || d > 10*time.Second {
+		t.Fatalf("migrated ttl = %v, want in (0, 10s]", d)
+	}
+	// The persistent key stayed persistent.
+	if d, _ := r.TTL("forever"); d != kvs.TTLPersistent {
+		t.Fatalf("persistent key ttl after migration = %v", d)
+	}
+}
+
+func TestMigrationDoesNotExtendLeases(t *testing.T) {
+	// A key carried through several rebalances must still expire on time —
+	// copying must carry the remaining TTL, not re-arm a fresh one of the
+	// original length.
+	r := shardkvs.NewLocal(2, shardkvs.Options{})
+	if err := r.SetEx("lease", []byte("v"), 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Join(fmt.Sprintf("extra-%d", i), kvs.NewEngine()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := r.Get("lease")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("migrated lease never expired — migration re-armed it")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExpiryRacesMigration runs SetEx/Get/TTL/Persist traffic against
+// concurrent Join/Leave rebalances and explicit sweeps. Run under -race in
+// CI: the sweeper timer, the migration's enumerate-then-copy and the
+// routing snapshots must all stay race-clean.
+func TestExpiryRacesMigration(t *testing.T) {
+	r := shardkvs.NewLocal(2, shardkvs.Options{Replication: 2})
+	extra := kvs.NewEngine()
+	extra.SetSweepInterval(time.Millisecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	key := func(i int) string { return fmt.Sprintf("mig-%d", i%24) }
+
+	wg.Add(1)
+	go func() { // expiring writes, some overwritten persistent
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.SetEx(key(i), []byte("v"), time.Duration(2+i%6)*time.Millisecond)
+			if i%9 == 0 {
+				r.Set(key(i), []byte("p"))
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // readers
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Get(key(i))
+			r.TTL(key(i))
+			if i%5 == 0 {
+				r.Persist(key(i))
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // the tier resizes underneath the traffic
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := r.Join("churn", extra); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := r.Leave("churn"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

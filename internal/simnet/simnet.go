@@ -147,6 +147,28 @@ func (s *Store) Set(key string, val []byte) error {
 	return err
 }
 
+// SetEx implements kvs.Store, charged like Set (the TTL field is part of
+// the fixed per-operation framing overhead).
+func (s *Store) SetEx(key string, val []byte, ttl time.Duration) error {
+	err := s.inner.SetEx(key, val, ttl)
+	s.net.Transfer(s.host, reqOverhead+int64(len(key))+int64(len(val)), reqOverhead)
+	return err
+}
+
+// TTL implements kvs.Store.
+func (s *Store) TTL(key string) (time.Duration, error) {
+	d, err := s.inner.TTL(key)
+	s.net.Transfer(s.host, reqOverhead+int64(len(key)), reqOverhead)
+	return d, err
+}
+
+// Persist implements kvs.Store.
+func (s *Store) Persist(key string) (bool, error) {
+	ok, err := s.inner.Persist(key)
+	s.net.Transfer(s.host, reqOverhead+int64(len(key)), reqOverhead)
+	return ok, err
+}
+
 // GetRange implements kvs.Store.
 func (s *Store) GetRange(key string, off, n int) ([]byte, error) {
 	v, err := s.inner.GetRange(key, off, n)
@@ -234,6 +256,18 @@ func (s *Store) MGet(keys []string) ([][]byte, error) {
 // MSet implements kvs.Batcher, charged as one exchange.
 func (s *Store) MSet(pairs []kvs.Pair) error {
 	err := kvs.MSet(s.inner, pairs)
+	sent := int64(reqOverhead)
+	for _, p := range pairs {
+		sent += int64(len(p.Key) + len(p.Val))
+	}
+	s.net.Transfer(s.host, sent, reqOverhead)
+	return err
+}
+
+// MSetEx implements kvs.Batcher, charged as one exchange exactly like MSet —
+// the pipelined MSETEX wire command realises the same single round trip.
+func (s *Store) MSetEx(pairs []kvs.Pair, ttl time.Duration) error {
+	err := kvs.MSetEx(s.inner, pairs, ttl)
 	sent := int64(reqOverhead)
 	for _, p := range pairs {
 		sent += int64(len(p.Key) + len(p.Val))

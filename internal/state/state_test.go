@@ -6,6 +6,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/wamem"
@@ -384,9 +385,12 @@ func (ts *trackingStore) GetRanges(key string, ranges []kvs.Range) ([][]byte, er
 	return kvs.GetRanges(ts.Store, key, ranges)
 }
 
-// MGet/MSet forward so *trackingStore satisfies the full kvs.Batcher.
+// MGet/MSet/MSetEx forward so *trackingStore satisfies the full kvs.Batcher.
 func (ts *trackingStore) MGet(keys []string) ([][]byte, error) { return kvs.MGet(ts.Store, keys) }
 func (ts *trackingStore) MSet(pairs []kvs.Pair) error          { return kvs.MSet(ts.Store, pairs) }
+func (ts *trackingStore) MSetEx(pairs []kvs.Pair, ttl time.Duration) error {
+	return kvs.MSetEx(ts.Store, pairs, ttl)
+}
 
 func TestPullChunksCoalescesMissingSpans(t *testing.T) {
 	e := kvs.NewEngine()
