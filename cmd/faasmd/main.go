@@ -9,29 +9,37 @@
 //	faasmd -listen :8090 -state a:6500,b:6500      # sharded global tier (ring)
 //	faasmd -kvs :6500                              # also serve one tier shard
 //	faasmd -elastic-pool -pool-idle-timeout 30s    # autoscale warm pools
+//	faasmd -trace-sample 1                         # trace every invocation
 //
 // The scheduling and state knobs (-pool-cap, -lease-ttl, -peer-cache-ttl,
 // -expiry-sweep and the elastic-pool flags) are documented in the README's
-// "Operating faasmd" section.
+// "Operating faasmd" section, as are the observability knobs
+// (-trace-sample, -trace-buffer).
 //
 // Endpoints:
 //
 //	PUT  /f/<name>?lang=fc|wat   upload source; codegen; deploy
 //	POST /invoke/<name>          body = input, response = output
 //	GET  /status                 runtime counters
+//	GET  /metrics                Prometheus text exposition
+//	GET  /trace/<id>             one invocation trace as JSON
+//	GET  /traces?slowest=N       the N slowest retained traces
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/objstore"
+	"faasm.dev/faasm/internal/obsv"
 	"faasm.dev/faasm/internal/shardkvs"
 	"faasm.dev/faasm/internal/upload"
 )
@@ -49,6 +57,8 @@ func main() {
 	elasticPool := flag.Bool("elastic-pool", false, "autoscale warm pools: grow ahead of misses, shrink on idle")
 	poolIdleTimeout := flag.Duration("pool-idle-timeout", 0, "idle time before an elastic pool starts shrinking (0 = 30s)")
 	expirySweep := flag.Duration("expiry-sweep", 0, "background sweep cadence for tier-side key expiry on engines this process hosts (0 = 1s)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N invocations (0 = default 64, 1 = all, <0 = off)")
+	traceBuffer := flag.Int("trace-buffer", 0, "finished traces retained for /trace and /traces (0 = default 1024)")
 	flag.Parse()
 
 	endpoints := *stateAddrs
@@ -58,6 +68,7 @@ func main() {
 
 	var store kvs.Store
 	var served *kvs.Engine
+	var localEngine *kvs.Engine // in-process tier engine, if this process owns one
 	newEngine := func() *kvs.Engine {
 		eng := kvs.NewEngine()
 		eng.SetSweepInterval(*expirySweep)
@@ -65,6 +76,7 @@ func main() {
 	}
 	if *kvsListen != "" {
 		served = newEngine()
+		localEngine = served
 		srv, err := kvs.NewServer(served, *kvsListen)
 		if err != nil {
 			log.Fatalf("kvs listen: %v", err)
@@ -88,7 +100,8 @@ func main() {
 	case served != nil:
 		store = served
 	default:
-		store = newEngine()
+		localEngine = newEngine()
+		store = localEngine
 	}
 
 	objects := objstore.NewMemory()
@@ -101,8 +114,21 @@ func main() {
 		PeerCacheTTL:    *peerCacheTTL,
 		ElasticPool:     *elasticPool,
 		PoolIdleTimeout: *poolIdleTimeout,
+		TraceSample:     *traceSample,
+		TraceBuffer:     *traceBuffer,
 	})
+	if localEngine != nil {
+		localEngine.Instrument(inst.Registry(), "global")
+	}
 
+	mux := newMux(inst, up, objects)
+	log.Printf("faasmd %s listening on %s", *host, *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// newMux wires the daemon's HTTP surface over a runtime instance. Factored
+// from main so tests drive the real handlers through httptest.
+func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/f/", deployingUploader{up: up, inst: inst, objects: objects})
 	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
@@ -112,7 +138,10 @@ func main() {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		out, ret, err := inst.Call(name, input)
+		out, ret, trace, err := inst.CallTraced(name, input)
+		if trace != 0 {
+			w.Header().Set("X-Faasm-Trace", strconv.FormatUint(uint64(trace), 10))
+		}
 		if err != nil {
 			http.Error(w, fmt.Sprintf("call failed (ret=%d): %v", ret, err), http.StatusInternalServerError)
 			return
@@ -128,9 +157,48 @@ func main() {
 		fmt.Fprintf(w, "pool misses: %d prewarmed: %d idle reclaims: %d\n",
 			inst.PoolMisses.Value(), inst.Prewarmed.Value(), inst.IdleReclaims.Value())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := inst.Registry().WritePrometheus(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/trace/")
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad trace id %q", idStr), http.StatusBadRequest)
+			return
+		}
+		snap, ok := inst.Tracer().Get(obsv.TraceID(id))
+		if !ok {
+			http.Error(w, fmt.Sprintf("trace %d not retained", id), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if s := r.URL.Query().Get("slowest"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("bad slowest %q", s), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		writeJSON(w, inst.Tracer().Slowest(n))
+	})
+	return mux
+}
 
-	log.Printf("faasmd %s listening on %s", *host, *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("json: %v", err)
+	}
 }
 
 // deployingUploader wraps the upload service so a successful upload also

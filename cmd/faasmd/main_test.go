@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"faasm.dev/faasm/internal/frt"
+	"faasm.dev/faasm/internal/hostapi"
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/objstore"
+	"faasm.dev/faasm/internal/obsv"
+	"faasm.dev/faasm/internal/upload"
+)
+
+// newTestServer builds the real daemon mux over an in-process instance with
+// an echo function deployed, tracing 1-in-sample invocations.
+func newTestServer(t *testing.T, sample int) (*httptest.Server, *frt.Instance) {
+	t.Helper()
+	eng := kvs.NewEngine()
+	inst := frt.New(frt.Config{
+		Host:        "test-0",
+		Store:       eng,
+		TraceSample: sample,
+	})
+	eng.Instrument(inst.Registry(), "global")
+	inst.RegisterNative("echo", hostapi.WrapGuest(func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}))
+	objects := objstore.NewMemory()
+	srv := httptest.NewServer(newMux(inst, upload.New(objects), objects))
+	t.Cleanup(srv.Close)
+	t.Cleanup(inst.Shutdown)
+	return srv, inst
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := copyAll(&sb, resp); err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, sb.String(), resp.Header
+}
+
+func copyAll(sb *strings.Builder, resp *http.Response) (int64, error) {
+	buf := make([]byte, 32*1024)
+	var n int64
+	for {
+		m, err := resp.Body.Read(buf)
+		sb.Write(buf[:m])
+		n += int64(m)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+func invoke(t *testing.T, srv *httptest.Server, fn, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/invoke/"+fn, "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("invoke %s: %v", fn, err)
+	}
+	return resp
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	code, body, _ := get(t, srv.URL+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"host: test-0", "functions:", "cold:", "pool misses:"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("status missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	for i := 0; i < 3; i++ {
+		resp := invoke(t, srv, "echo", "hi")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("invoke = %d", resp.StatusCode)
+		}
+	}
+	code, body, hdr := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE faasm_frt_exec_seconds histogram",
+		"faasm_frt_exec_seconds_count",
+		`faasm_frt_warm_starts_total{host="test-0"}`,
+		`faasm_sched_decisions_total{host="test-0",placement="local_cold"} 1`,
+		"faasm_mbus_calls_created_total",
+		`faasm_kvs_keys{tier="global"}`,
+		"faasm_state_replica_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	resp := invoke(t, srv, "echo", "traced")
+	resp.Body.Close()
+	id := resp.Header.Get("X-Faasm-Trace")
+	if id == "" {
+		t.Fatal("no X-Faasm-Trace header with -trace-sample 1")
+	}
+
+	code, body, hdr := get(t, srv.URL+"/trace/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("trace = %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var snap obsv.TraceSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("trace json: %v\n%s", err, body)
+	}
+	if snap.Fn != "echo" || snap.Host != "test-0" {
+		t.Fatalf("trace fn=%q host=%q", snap.Fn, snap.Host)
+	}
+	names := map[string]bool{}
+	for _, sp := range snap.Spans {
+		names[sp.Name] = true
+	}
+	if !names["exec"] {
+		t.Fatalf("trace has no exec span: %+v", snap.Spans)
+	}
+
+	if code, _, _ := get(t, srv.URL+"/trace/bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad id = %d, want 400", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/trace/18446744073709551615"); code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", code)
+	}
+
+	code, body, _ = get(t, srv.URL+"/traces?slowest=5")
+	if code != http.StatusOK {
+		t.Fatalf("traces = %d", code)
+	}
+	var snaps []obsv.TraceSnapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("traces json: %v\n%s", err, body)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no retained traces listed")
+	}
+	if code, _, _ := get(t, srv.URL+"/traces?slowest=-1"); code != http.StatusBadRequest {
+		t.Fatalf("bad slowest = %d, want 400", code)
+	}
+}
+
+// TestConcurrentScrapeUnderTraffic hammers /invoke while scraping /metrics
+// and /traces — the data race check for the whole exposition path (run
+// under -race in CI).
+func TestConcurrentScrapeUnderTraffic(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+	const (
+		writers = 4
+		calls   = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				resp := invoke(t, srv, "echo", "x")
+				resp.Body.Close()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			code, body, _ := get(t, srv.URL+"/metrics")
+			if code != http.StatusOK || !strings.Contains(body, "faasm_frt_exec_seconds_count") {
+				t.Fatalf("final scrape: %d", code)
+			}
+			return
+		default:
+			if code, _, _ := get(t, srv.URL+"/metrics"); code != http.StatusOK {
+				t.Fatalf("scrape = %d", code)
+			}
+			if code, _, _ := get(t, srv.URL+"/traces?slowest=3"); code != http.StatusOK {
+				t.Fatalf("traces scrape = %d", code)
+			}
+		}
+	}
+}

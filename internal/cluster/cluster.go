@@ -22,6 +22,7 @@ import (
 	"faasm.dev/faasm/internal/hostapi"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/metrics"
+	"faasm.dev/faasm/internal/obsv"
 	"faasm.dev/faasm/internal/shardkvs"
 	"faasm.dev/faasm/internal/simnet"
 	"faasm.dev/faasm/internal/vtime"
@@ -88,6 +89,10 @@ type Config struct {
 	ElasticPool     bool
 	PoolIdleTimeout time.Duration
 	ElasticInterval time.Duration
+	// TraceSample traces 1-in-N invocations across the cluster (FAASM mode;
+	// 0 = obsv.DefaultSampleRate, 1 = all, < 0 off). All hosts share one
+	// tracer, so a forwarded call's spans — both hosts' — land in one record.
+	TraceSample int
 }
 
 // Cluster is a live experiment cluster.
@@ -98,6 +103,12 @@ type Cluster struct {
 	// State is the global tier: one kvs.Engine, or a shardkvs.Ring when
 	// cfg.StateShards > 1.
 	State kvs.Store
+
+	// Tracer and Registry are shared by every FAASM host: one trace store
+	// (cross-host spans join by id) and one metric namespace (host labels
+	// keep series apart).
+	Tracer   *obsv.Tracer
+	Registry *obsv.Registry
 
 	faasm []*frt.Instance
 	base  []*baseline.Platform
@@ -127,6 +138,12 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{cfg: cfg}
 	c.Clock = vtime.NewScaled(cfg.TimeScale)
 	c.Net = simnet.New(cfg.BandwidthBps, cfg.Latency, c.Clock)
+	rate := cfg.TraceSample
+	if rate == 0 {
+		rate = obsv.DefaultSampleRate
+	}
+	c.Tracer = obsv.NewTracer(c.Clock.Now, rate, 0)
+	c.Registry = obsv.NewRegistry()
 	// Tier engines judge key expiry (liveness leases, SETEX'd state) on
 	// their own clock; hand them the experiment clock so tier-side TTLs
 	// run in experiment time like every other duration in the harness.
@@ -143,9 +160,12 @@ func New(cfg Config) *Cluster {
 		for i := 0; i < cfg.StateShards; i++ {
 			ring.Attach(fmt.Sprintf("shard-%d", i), newEngine())
 		}
+		ring.Instrument(c.Registry)
 		c.State = ring
 	} else {
-		c.State = newEngine()
+		eng := newEngine()
+		eng.Instrument(c.Registry, "global")
+		c.State = eng
 	}
 
 	for h := 0; h < cfg.Hosts; h++ {
@@ -170,6 +190,8 @@ func New(cfg Config) *Cluster {
 				ElasticPool:     cfg.ElasticPool,
 				PoolIdleTimeout: cfg.PoolIdleTimeout,
 				ElasticInterval: cfg.ElasticInterval,
+				Tracer:          c.Tracer,
+				Registry:        c.Registry,
 			})
 			c.faasm = append(c.faasm, inst)
 		case ModeBaseline:
@@ -210,13 +232,14 @@ func (c *Cluster) KillHost(h int) { c.faasm[h].Kill() }
 // for the call payloads.
 type faasmTransport Cluster
 
-// ExecuteOn implements frt.Transport.
-func (t *faasmTransport) ExecuteOn(host, fn string, input []byte) ([]byte, int32, error) {
+// ExecuteOn implements frt.Transport. The forwarding host's trace id rides
+// along, so the remote half of the invocation joins the same trace.
+func (t *faasmTransport) ExecuteOn(host, fn string, input []byte, trace obsv.TraceID) ([]byte, int32, error) {
 	c := (*Cluster)(t)
 	for _, inst := range c.faasm {
 		if inst.Host() == host {
 			c.Net.Transfer(host, int64(len(input))+64, 64)
-			out, ret, err := inst.ExecuteLocal(fn, input)
+			out, ret, err := inst.ExecuteForwarded(fn, input, trace)
 			if err == nil {
 				c.Net.Transfer(host, 64, int64(len(out))+64)
 			}

@@ -396,3 +396,77 @@ func TestElasticClusterPoolsShrinkAndRetreat(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+func TestForwardedTraceSpansBothHosts(t *testing.T) {
+	// A forwarded invocation must yield ONE trace whose spans name both
+	// hosts: the decision and forward hop on the entry host, the execution
+	// and its state pull on the remote one — with the pull's byte count
+	// attributed to the remote host.
+	const valSize = 4096
+	c := New(Config{
+		Mode: ModeFaasm, Hosts: 2, TimeScale: 1,
+		LeaseTTL:     60 * time.Millisecond,
+		PeerCacheTTL: 5 * time.Millisecond,
+		TraceSample:  1, // trace every call
+	})
+	defer c.Shutdown()
+	// The guest pulls the state key named by its input. Keys are per-call so
+	// the executing host's local tier has never replicated them — the pull
+	// really moves valSize bytes.
+	if err := c.Register("pull", func(api hostapi.API) (int32, error) {
+		buf, err := api.StateView(string(api.Input()), -1)
+		if err != nil {
+			return 1, err
+		}
+		api.WriteOutput(buf[:1])
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetState("k-warm", make([]byte, valSize))
+	c.SetState("k-fwd", make([]byte, valSize))
+	// Warm host-1 only, making it the sole forwarding target.
+	if _, ret, err := c.CallOn(1, "pull", []byte("k-warm")); err != nil || ret != 0 {
+		t.Fatalf("warming call: %d %v", ret, err)
+	}
+	out, ret, id, err := c.Instance(0).CallTraced("pull", []byte("k-fwd"))
+	if err != nil || ret != 0 || len(out) != 1 {
+		t.Fatalf("traced call: %q %d %v", out, ret, err)
+	}
+	if fwd := c.Instance(0).Scheduler().Stats.Forwarded.Load(); fwd != 1 {
+		t.Fatalf("host-0 forwards = %d, want 1 (call did not take the forward path)", fwd)
+	}
+	snap, ok := c.Tracer.Get(id)
+	if !ok {
+		t.Fatalf("trace %d not retained", id)
+	}
+	byName := map[string][]int{}
+	for i, sp := range snap.Spans {
+		byName[sp.Name] = append(byName[sp.Name], i)
+	}
+	for _, want := range []struct{ name, host string }{
+		{"sched.decide", "host-0"},
+		{"forward", "host-0"},
+		{"exec", "host-1"},
+		{"state.pull", "host-1"},
+	} {
+		idxs := byName[want.name]
+		if len(idxs) == 0 {
+			t.Fatalf("trace has no %q span: %+v", want.name, snap.Spans)
+		}
+		if got := snap.Spans[idxs[0]].Host; got != want.host {
+			t.Fatalf("%q span on %q, want %q", want.name, got, want.host)
+		}
+	}
+	pull := snap.Spans[byName["state.pull"][0]]
+	if pull.Key != "k-fwd" {
+		t.Fatalf("state.pull key = %q, want k-fwd", pull.Key)
+	}
+	if pull.Bytes != valSize {
+		t.Fatalf("state.pull bytes = %d, want %d", pull.Bytes, valSize)
+	}
+	fwdSpan := snap.Spans[byName["forward"][0]]
+	if fwdSpan.Key != "host-1" {
+		t.Fatalf("forward span targets %q, want host-1", fwdSpan.Key)
+	}
+}

@@ -38,6 +38,14 @@ type Chainer interface {
 	Output(id uint64) ([]byte, error)
 }
 
+// TraceSink receives timing spans recorded inside a Faaslet's host interface
+// (state pulls/pushes with byte counts, global-tier reads). The runtime
+// attaches one per sampled call via SetTraceSink; obsv.Trace implements it.
+// core deliberately depends only on this interface, not on the obsv package.
+type TraceSink interface {
+	RecordSpan(host, name, key string, start time.Time, dur time.Duration, bytes int64, fail bool)
+}
+
 // NativeGuest is a function "compiled" to run inside a Faaslet without the
 // VM: it may only touch the outside world through the Ctx handle, which is
 // the same host interface the VM thunks expose. The returned int32 is the
@@ -123,6 +131,11 @@ type Faaslet struct {
 	// proto is the snapshot used for per-call resets (may be nil until
 	// Snapshot is taken).
 	proto *Proto
+
+	// trace is the current call's span sink (nil when the call is not
+	// sampled); traceHost labels its spans.
+	trace     TraceSink
+	traceHost string
 
 	// Steps mirrors the VM's executed-instruction counter at last call.
 	Steps uint64
@@ -233,6 +246,14 @@ func (f *Faaslet) Net() *netns.Interface { return f.net }
 
 // Warm reports whether this Faaslet has executed at least once.
 func (f *Faaslet) Warm() bool { return f.executed }
+
+// SetTraceSink attaches (sink non-nil) or detaches (nil) the current call's
+// trace; host labels the spans recorded through it. Only sampled calls attach
+// a sink, so the untraced host-interface path never reads the clock.
+func (f *Faaslet) SetTraceSink(host string, sink TraceSink) {
+	f.trace = sink
+	f.traceHost = host
+}
 
 // Footprint estimates the Faaslet's private memory consumption: materialised
 // private pages, the local file tier, and fixed bookkeeping. Shared state
@@ -458,7 +479,10 @@ func (c *Ctx) MapState(key string, size int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := v.EnsurePulled(0, v.Size()); err != nil {
+	start := c.TraceStart()
+	pulled, err := v.EnsurePulledN(0, v.Size())
+	c.TraceSpan("state.pull", key, start, pulled, err)
+	if err != nil {
 		return nil, err
 	}
 	if _, err := c.f.mapState(v); err != nil {
@@ -472,7 +496,10 @@ func (c *Ctx) AppendState(key string, data []byte) error {
 	if c.f.env.State == nil {
 		return errors.New("core: no state tier configured")
 	}
-	return c.f.env.State.Append(key, data)
+	start := c.TraceStart()
+	err := c.f.env.State.Append(key, data)
+	c.TraceSpan("state.append", key, start, int64(len(data)), err)
+	return err
 }
 
 // ReadAllState fetches the authoritative global value.
@@ -480,7 +507,10 @@ func (c *Ctx) ReadAllState(key string) ([]byte, error) {
 	if c.f.env.State == nil {
 		return nil, errors.New("core: no state tier configured")
 	}
-	return c.f.env.State.ReadAll(key)
+	start := c.TraceStart()
+	b, err := c.f.env.State.ReadAll(key)
+	c.TraceSpan("state.read_all", key, start, int64(len(b)), err)
+	return b, err
 }
 
 // WriteAllState replaces the authoritative global value and evicts any
@@ -489,7 +519,10 @@ func (c *Ctx) WriteAllState(key string, data []byte) error {
 	if c.f.env.State == nil {
 		return errors.New("core: no state tier configured")
 	}
-	if err := c.f.env.State.Global().Set(key, data); err != nil {
+	start := c.TraceStart()
+	err := c.f.env.State.Global().Set(key, data)
+	c.TraceSpan("state.write_all", key, start, int64(len(data)), err)
+	if err != nil {
 		return err
 	}
 	c.f.env.State.Evict(key)
@@ -542,3 +575,23 @@ func (c *Ctx) Random(b []byte) {
 
 // Function returns the executing function's name.
 func (c *Ctx) Function() string { return c.f.def.Name }
+
+// TraceStart returns the clock reading to pass to TraceSpan, or the zero Time
+// when this call carries no trace — untraced calls skip the clock read.
+func (c *Ctx) TraceStart() time.Time {
+	if c.f.trace == nil {
+		return time.Time{}
+	}
+	return c.f.env.clock().Now()
+}
+
+// TraceSpan records one host-interface span on the call's trace sink. A zero
+// start (untraced call) makes it a no-op, so call sites instrument
+// unconditionally.
+func (c *Ctx) TraceSpan(name, key string, start time.Time, bytes int64, err error) {
+	if c.f.trace == nil || start.IsZero() {
+		return
+	}
+	now := c.f.env.clock().Now()
+	c.f.trace.RecordSpan(c.f.traceHost, name, key, start, now.Sub(start), bytes, err != nil)
+}

@@ -11,6 +11,7 @@ import (
 	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/kvs/kvstest"
+	"faasm.dev/faasm/internal/obsv"
 )
 
 // InvokeScale measures the per-host invocation hot path this repo makes
@@ -54,6 +55,18 @@ func InvokeScale(opts Options) *Report {
 			fmt.Sprintf("%.0f", callsPerSec), speedup, fmtDur(p50), fmtDur(p99))
 	}
 
+	// Span breakdown: every call traced (sample rate 1), then the warm
+	// path decomposed by span from the tracer's aggregates — where a warm
+	// invocation's time actually goes.
+	if rep, err := measureSpanBreakdown(callsPerG / 4); err != nil {
+		r.Note("span section: %v", err)
+	} else {
+		for _, st := range rep {
+			r.Add("spans", st.Name, fmt.Sprintf("%d calls", st.Count), "-",
+				fmtDur(st.P50), fmtDur(st.P99))
+		}
+	}
+
 	// Scheduler write-through accounting: after the first call cold-starts
 	// and advertises, steady-state warm invocations must perform zero
 	// global-tier operations.
@@ -77,9 +90,27 @@ func InvokeScale(opts Options) *Report {
 	}
 
 	r.Note("throughput: closed-loop no-op calls per goroutine count, pool prewarmed to 2x goroutines; p50/p99 are per-call response latencies (reset excluded — it runs off the critical path)")
+	r.Note("spans: per-span latency aggregates over fully traced warm calls (trace sample rate 1); throughput rows above run at the default 1-in-%d sampling", obsv.DefaultSampleRate)
 	r.Note("global-ops: KVS operations counted through a store wrapper; steady-state warm calls must show 0 ops — the scheduler runs on local warm counters and a TTL-cached peer set")
 	r.Note("GOMAXPROCS=%d; on one core the gain is the removed per-call work (dispatch goroutine, call-table broadcast, inline reset); with more cores the per-function pools also remove lock contention", runtime.GOMAXPROCS(0))
 	return r
+}
+
+// measureSpanBreakdown runs calls fully traced warm invocations on a fresh
+// instance and returns the tracer's per-span aggregates, sorted by total
+// time descending so the dominant phase leads the table.
+func measureSpanBreakdown(calls int) ([]obsv.SpanStat, error) {
+	inst := frt.New(frt.Config{Host: "span-host", TraceSample: 1})
+	defer inst.Shutdown()
+	inst.RegisterNative("noop", func(ctx *core.Ctx) (int32, error) { return 0, nil })
+	for k := 0; k < calls; k++ {
+		if _, _, err := inst.Call("noop", nil); err != nil {
+			return nil, err
+		}
+	}
+	stats := inst.Tracer().SpanStats()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Total > stats[j].Total })
+	return stats, nil
 }
 
 // measureWarmInvoke drives closed-loop warm calls from g goroutines against

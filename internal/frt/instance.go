@@ -12,6 +12,7 @@ import (
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/mbus"
 	"faasm.dev/faasm/internal/metrics"
+	"faasm.dev/faasm/internal/obsv"
 	"faasm.dev/faasm/internal/sched"
 	"faasm.dev/faasm/internal/state"
 	"faasm.dev/faasm/internal/vfs"
@@ -20,9 +21,12 @@ import (
 )
 
 // Transport executes a call on a peer instance (work sharing). The cluster
-// package provides an in-process transport; cmd/faasmd provides HTTP.
+// package provides an in-process transport; cmd/faasmd provides HTTP. trace
+// is the forwarding call's trace id (0 = untraced); the peer joins it via
+// ExecuteForwarded so a forwarded invocation's spans land under one id on
+// both hosts.
 type Transport interface {
-	ExecuteOn(host, function string, input []byte) ([]byte, int32, error)
+	ExecuteOn(host, function string, input []byte, trace obsv.TraceID) ([]byte, int32, error)
 }
 
 // Config configures one runtime instance.
@@ -66,6 +70,18 @@ type Config struct {
 	PoolIdleTimeout time.Duration
 	// ElasticInterval is the controller's tick (0 = 100ms).
 	ElasticInterval time.Duration
+
+	// Tracer samples and retains invocation traces; nil builds one from
+	// TraceSample/TraceBuffer. The cluster harness shares one tracer across
+	// hosts so a forwarded call's spans land in a single record.
+	Tracer *obsv.Tracer
+	// TraceSample traces 1-in-N invocations (0 = obsv.DefaultSampleRate,
+	// 1 = every call, < 0 disables tracing).
+	TraceSample int
+	// TraceBuffer bounds retained traces (0 = obsv.DefaultTraceBuffer).
+	TraceBuffer int
+	// Registry receives this instance's metrics; nil creates a private one.
+	Registry *obsv.Registry
 }
 
 // Elastic-pool defaults.
@@ -162,6 +178,14 @@ type Instance struct {
 	PoolMisses   metrics.Counter
 	Prewarmed    metrics.Counter
 	IdleReclaims metrics.Counter
+
+	// tracer samples invocation traces; reg is the metrics registry both
+	// feed the /metrics exposition. execHist/initHist are the bounded
+	// histogram counterparts of ExecLatency/InitLatency (nanos).
+	tracer   *obsv.Tracer
+	reg      *obsv.Registry
+	execHist *obsv.Histogram
+	initHist *obsv.Histogram
 }
 
 // New creates a runtime instance.
@@ -189,6 +213,19 @@ func New(cfg Config) *Instance {
 	inst.sched.SetClock(cfg.Clock)
 	inst.sched.LeaseTTL = cfg.LeaseTTL
 	inst.sched.PeerCacheTTL = cfg.PeerCacheTTL
+	inst.tracer = cfg.Tracer
+	if inst.tracer == nil {
+		rate := cfg.TraceSample
+		if rate == 0 {
+			rate = obsv.DefaultSampleRate
+		}
+		inst.tracer = obsv.NewTracer(cfg.Clock.Now, rate, cfg.TraceBuffer)
+	}
+	inst.reg = cfg.Registry
+	if inst.reg == nil {
+		inst.reg = obsv.NewRegistry()
+	}
+	inst.instrument()
 	defs := map[string]core.FuncDef{}
 	protos := map[string]*core.Proto{}
 	inst.defs.Store(&defs)
@@ -216,6 +253,50 @@ func New(cfg Config) *Instance {
 
 // Host returns this instance's name.
 func (i *Instance) Host() string { return i.cfg.Host }
+
+// Tracer exposes the instance's invocation tracer (faasmd endpoints,
+// experiment reports).
+func (i *Instance) Tracer() *obsv.Tracer { return i.tracer }
+
+// Registry exposes the instance's metrics registry (GET /metrics).
+func (i *Instance) Registry() *obsv.Registry { return i.reg }
+
+// instrument registers the runtime's metrics. Pre-existing atomic counters
+// are bridged with CounterFunc — read at scrape time, nothing added to the
+// write path; only the latency histograms are new hot-path work (three
+// atomic adds per call).
+func (i *Instance) instrument() {
+	l := map[string]string{"host": i.cfg.Host}
+	i.reg.CounterFunc("faasm_frt_cold_starts_total", "cold starts", l, i.ColdStarts.Value)
+	i.reg.CounterFunc("faasm_frt_warm_starts_total", "warm-pool acquisitions", l, i.WarmStarts.Value)
+	i.reg.CounterFunc("faasm_frt_proto_starts_total", "Proto-Faaslet restores", l, i.ProtoStarts.Value)
+	i.reg.CounterFunc("faasm_frt_pool_misses_total", "calls that found the warm pool empty", l, i.PoolMisses.Value)
+	i.reg.CounterFunc("faasm_frt_prewarmed_total", "Faaslets pre-provisioned by the elastic controller", l, i.Prewarmed.Value)
+	i.reg.CounterFunc("faasm_frt_idle_reclaims_total", "idle Faaslets reclaimed by the elastic controller", l, i.IdleReclaims.Value)
+	i.reg.GaugeFunc("faasm_frt_faaslets", "live Faaslets on this host", l, i.faasletCount.Load)
+	i.execHist = i.reg.Histogram("faasm_frt_exec_seconds", "guest execution time", l)
+	i.initHist = i.reg.Histogram("faasm_frt_init_seconds", "cold-start initialisation time", l)
+	i.sched.Instrument(i.reg, i.cfg.Host)
+	i.local.Instrument(i.reg, i.cfg.Host)
+	i.calls.Instrument(i.reg, i.cfg.Host)
+}
+
+// traceNow reads the clock only for traced calls: untraced calls (tr == nil,
+// the steady state) pay nothing here.
+func (i *Instance) traceNow(tr *obsv.Trace) time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return i.clock.Now()
+}
+
+// span records one runtime-level span on tr; no-op for untraced calls.
+func (i *Instance) span(tr *obsv.Trace, name, key string, start time.Time, bytes int64, fail bool) {
+	if tr == nil {
+		return
+	}
+	tr.RecordSpan(i.cfg.Host, name, key, start, i.clock.Now().Sub(start), bytes, fail)
+}
 
 // State exposes the instance's local state tier.
 func (i *Instance) State() *state.LocalTier { return i.local }
@@ -379,13 +460,19 @@ func (i *Instance) poolFor(function string) *fnPool {
 
 // Invoke starts an asynchronous call and returns its id; Await/Output
 // retrieve the result. This is the external entry point and the chain_call
-// implementation.
+// implementation. Sampled calls get a trace at creation, so the queue wait
+// between dispatch and execution is attributed.
 func (i *Instance) Invoke(function string, input []byte) (uint64, error) {
 	if _, ok := i.def(function); !ok {
 		return 0, fmt.Errorf("frt: unknown function %q", function)
 	}
 	id := i.calls.Create(function, input)
-	go i.dispatch(id, function, input)
+	tr := i.tracer.Start(i.cfg.Host, function)
+	if tr != nil {
+		i.calls.SetTraceID(id, uint64(tr.ID()))
+	}
+	created := i.traceNow(tr)
+	go i.dispatch(id, function, input, tr, created)
 	return id, nil
 }
 
@@ -403,18 +490,36 @@ func (i *Instance) Output(id uint64) ([]byte, error) { return i.calls.Output(id)
 // Call is the synchronous entry point: schedule and execute inline. When
 // the scheduler picks local execution (the warm steady state) the call
 // bypasses the dispatch goroutine and the call table entirely — no spawn,
-// no record, no wakeup.
+// no record, no wakeup. Unsampled calls (the common case) pay one atomic
+// add for the sampling decision and nothing else.
 func (i *Instance) Call(function string, input []byte) ([]byte, int32, error) {
 	if _, ok := i.def(function); !ok {
 		return nil, -1, fmt.Errorf("frt: unknown function %q", function)
 	}
-	return i.route(function, input)
+	tr := i.tracer.Start(i.cfg.Host, function)
+	out, ret, err := i.route(tr, function, input)
+	i.tracer.Finish(tr)
+	return out, ret, err
+}
+
+// CallTraced is Call also returning the invocation's trace id (0 when the
+// call was sampled out) — the id /invoke hands back in X-Faasm-Trace.
+func (i *Instance) CallTraced(function string, input []byte) ([]byte, int32, obsv.TraceID, error) {
+	if _, ok := i.def(function); !ok {
+		return nil, -1, 0, fmt.Errorf("frt: unknown function %q", function)
+	}
+	tr := i.tracer.Start(i.cfg.Host, function)
+	out, ret, err := i.route(tr, function, input)
+	i.tracer.Finish(tr)
+	return out, ret, tr.ID(), err
 }
 
 // dispatch runs one asynchronous call, parking its result in the table.
-func (i *Instance) dispatch(id uint64, function string, input []byte) {
+func (i *Instance) dispatch(id uint64, function string, input []byte, tr *obsv.Trace, created time.Time) {
 	i.calls.Start(id)
-	out, ret, err := i.route(function, input)
+	i.span(tr, "queue.wait", "", created, 0, false)
+	out, ret, err := i.route(tr, function, input)
+	i.tracer.Finish(tr)
 	i.calls.Complete(id, out, ret, err)
 }
 
@@ -423,35 +528,57 @@ func (i *Instance) dispatch(id uint64, function string, input []byte) {
 // cache — if the peer fails), execute here otherwise. Every forward's
 // round-trip is reported back to the scheduler, feeding the per-peer
 // latency/load scores that weighted forwarding picks by.
-func (i *Instance) route(function string, input []byte) ([]byte, int32, error) {
+func (i *Instance) route(tr *obsv.Trace, function string, input []byte) ([]byte, int32, error) {
 	// A killed host can no more originate calls than serve them: the crash
 	// semantics Kill simulates cover both directions.
 	if i.killed.Load() {
 		return nil, -1, fmt.Errorf("frt: host %s is down", i.cfg.Host)
 	}
+	schedStart := i.traceNow(tr)
 	decision, err := i.sched.Schedule(function)
+	i.span(tr, "sched.decide", decision.Placement.String(), schedStart, 0, err != nil)
 	if err != nil {
 		return nil, -1, err
 	}
 	if decision.Placement == sched.PlaceForward && i.cfg.Transport != nil {
 		start := i.clock.Now()
 		i.sched.ForwardBegin(decision.TargetHost)
-		out, ret, err := i.cfg.Transport.ExecuteOn(decision.TargetHost, function, input)
+		out, ret, err := i.cfg.Transport.ExecuteOn(decision.TargetHost, function, input, tr.ID())
 		i.sched.ForwardEnd(decision.TargetHost, i.clock.Now().Sub(start), err == nil)
+		if tr != nil {
+			tr.RecordSpan(i.cfg.Host, "forward", decision.TargetHost, start, i.clock.Now().Sub(start), int64(len(input)), err != nil)
+		}
 		if err == nil {
 			return out, ret, nil
 		}
 		// Peer failed: the cached warm set named a dead host.
 		i.sched.InvalidatePeers(function)
 	}
-	return i.ExecuteLocal(function, input)
+	return i.executeLocal(tr, function, input)
 }
 
 // ExecuteLocal runs a call on this host, acquiring a Faaslet from the warm
-// pool or cold-starting one. It is also the entry point peers use when
-// sharing work with this host. The response returns as soon as execution
+// pool or cold-starting one. The response returns as soon as execution
 // finishes; the Faaslet's reset happens off this path.
 func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, error) {
+	return i.executeLocal(nil, function, input)
+}
+
+// ExecuteForwarded is the entry point peers use when sharing work with this
+// host: it joins the forwarding host's trace (id 0 = untraced) so the remote
+// half of the invocation lands under the same trace id, then executes
+// locally. When the join created a local trace record (per-host tracers),
+// this host owns its lifecycle and finishes it.
+func (i *Instance) ExecuteForwarded(function string, input []byte, trace obsv.TraceID) ([]byte, int32, error) {
+	tr, created := i.tracer.Join(trace, i.cfg.Host, function)
+	out, ret, err := i.executeLocal(tr, function, input)
+	if created {
+		i.tracer.Finish(tr)
+	}
+	return out, ret, err
+}
+
+func (i *Instance) executeLocal(tr *obsv.Trace, function string, input []byte) ([]byte, int32, error) {
 	if i.killed.Load() {
 		return nil, -1, fmt.Errorf("frt: host %s is down", i.cfg.Host)
 	}
@@ -462,31 +589,50 @@ func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, e
 	i.sched.Begin()
 	defer i.sched.End()
 	if i.slots != nil {
+		slotStart := i.traceNow(tr)
 		i.slots <- struct{}{}
+		i.span(tr, "queue.wait", "slots", slotStart, 0, false)
 		defer func() { <-i.slots }()
 	}
 
-	f, err := i.acquire(def)
+	acqStart := i.traceNow(tr)
+	f, cold, err := i.acquire(def)
+	if tr != nil {
+		name := "pool.acquire"
+		if cold {
+			name = "cold.start"
+		}
+		i.span(tr, name, function, acqStart, 0, err != nil)
+	}
 	if err != nil {
 		// A failed cold start must not leave this host advertised as warm:
 		// peers would keep forwarding calls here to die the same way.
 		i.retreatIfDead(def.Name)
 		return nil, -1, err
 	}
+	if tr != nil {
+		f.SetTraceSink(i.cfg.Host, tr)
+	}
 	start := i.clock.Now()
 	out, ret, execErr := f.Execute(input)
 	dur := i.clock.Now().Sub(start)
+	if tr != nil {
+		tr.RecordSpan(i.cfg.Host, "exec", function, start, dur, 0, execErr != nil)
+		f.SetTraceSink("", nil)
+	}
 	i.ExecLatency.Record(dur)
+	i.execHist.Observe(int64(dur))
 	i.Billable.Charge(f.Footprint(), dur)
 	i.release(def.Name, f, execErr == nil)
 	return out, ret, execErr
 }
 
-// acquire takes a warm Faaslet from the pool or creates one. If the pool is
-// momentarily empty but resets are in flight, it waits for one — the pool
-// never hands out a non-reset Faaslet, and a reset restore is never slower
-// than a full cold start.
-func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, error) {
+// acquire takes a warm Faaslet from the pool or creates one, reporting
+// whether the call paid a cold start. If the pool is momentarily empty but
+// resets are in flight, it waits for one — the pool never hands out a
+// non-reset Faaslet, and a reset restore is never slower than a full cold
+// start.
+func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, bool, error) {
 	p := i.poolFor(def.Name)
 	p.mu.Lock()
 	p.acquires++
@@ -498,7 +644,7 @@ func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, error) {
 			p.mu.Unlock()
 			i.sched.NoteEvicted(def.Name, 1) // it is busy now, not idle-warm
 			i.WarmStarts.Add(1)
-			return f, nil
+			return f, false, nil
 		}
 		if p.resetting == 0 {
 			break
@@ -525,15 +671,17 @@ func (i *Instance) acquire(def core.FuncDef) (*core.Faaslet, error) {
 		f, err = core.New(def, i.env)
 	}
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	i.InitLatency.Record(i.clock.Now().Sub(start))
+	initDur := i.clock.Now().Sub(start)
+	i.InitLatency.Record(initDur)
+	i.initHist.Observe(int64(initDur))
 	i.ColdStarts.Add(1)
 	p.mu.Lock()
 	p.live++
 	p.mu.Unlock()
 	i.faasletCount.Add(1)
-	return f, nil
+	return f, true, nil
 }
 
 // release returns the Faaslet to the warm pool, handing its reset (§5.2:

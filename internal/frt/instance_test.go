@@ -13,6 +13,7 @@ import (
 	"faasm.dev/faasm/internal/core"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/kvs/kvstest"
+	"faasm.dev/faasm/internal/obsv"
 	"faasm.dev/faasm/internal/wavm"
 )
 
@@ -197,14 +198,14 @@ type mapTransport struct {
 	peers map[string]*Instance
 }
 
-func (mt *mapTransport) ExecuteOn(host, fn string, input []byte) ([]byte, int32, error) {
+func (mt *mapTransport) ExecuteOn(host, fn string, input []byte, trace obsv.TraceID) ([]byte, int32, error) {
 	mt.mu.Lock()
 	peer, ok := mt.peers[host]
 	mt.mu.Unlock()
 	if !ok {
 		return nil, -1, fmt.Errorf("no such host %q", host)
 	}
-	return peer.ExecuteLocal(fn, input)
+	return peer.ExecuteForwarded(fn, input, trace)
 }
 
 func TestWorkSharingAcrossInstances(t *testing.T) {

@@ -118,7 +118,10 @@ func (a *FaasmAPI) StateViewChunk(key string, off, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := v.EnsurePulled(off, n); err != nil {
+	start := a.Ctx.TraceStart()
+	pulled, err := v.EnsurePulledN(off, n)
+	a.Ctx.TraceSpan("state.pull", key, start, pulled, err)
+	if err != nil {
 		return nil, err
 	}
 	return v.Bytes()[off : off+n], nil
@@ -134,7 +137,10 @@ func (a *FaasmAPI) StatePrefetch(key string, ranges [][2]int) error {
 	for i, rg := range ranges {
 		rs[i] = kvs.Range{Off: rg[0], N: rg[1]}
 	}
-	return v.PullChunks(rs)
+	start := a.Ctx.TraceStart()
+	pulled, err := v.PullChunksN(rs)
+	a.Ctx.TraceSpan("state.pull", key, start, pulled, err)
+	return err
 }
 
 // StatePush implements API.
@@ -143,7 +149,10 @@ func (a *FaasmAPI) StatePush(key string) error {
 	if err != nil {
 		return err
 	}
-	return v.Push()
+	start := a.Ctx.TraceStart()
+	err = v.Push()
+	a.Ctx.TraceSpan("state.push", key, start, int64(v.Size()), err)
+	return err
 }
 
 // StatePushChunk implements API.
@@ -152,7 +161,10 @@ func (a *FaasmAPI) StatePushChunk(key string, off, n int) error {
 	if err != nil {
 		return err
 	}
-	return v.PushChunk(off, n)
+	start := a.Ctx.TraceStart()
+	err = v.PushChunk(off, n)
+	a.Ctx.TraceSpan("state.push", key, start, int64(n), err)
+	return err
 }
 
 // StatePull implements API.
@@ -161,7 +173,10 @@ func (a *FaasmAPI) StatePull(key string) error {
 	if err != nil {
 		return err
 	}
-	return v.Pull()
+	start := a.Ctx.TraceStart()
+	pulled, err := v.PullN()
+	a.Ctx.TraceSpan("state.pull", key, start, pulled, err)
+	return err
 }
 
 // StateAppend implements API.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"faasm.dev/faasm/internal/obsv"
 )
 
 // Store is the interface the state tier programs against; Engine, Client and
@@ -156,6 +158,25 @@ type Engine struct {
 	sweepMu    sync.Mutex
 	sweepTimer *time.Timer
 	sweepEvery time.Duration
+
+	// expired/sweeps count keys physically removed by expiry and sweep
+	// passes run — both off the data path (timer callbacks and explicit
+	// sweeps only).
+	expired atomic.Int64
+	sweeps  atomic.Int64
+}
+
+// Instrument registers the engine's expiry counters and key-space gauges
+// with reg, labelled by tier (e.g. the shard name, or "global"). All values
+// are read at scrape time.
+func (e *Engine) Instrument(reg *obsv.Registry, tier string) {
+	l := map[string]string{"tier": tier}
+	reg.CounterFunc("faasm_kvs_expired_keys_total", "keys removed by tier-side expiry", l, e.expired.Load)
+	reg.CounterFunc("faasm_kvs_sweeps_total", "expiry sweep passes", l, e.sweeps.Load)
+	reg.GaugeFunc("faasm_kvs_value_bytes", "live value bytes in the engine", l, e.TotalBytes)
+	reg.GaugeFunc("faasm_kvs_keys", "live value keys in the engine", l, func() int64 {
+		return int64(len(e.Keys()))
+	})
 }
 
 type lockState struct {
@@ -235,6 +256,7 @@ func (e *Engine) purgeLocked(st *stripe, key string) {
 	if len(st.exp) != 0 && expiredAt(st, key, e.now()) {
 		delete(st.vals, key)
 		delete(st.exp, key)
+		e.expired.Add(1)
 	}
 }
 
@@ -680,6 +702,8 @@ func (e *Engine) sweepOnce() (removed, remaining int) {
 		}
 		st.mu.Unlock()
 	}
+	e.sweeps.Add(1)
+	e.expired.Add(int64(removed))
 	return removed, remaining
 }
 

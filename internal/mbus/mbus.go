@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"faasm.dev/faasm/internal/obsv"
 )
 
 // MsgType enumerates bus message kinds.
@@ -171,6 +173,8 @@ type CallRecord struct {
 	Err      string
 	// ReturnCode is the guest's integer result, as awaited by await_call.
 	ReturnCode int32
+	// TraceID links the call to its invocation trace (0 = unsampled).
+	TraceID uint64
 }
 
 // callShards is the CallTable's sharding width. Call ids are dense
@@ -199,6 +203,22 @@ type callShard struct {
 type CallTable struct {
 	shards [callShards]callShard
 	next   atomic.Uint64
+
+	// created/completed/failed count call lifecycle transitions for the
+	// metrics exposition.
+	created   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// Instrument registers the table's lifecycle counters and live-record gauge
+// with reg, labelled by host.
+func (t *CallTable) Instrument(reg *obsv.Registry, host string) {
+	l := map[string]string{"host": host}
+	reg.CounterFunc("faasm_mbus_calls_created_total", "calls registered in the table", l, t.created.Load)
+	reg.CounterFunc("faasm_mbus_calls_completed_total", "calls reaching a terminal state", l, t.completed.Load)
+	reg.CounterFunc("faasm_mbus_calls_failed_total", "calls completing with an error", l, t.failed.Load)
+	reg.GaugeFunc("faasm_mbus_calls_live", "records currently in the table", l, func() int64 { return int64(t.Len()) })
 }
 
 // NewCallTable creates an empty table.
@@ -230,7 +250,18 @@ func (t *CallTable) Create(function string, input []byte) uint64 {
 	s.mu.Lock()
 	s.calls[id] = e
 	s.mu.Unlock()
+	t.created.Add(1)
 	return id
+}
+
+// SetTraceID links a call to its invocation trace.
+func (t *CallTable) SetTraceID(id, trace uint64) {
+	s := t.shard(id)
+	s.mu.Lock()
+	if e, ok := s.calls[id]; ok {
+		e.rec.TraceID = trace
+	}
+	s.mu.Unlock()
 }
 
 // Start marks a call running.
@@ -270,6 +301,10 @@ func (t *CallTable) Complete(id uint64, output []byte, ret int32, err error) err
 	}
 	if !already {
 		close(e.done)
+		t.completed.Add(1)
+		if err != nil {
+			t.failed.Add(1)
+		}
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,27 +30,56 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.v.Store(0) }
 
-// Latencies records a set of latency samples and answers distribution
-// queries. It keeps raw samples; experiment sizes here are modest.
+// ReservoirCap bounds the raw samples a Latencies retains. Beyond it,
+// recording switches to reservoir sampling (Vitter's algorithm R), so
+// arbitrarily long experiment runs hold a fixed ~512 KiB of samples while
+// count, mean and max stay exact and quantiles stay uniformly representative.
+const ReservoirCap = 65536
+
+// Latencies records latency samples and answers distribution queries. Memory
+// is bounded at ReservoirCap samples; see its comment for what stays exact.
 type Latencies struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	seen    int64         // total samples ever recorded
+	sum     time.Duration // exact running sum
+	max     time.Duration // exact running max
+	rng     *rand.Rand
 }
 
-// Record appends one sample.
+// Record appends one sample, evicting a uniformly random earlier sample once
+// the reservoir is full.
 func (l *Latencies) Record(d time.Duration) {
 	l.mu.Lock()
-	l.samples = append(l.samples, d)
-	l.sorted = false
+	l.seen++
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	if len(l.samples) < ReservoirCap {
+		l.samples = append(l.samples, d)
+		l.sorted = false
+	} else {
+		if l.rng == nil {
+			// Seeded deterministically: reservoir contents (and therefore
+			// quantile estimates) are reproducible across runs.
+			l.rng = rand.New(rand.NewSource(1))
+		}
+		if j := l.rng.Int63n(l.seen); j < ReservoirCap {
+			l.samples[j] = d
+			l.sorted = false
+		}
+	}
 	l.mu.Unlock()
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of recorded samples (exact, not the retained
+// reservoir size).
 func (l *Latencies) Count() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.samples)
+	return int(l.seen)
 }
 
 func (l *Latencies) sortLocked() {
@@ -72,7 +102,7 @@ func (l *Latencies) Quantile(q float64) time.Duration {
 		return l.samples[0]
 	}
 	if q >= 1 {
-		return l.samples[len(l.samples)-1]
+		return l.max
 	}
 	idx := int(math.Ceil(q*float64(len(l.samples)))) - 1
 	if idx < 0 {
@@ -87,22 +117,23 @@ func (l *Latencies) Quantile(q float64) time.Duration {
 // Median returns the 50th percentile.
 func (l *Latencies) Median() time.Duration { return l.Quantile(0.5) }
 
-// Mean returns the arithmetic mean, or 0 with no samples.
+// Mean returns the exact arithmetic mean over every recorded sample, or 0
+// with no samples.
 func (l *Latencies) Mean() time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
+	if l.seen == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range l.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(l.samples))
+	return l.sum / time.Duration(l.seen)
 }
 
-// Max returns the largest sample.
-func (l *Latencies) Max() time.Duration { return l.Quantile(1) }
+// Max returns the largest sample ever recorded (exact).
+func (l *Latencies) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
+}
 
 // FractionBelow returns the fraction of samples strictly below d.
 func (l *Latencies) FractionBelow(d time.Duration) float64 {

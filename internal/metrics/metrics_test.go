@@ -53,6 +53,35 @@ func TestLatencyQuantiles(t *testing.T) {
 	}
 }
 
+func TestLatencyReservoirBounded(t *testing.T) {
+	var l Latencies
+	n := ReservoirCap * 4
+	for i := 1; i <= n; i++ {
+		l.Record(time.Duration(i))
+	}
+	if l.Count() != n {
+		t.Fatalf("count = %d, want exact %d", l.Count(), n)
+	}
+	l.mu.Lock()
+	retained := len(l.samples)
+	l.mu.Unlock()
+	if retained != ReservoirCap {
+		t.Fatalf("retained %d samples, cap is %d", retained, ReservoirCap)
+	}
+	if l.Max() != time.Duration(n) {
+		t.Fatalf("max = %v, want exact %d", l.Max(), n)
+	}
+	if mean := l.Mean(); mean != time.Duration(n+1)/2 {
+		t.Fatalf("mean = %v, want exact %d", mean, (n+1)/2)
+	}
+	// The reservoir is a uniform sample: the median must land near n/2
+	// (within 5% of the range is far looser than the expected error).
+	med := l.Median()
+	if med < time.Duration(n)*45/100 || med > time.Duration(n)*55/100 {
+		t.Fatalf("median = %v after reservoir, want ≈ %d", med, n/2)
+	}
+}
+
 func TestLatencyEmpty(t *testing.T) {
 	var l Latencies
 	if l.Median() != 0 || l.Mean() != 0 || l.Max() != 0 {

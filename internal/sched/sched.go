@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/obsv"
 	"faasm.dev/faasm/internal/vtime"
 )
 
@@ -209,6 +210,23 @@ func (s *Scheduler) leaseTTL() time.Duration {
 		return s.LeaseTTL
 	}
 	return DefaultLeaseTTL
+}
+
+// Instrument registers the scheduler's decision counters and liveness
+// signals with reg, labelled by host. Everything is bridged from existing
+// atomics at scrape time — nothing is added to the scheduling hot path.
+func (s *Scheduler) Instrument(reg *obsv.Registry, host string) {
+	place := func(p string) map[string]string {
+		return map[string]string{"host": host, "placement": p}
+	}
+	reg.CounterFunc("faasm_sched_decisions_total", "scheduling decisions by placement", place("local_warm"), s.Stats.LocalWarm.Load)
+	reg.CounterFunc("faasm_sched_decisions_total", "scheduling decisions by placement", place("forward"), s.Stats.Forwarded.Load)
+	reg.CounterFunc("faasm_sched_decisions_total", "scheduling decisions by placement", place("local_cold"), s.Stats.ColdStart.Load)
+	l := map[string]string{"host": host}
+	reg.GaugeFunc("faasm_sched_inflight", "calls executing on this host", l, func() int64 { return int64(s.Inflight()) })
+	reg.GaugeFunc("faasm_sched_last_heartbeat_seconds", "unix time of the last liveness lease write", l, func() int64 {
+		return s.lastBeat.Load() / int64(time.Second)
+	})
 }
 
 // Schedule decides where a call to fn should run. The warm local path is
@@ -449,24 +467,13 @@ func (s *Scheduler) filterAlive(hosts []string) (alive, dead []string, err error
 	return alive, dead, nil
 }
 
-// leaseLive reports whether a lease record marks a live host: any record
-// the tier still returns is one whose tier-side TTL has not run out.
-//
-// Mixed-version fallback, to be removed in the next release: hosts from the
-// previous release wrote a writer-clock expiry stamp (decimal unix nanos)
-// with a plain Set. Those records are non-empty and therefore count as live
-// here — presence only, never judged against a clock. They also never
-// expire tier-side, so a crashed old-version host lingers until an operator
-// deletes its sched/alive/<host> record or its warm entries are evicted;
-// acceptable for the one transitional release this tolerance exists for.
-// The tolerance is deliberately read-side only (the stamp format is gone
-// from the write path), so it is one-directional: not-yet-upgraded
-// observers cannot parse the new marker and judge upgraded hosts dead
-// until they themselves upgrade. That degrades old→new forwarding during
-// the rolling upgrade — never correctness: forwards fall back locally, and
-// the upgraded hosts' heartbeats re-assert any warm entries an old host
-// evicts. Upgrade observers before (or with) writers to avoid the window.
-func leaseLive(rec []byte) bool { return len(rec) > 0 }
+// leaseLive reports whether a lease record marks a live host: exactly the
+// leaseMark payload, still returned by the tier (so its tier-side TTL has
+// not run out). Anything else — including the previous release's
+// writer-clock expiry stamps, whose one-release read-side tolerance has been
+// removed — is dead: stale stamp records never expire tier-side, so counting
+// them live would keep a crashed old host forwardable forever.
+func leaseLive(rec []byte) bool { return string(rec) == string(leaseMark) }
 
 // Heartbeat re-arms this host's liveness lease for another LeaseTTL on the
 // tier's clock (SetEx — the tier expires the record itself; nothing here

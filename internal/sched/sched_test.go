@@ -448,11 +448,11 @@ func TestLeaseRecordIsTierJudged(t *testing.T) {
 	}
 }
 
-// TestLegacyStampRecordCountsAsPresent pins the one-release mixed-version
-// fallback: an old-format writer-clock stamp (written by the previous
-// release with a plain Set) is honoured as presence — never judged against
-// a clock. Delete this test together with the tolerance in leaseLive.
-func TestLegacyStampRecordCountsAsPresent(t *testing.T) {
+// TestLegacyStampRecordReadsDead pins the removal of the one-release
+// mixed-version fallback: an old-format writer-clock stamp (a plain-Set
+// decimal unix-nanos record that never expires tier-side) no longer counts
+// as presence — only the current leaseMark payload does.
+func TestLegacyStampRecordReadsDead(t *testing.T) {
 	store := kvs.NewEngine()
 	// A legacy host advertised and stamped its lease the old way.
 	store.SAdd("sched/warm/fn", "host-legacy")
@@ -460,8 +460,8 @@ func TestLegacyStampRecordCountsAsPresent(t *testing.T) {
 
 	a := New("host-a", store, 10)
 	hosts, err := a.WarmHosts("fn")
-	if err != nil || len(hosts) != 1 || hosts[0] != "host-legacy" {
-		t.Fatalf("legacy-stamped host not honoured as present: %v %v", hosts, err)
+	if err != nil || len(hosts) != 0 {
+		t.Fatalf("legacy-stamped host counted live: %v %v", hosts, err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/obsv"
 )
 
 // ReadPref selects which owner serves reads.
@@ -91,10 +92,36 @@ type Ring struct {
 
 	rr atomic.Uint64 // read round-robin cursor
 
+	// reads/writes count routed operations (a multi-key op counts once per
+	// key) for the metrics exposition.
+	reads  atomic.Int64
+	writes atomic.Int64
+
 	// writeStripes serialise replicated writes per key: without them two
 	// concurrent Sets can commit in opposite orders on primary and replica
 	// and diverge the copies permanently. Unused when Replication is 1.
 	writeStripes [64]sync.Mutex
+}
+
+// Instrument registers the ring's op counters and shard gauge with reg, plus
+// each in-process engine shard's own expiry/key-space metrics (remote shards
+// are skipped: their metrics belong to the process that owns them).
+func (r *Ring) Instrument(reg *obsv.Registry) {
+	none := map[string]string(nil)
+	reg.CounterFunc("faasm_shardkvs_reads_total", "reads routed through the ring", none, r.reads.Load)
+	reg.CounterFunc("faasm_shardkvs_writes_total", "writes routed through the ring", none, r.writes.Load)
+	reg.GaugeFunc("faasm_shardkvs_shards", "shard nodes attached to the ring", none, func() int64 {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return int64(len(r.nodes))
+	})
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for id, n := range r.nodes {
+		if eng, ok := n.store.(*kvs.Engine); ok {
+			eng.Instrument(reg, id)
+		}
+	}
 }
 
 // New returns an empty ring; add shards with Join.
@@ -295,6 +322,7 @@ func (r *Ring) writeFence(key string) func() {
 // effect, but callers must not rely on it. (A package function because
 // methods cannot take type parameters.)
 func writeVal[T any](r *Ring, key string, op func(s kvs.Store) (T, error)) (T, error) {
+	r.writes.Add(1)
 	if unlock := r.writeFence(key); unlock != nil {
 		defer unlock()
 	}
@@ -355,6 +383,7 @@ func (r *Ring) write(key string, op func(s kvs.Store) error) error {
 
 // readNode picks the owner that serves a read of key.
 func (r *Ring) readNode(key string) (*node, error) {
+	r.reads.Add(1)
 	primary, replicas, err := r.route(key)
 	if err != nil {
 		return nil, err
@@ -626,6 +655,7 @@ func (r *Ring) msetBatched(pairs []kvs.Pair, apply func(s kvs.Store, sub []kvs.P
 	if len(pairs) == 0 {
 		return nil
 	}
+	r.writes.Add(int64(len(pairs)))
 	if unlock := r.writeFenceAll(pairs); unlock != nil {
 		defer unlock()
 	}

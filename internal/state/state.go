@@ -9,6 +9,7 @@ import (
 
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/metrics"
+	"faasm.dev/faasm/internal/obsv"
 	"faasm.dev/faasm/internal/wamem"
 )
 
@@ -48,6 +49,21 @@ func NewLocalTier(global kvs.Store) *LocalTier {
 
 // Global exposes the underlying global-tier store.
 func (lt *LocalTier) Global() kvs.Store { return lt.global }
+
+// Instrument registers the tier's transfer counters and replica footprint
+// with reg, labelled by host — bridged at scrape time from the existing
+// atomics, nothing added to the pull/push paths.
+func (lt *LocalTier) Instrument(reg *obsv.Registry, host string) {
+	l := map[string]string{"host": host}
+	reg.CounterFunc("faasm_state_pulled_bytes_total", "bytes pulled from the global tier", l, lt.Pulled.Value)
+	reg.CounterFunc("faasm_state_pushed_bytes_total", "bytes pushed to the global tier", l, lt.Pushed.Value)
+	reg.GaugeFunc("faasm_state_replica_bytes", "local-tier replica memory", l, lt.LocalBytes)
+	reg.GaugeFunc("faasm_state_replicas", "locally replicated keys", l, func() int64 {
+		lt.mu.RLock()
+		defer lt.mu.RUnlock()
+		return int64(len(lt.values))
+	})
+}
 
 // Value returns the host-wide replica handle for key, creating its metadata
 // on first use. size < 0 means "discover from the global tier"; size ≥ 0
@@ -274,16 +290,23 @@ func (v *Value) markAll() {
 // Pull replicates the full authoritative value into the local tier
 // (pull_state). It takes the local write lock, per §4.2.
 func (v *Value) Pull() error {
+	_, err := v.PullN()
+	return err
+}
+
+// PullN is Pull returning the number of bytes fetched from the global tier,
+// for per-span transfer attribution.
+func (v *Value) PullN() (int64, error) {
 	v.lock.Lock()
 	defer v.lock.Unlock()
 	data, err := v.tier.global.GetRange(v.key, 0, v.size)
 	if err != nil {
-		return fmt.Errorf("state: pull %s: %w", v.key, err)
+		return 0, fmt.Errorf("state: pull %s: %w", v.key, err)
 	}
 	copy(v.seg.Bytes(), data)
 	v.tier.Pulled.Add(int64(len(data)))
 	v.markAll()
-	return nil
+	return int64(len(data)), nil
 }
 
 // PullChunk replicates only the chunks covering [off, off+n)
@@ -354,9 +377,16 @@ func (v *Value) missingSpans(ranges []kvs.Range) []kvs.Range {
 // single round trip. This is how sparse DDO access (Fig 4's chunked value C)
 // prefetches scattered windows without paying one round trip per window.
 func (v *Value) PullChunks(ranges []kvs.Range) error {
+	_, err := v.PullChunksN(ranges)
+	return err
+}
+
+// PullChunksN is PullChunks returning the number of bytes actually fetched
+// (0 when every requested chunk was already local).
+func (v *Value) PullChunksN(ranges []kvs.Range) (int64, error) {
 	for _, rg := range ranges {
 		if err := v.checkRange(rg.Off, rg.N); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	missingAny := false
@@ -367,17 +397,17 @@ func (v *Value) PullChunks(ranges []kvs.Range) error {
 		}
 	}
 	if !missingAny {
-		return nil
+		return 0, nil
 	}
 	v.lock.Lock()
 	defer v.lock.Unlock()
 	spans := v.missingSpans(ranges)
 	if len(spans) == 0 { // raced with another puller
-		return nil
+		return 0, nil
 	}
 	parts, err := kvs.GetRanges(v.tier.global, v.key, spans)
 	if err != nil {
-		return fmt.Errorf("state: pull chunks %s: %w", v.key, err)
+		return 0, fmt.Errorf("state: pull chunks %s: %w", v.key, err)
 	}
 	var pulled int64
 	for i, sp := range spans {
@@ -390,16 +420,22 @@ func (v *Value) PullChunks(ranges []kvs.Range) error {
 		v.markPulledLocked(sp.Off, sp.N)
 	}
 	v.mu.Unlock()
-	return nil
+	return pulled, nil
 }
 
 // EnsurePulled lazily pulls the range if any part is missing — the implicit
 // pull DDOs perform when data is first accessed (§4.1).
 func (v *Value) EnsurePulled(off, n int) error {
+	_, err := v.EnsurePulledN(off, n)
+	return err
+}
+
+// EnsurePulledN is EnsurePulled returning the bytes fetched (0 on a local hit).
+func (v *Value) EnsurePulledN(off, n int) (int64, error) {
 	if v.missing(off, n) {
-		return v.PullChunk(off, n)
+		return v.PullChunksN([]kvs.Range{{Off: off, N: n}})
 	}
-	return nil
+	return 0, nil
 }
 
 // Push writes the full local replica to the global tier (push_state).
