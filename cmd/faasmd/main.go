@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/kvs"
@@ -49,6 +50,11 @@ func main() {
 	stateAddrs := flag.String("state", "", "comma-separated kvs shard endpoints (empty = in-process; >1 shards the tier)")
 	storeAddr := flag.String("store", "", "deprecated alias for -state")
 	stateReplicas := flag.Int("state-replicas", 1, "copies per key when the tier is sharded")
+	stateWriteQuorum := flag.Int("state-write-quorum", 0, "copies that must acknowledge a replicated tier write (0 = all; W<replicas keeps writing while a shard is down)")
+	stateReadFailover := flag.Bool("state-read-failover", true, "let tier reads fall through to surviving copies when the chosen shard fails (sharded tier)")
+	stateHealInterval := flag.Duration("state-heal-interval", 0, "probe and re-sync suspect tier shards on this cadence (0 = off; sharded tier)")
+	kvsDialTimeout := flag.Duration("kvs-dial-timeout", 0, "dial timeout for tier shard connections (0 = 5s)")
+	kvsRetryMax := flag.Int("kvs-retry-max", 0, "retries per tier operation on connect/timeout failures, with exponential backoff (0 = 2, <0 = never retry)")
 	kvsListen := flag.String("kvs", "", "also serve a kvs global-tier shard on this address")
 	host := flag.String("host", "faasmd-0", "this instance's cluster name")
 	poolCap := flag.Int("pool-cap", 0, "idle warm Faaslets kept per function (0 = runtime default, 64)")
@@ -83,9 +89,23 @@ func main() {
 		}
 		log.Printf("global tier shard serving on %s", srv.Addr())
 	}
+	newClient := func(addr string) *kvs.Client {
+		c := kvs.NewClient(addr)
+		c.DialTimeout = *kvsDialTimeout
+		c.Retry = kvs.RetryPolicy{Max: *kvsRetryMax}
+		return c
+	}
+	var ring *shardkvs.Ring
 	switch addrs := shardkvs.SplitEndpoints(endpoints); {
 	case len(addrs) > 1:
-		ring, err := shardkvs.AttachRemote(addrs, shardkvs.Options{Replication: *stateReplicas})
+		var err error
+		ring, err = shardkvs.AttachRemote(addrs, shardkvs.Options{
+			Replication:  *stateReplicas,
+			WriteQuorum:  *stateWriteQuorum,
+			ReadFailover: *stateReadFailover,
+			HealInterval: *stateHealInterval,
+			NewStore:     func(addr string) kvs.Store { return newClient(addr) },
+		})
 		if err != nil {
 			log.Fatalf("state tier: %v", err)
 		}
@@ -93,10 +113,10 @@ func main() {
 		if _, err := ring.ShardKeyCounts(); err != nil {
 			log.Fatalf("state tier: %v", err)
 		}
-		log.Printf("global tier sharded across %d endpoints (replication %d)", len(addrs), *stateReplicas)
+		log.Printf("global tier sharded across %d endpoints (replication %d, write quorum %d)", len(addrs), *stateReplicas, *stateWriteQuorum)
 		store = ring
 	case len(addrs) == 1:
-		store = kvs.NewClient(addrs[0])
+		store = newClient(addrs[0])
 	case served != nil:
 		store = served
 	default:
@@ -120,15 +140,20 @@ func main() {
 	if localEngine != nil {
 		localEngine.Instrument(inst.Registry(), "global")
 	}
+	if ring != nil {
+		ring.Instrument(inst.Registry())
+	}
 
-	mux := newMux(inst, up, objects)
+	mux := newMux(inst, up, objects, ring)
 	log.Printf("faasmd %s listening on %s", *host, *listen)
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }
 
 // newMux wires the daemon's HTTP surface over a runtime instance. Factored
-// from main so tests drive the real handlers through httptest.
-func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store) *http.ServeMux {
+// from main so tests drive the real handlers through httptest. ring is the
+// sharded tier when one is attached (nil otherwise); /status reports its
+// per-shard health.
+func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, ring *shardkvs.Ring) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/f/", deployingUploader{up: up, inst: inst, objects: objects})
 	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +181,18 @@ func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store) *ht
 			inst.ExecLatency.Median())
 		fmt.Fprintf(w, "pool misses: %d prewarmed: %d idle reclaims: %d\n",
 			inst.PoolMisses.Value(), inst.Prewarmed.Value(), inst.IdleReclaims.Value())
+		if ring != nil {
+			st := ring.FailureStats()
+			fmt.Fprintf(w, "state tier: failovers %d divergent %d repairs %d\n",
+				st.Failovers, st.Divergence, st.Repairs)
+			for _, h := range ring.Health() {
+				if h.Suspect {
+					fmt.Fprintf(w, "shard %s: SUSPECT for %v (%d failures)\n", h.ID, h.Down.Round(time.Millisecond), h.Failures)
+				} else {
+					fmt.Fprintf(w, "shard %s: in-sync (%d failures)\n", h.ID, h.Failures)
+				}
+			}
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

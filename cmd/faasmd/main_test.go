@@ -13,6 +13,7 @@ import (
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/objstore"
 	"faasm.dev/faasm/internal/obsv"
+	"faasm.dev/faasm/internal/shardkvs"
 	"faasm.dev/faasm/internal/upload"
 )
 
@@ -32,7 +33,7 @@ func newTestServer(t *testing.T, sample int) (*httptest.Server, *frt.Instance) {
 		return 0, nil
 	}))
 	objects := objstore.NewMemory()
-	srv := httptest.NewServer(newMux(inst, upload.New(objects), objects))
+	srv := httptest.NewServer(newMux(inst, upload.New(objects), objects, nil))
 	t.Cleanup(srv.Close)
 	t.Cleanup(inst.Shutdown)
 	return srv, inst
@@ -212,6 +213,25 @@ func TestConcurrentScrapeUnderTraffic(t *testing.T) {
 			if code, _, _ := get(t, srv.URL+"/traces?slowest=3"); code != http.StatusOK {
 				t.Fatalf("traces scrape = %d", code)
 			}
+		}
+	}
+}
+
+func TestStatusReportsShardHealth(t *testing.T) {
+	ring := shardkvs.NewLocal(2, shardkvs.Options{Replication: 2, ReadFailover: true})
+	inst := frt.New(frt.Config{Host: "test-0", Store: ring})
+	t.Cleanup(inst.Shutdown)
+	objects := objstore.NewMemory()
+	srv := httptest.NewServer(newMux(inst, upload.New(objects), objects, ring))
+	t.Cleanup(srv.Close)
+
+	code, body, _ := get(t, srv.URL+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"state tier: failovers", "shard shard-0: in-sync", "shard shard-1: in-sync"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/status missing %q:\n%s", want, body)
 		}
 	}
 }

@@ -71,6 +71,17 @@ type Config struct {
 	StateShards int
 	// StateReplicas is the copies kept per key when sharded (default 1).
 	StateReplicas int
+	// StateWriteQuorum is how many copies must acknowledge a replicated
+	// write (0 = all). With W < replicas the tier keeps accepting writes
+	// while a shard is down; see shardkvs.Options.WriteQuorum.
+	StateWriteQuorum int
+	// StateReadFailover lets tier reads fall through to surviving copies
+	// when the chosen shard fails (see shardkvs.Options.ReadFailover).
+	StateReadFailover bool
+	// FaultyShards wraps every tier shard in a fault injector
+	// (simnet.FaultShard) so chaos experiments can kill and revive shards;
+	// requires StateShards > 1.
+	FaultyShards bool
 	// LeaseTTL / PeerCacheTTL tune the schedulers' liveness leases and
 	// peer-cache staleness on the experiment clock (FAASM mode; zero keeps
 	// the sched package defaults). Leases are SetEx'd tier-side records:
@@ -113,6 +124,9 @@ type Cluster struct {
 	faasm []*frt.Instance
 	base  []*baseline.Platform
 	rr    atomic.Uint64
+
+	ring        *shardkvs.Ring
+	shardFaults []*simnet.FaultShard
 }
 
 // New builds and starts a cluster.
@@ -156,11 +170,22 @@ func New(cfg Config) *Cluster {
 		return eng
 	}
 	if cfg.StateShards > 1 {
-		ring := shardkvs.New(shardkvs.Options{Replication: cfg.StateReplicas})
+		ring := shardkvs.New(shardkvs.Options{
+			Replication:  cfg.StateReplicas,
+			WriteQuorum:  cfg.StateWriteQuorum,
+			ReadFailover: cfg.StateReadFailover,
+		})
 		for i := 0; i < cfg.StateShards; i++ {
-			ring.Attach(fmt.Sprintf("shard-%d", i), newEngine())
+			var store kvs.Store = newEngine()
+			if cfg.FaultyShards {
+				fs := simnet.NewFaultShard(store, c.Clock)
+				c.shardFaults = append(c.shardFaults, fs)
+				store = fs
+			}
+			ring.Attach(fmt.Sprintf("shard-%d", i), store)
 		}
 		ring.Instrument(c.Registry)
+		c.ring = ring
 		c.State = ring
 	} else {
 		eng := newEngine()
@@ -227,6 +252,27 @@ func (c *Cluster) Instance(h int) *frt.Instance { return c.faasm[h] }
 // from anything — the cluster must notice through lease expiry, exactly as
 // it would a real dead machine.
 func (c *Cluster) KillHost(h int) { c.faasm[h].Kill() }
+
+// StateRing exposes the sharded tier's ring (nil when StateShards <= 1) —
+// chaos experiments read its health and failure counters through it.
+func (c *Cluster) StateRing() *shardkvs.Ring { return c.ring }
+
+// KillShard crashes tier shard i: every operation against it fails as
+// unavailable until RestoreShard. Requires Config.FaultyShards.
+func (c *Cluster) KillShard(i int) { c.shardFaults[i].Crash() }
+
+// RestoreShard revives a killed tier shard; its data is intact but stale
+// until HealState re-syncs it.
+func (c *Cluster) RestoreShard(i int) { c.shardFaults[i].Restore() }
+
+// HealState re-syncs suspect tier shards from the in-sync copies and
+// returns them to the read set (no-op on an unsharded tier).
+func (c *Cluster) HealState() (shardkvs.MigrationStats, error) {
+	if c.ring == nil {
+		return shardkvs.MigrationStats{}, nil
+	}
+	return c.ring.Heal()
+}
 
 // faasmTransport shares work between FAASM instances, paying network costs
 // for the call payloads.

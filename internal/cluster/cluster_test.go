@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -469,4 +470,74 @@ func TestForwardedTraceSpansBothHosts(t *testing.T) {
 	if fwdSpan.Key != "host-1" {
 		t.Fatalf("forward span targets %q, want host-1", fwdSpan.Key)
 	}
+}
+
+func TestClusterSurvivesShardCrash(t *testing.T) {
+	// One tier shard dies and revives under call traffic. With R=2, W=1 and
+	// failover reads, no invocation and no tier operation may fail, and after
+	// HealState the tier is back in sync with nothing suspect.
+	c := New(Config{
+		Mode: ModeFaasm, Hosts: 3, TimeScale: 1000,
+		StateShards: 3, StateReplicas: 2, StateWriteQuorum: 1,
+		StateReadFailover: true, FaultyShards: true,
+	})
+	defer c.Shutdown()
+	if err := c.Register("read", func(api hostapi.API) (int32, error) {
+		if err := api.StatePull("data"); err != nil {
+			return 1, err
+		}
+		buf, err := api.StateView("data", -1)
+		if err != nil {
+			return 2, err
+		}
+		api.WriteOutput(buf)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetState("data", []byte("payload"))
+	for i := 0; i < 16; i++ {
+		if err := c.SetState(fmt.Sprintf("k-%d", i), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call := func(phase string) {
+		t.Helper()
+		out, ret, err := c.Call("read", nil)
+		if err != nil || ret != 0 || string(out) != "payload" {
+			t.Fatalf("%s call: %q %d %v", phase, out, ret, err)
+		}
+	}
+	call("pre-crash")
+
+	c.KillShard(0)
+	// 16 keys spread over 3 shards: several are owned by the dead shard, so
+	// these writes exercise the W=1 quorum and the reads exercise failover.
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		if err := c.SetState(key, []byte("v2")); err != nil {
+			t.Fatalf("tier write with shard down (%s): %v", key, err)
+		}
+		if v, err := c.GetState(key); err != nil || string(v) != "v2" {
+			t.Fatalf("tier read with shard down (%s): %q %v", key, v, err)
+		}
+		call("during-outage")
+	}
+	if st := c.StateRing().FailureStats(); st.Suspects == 0 {
+		t.Fatalf("the dead shard must have been marked suspect: %+v", st)
+	}
+
+	c.RestoreShard(0)
+	if _, err := c.HealState(); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	if st := c.StateRing().FailureStats(); st.Suspects != 0 || st.Repairs == 0 {
+		t.Fatalf("after heal: want zero suspects and a repair, got %+v", st)
+	}
+	for i := 0; i < 16; i++ {
+		if v, err := c.GetState(fmt.Sprintf("k-%d", i)); err != nil || string(v) != "v2" {
+			t.Fatalf("post-heal read k-%d: %q %v", i, v, err)
+		}
+	}
+	call("post-heal")
 }

@@ -239,3 +239,23 @@ func TestInvokeScaleShape(t *testing.T) {
 		t.Fatalf("steady-state warm calls performed %q, want \"0 ops\"", warmOps)
 	}
 }
+
+func TestStateChaosGate(t *testing.T) {
+	// The PR 7 robustness gate: a shard killed and revived under mixed
+	// traffic must fail zero operations, trip failovers, and converge after
+	// read-repair. Every gated row must read ok.
+	r := StateChaos(Options{Quick: true})
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sections := map[string]bool{}
+	for _, row := range r.Rows {
+		sections[row[0]] = true
+		if row[3] == "FAILED" {
+			t.Errorf("gate failed: %v", row)
+		}
+	}
+	if !sections["ring"] || !sections["cluster"] {
+		t.Fatalf("missing section: %v", sections)
+	}
+}

@@ -74,3 +74,65 @@ func TestClientRetriesStalePooledConn(t *testing.T) {
 		t.Fatal("set against a dead server must error")
 	}
 }
+
+// A shard that is briefly down (restarting, failing over) must cost the
+// caller a backoff, not an error: connect-refused dials retry with
+// exponential backoff until the listener returns.
+func TestClientBacksOffConnectRefused(t *testing.T) {
+	engine := kvs.NewEngine()
+	if err := engine.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Reserve an address, then close it so the first dials are refused.
+	srv, err := kvs.NewServer(engine, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Close()
+
+	c := kvs.NewClient(addr)
+	c.Retry = kvs.RetryPolicy{Max: 8, Base: 25 * time.Millisecond, Cap: 100 * time.Millisecond}
+	defer c.Close()
+
+	// Bring the server back while the client is mid-backoff.
+	up := make(chan *kvs.Server, 1)
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		for i := 0; i < 50; i++ {
+			next, err := kvs.NewServer(engine, addr)
+			if err == nil {
+				up <- next
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		up <- nil
+	}()
+
+	start := time.Now()
+	v, err := c.Get("k")
+	if err != nil {
+		t.Fatalf("get through a restart: %v", err)
+	}
+	if string(v) != "v1" {
+		t.Fatalf("get = %q", v)
+	}
+	if waited := time.Since(start); waited < 25*time.Millisecond {
+		t.Fatalf("succeeded in %v: no backoff happened before the server was up", waited)
+	}
+	if srv := <-up; srv != nil {
+		srv.Close()
+	}
+
+	// With retries disabled the same dead-address dial errors immediately.
+	c2 := kvs.NewClient(addr)
+	c2.Retry = kvs.RetryPolicy{Max: -1}
+	c2.DialTimeout = time.Second
+	defer c2.Close()
+	if _, err := c2.Get("k"); err == nil {
+		t.Fatal("get with retries disabled must surface the dial error")
+	} else if !kvs.IsUnavailable(err) {
+		t.Fatalf("dial failure must classify unavailable, got %v", err)
+	}
+}

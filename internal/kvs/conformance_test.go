@@ -16,16 +16,26 @@ func TestEngineConformance(t *testing.T) {
 }
 
 func TestTCPClientConformance(t *testing.T) {
-	kvstest.Run(t, func(t *testing.T) kvs.Store {
-		srv, err := kvs.NewServer(kvs.NewEngine(), "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		c := kvs.NewClient(srv.Addr())
-		t.Cleanup(func() {
-			c.Close()
-			srv.Close()
-		})
-		return c
+	kvstest.Run(t, tcpClientFactory)
+}
+
+func tcpClientFactory(t *testing.T) kvs.Store {
+	srv, err := kvs.NewServer(kvs.NewEngine(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := kvs.NewClient(srv.Addr())
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
 	})
+	return c
+}
+
+func TestEngineFaultConformance(t *testing.T) {
+	kvstest.RunFaults(t, func(t *testing.T) kvs.Store { return kvs.NewEngine() })
+}
+
+func TestTCPClientFaultConformance(t *testing.T) {
+	kvstest.RunFaults(t, tcpClientFactory)
 }

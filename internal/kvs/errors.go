@@ -1,0 +1,47 @@
+package kvs
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+)
+
+// ErrUnavailable marks a store that cannot currently serve operations — the
+// process is down, the network path is broken, or a fault injector says so.
+// Wrap it (fmt.Errorf("...: %w", kvs.ErrUnavailable)) so IsUnavailable
+// classifies the failure. Unavailability is the retryable / fail-over-able
+// class of error: the operation never reached a healthy store, so routing it
+// elsewhere (or again, for idempotent commands) cannot double-apply it the
+// way replaying past a semantic rejection could.
+var ErrUnavailable = errors.New("kvs: store unavailable")
+
+// IsUnavailable reports whether err means the store could not be reached at
+// all, as opposed to a semantic rejection ("ttl must be positive") from a
+// live store. The sharded ring uses this to decide when a failed read may
+// fall through to another copy and when a failed replica write should mark
+// the copy suspect; the wire client uses it to decide when a retry is safe.
+//
+// Classified unavailable: anything wrapping ErrUnavailable, any net.Error
+// (dial failures, timeouts), a connection that died mid-exchange (EOF,
+// unexpected EOF, use-of-closed), and the usual connection-level errnos.
+// Everything else — including "kvs: server: ..." replies, which prove a live
+// server processed the request — is not.
+func IsUnavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrUnavailable) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}

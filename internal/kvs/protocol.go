@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -573,13 +574,75 @@ func splitFields(line string) ([]string, error) {
 	return out, nil
 }
 
+// RetryPolicy bounds the client's reconnect-and-retry loop. Zero values take
+// the field defaults, so a zero RetryPolicy is the default policy, not "no
+// retries" — set Max to a negative value to disable retries outright.
+type RetryPolicy struct {
+	// Max is the retry attempts after the first try (default 2; negative
+	// disables retries). Only connect/timeout-class failures (IsUnavailable)
+	// are ever retried, and never after the first reply byte has arrived.
+	Max int
+	// Base is the backoff before the first retry (default 20ms). Each
+	// further retry doubles it, capped at Cap (default 1s), with ±50% jitter
+	// so a thundering herd of clients does not re-dial in lockstep.
+	Base time.Duration
+	Cap  time.Duration
+}
+
+func (p RetryPolicy) max() int {
+	if p.Max < 0 {
+		return 0
+	}
+	if p.Max == 0 {
+		return 2
+	}
+	return p.Max
+}
+
+// sleep blocks for the backoff preceding retry attempt (1-based).
+func (p RetryPolicy) sleep(attempt int) {
+	base := p.Base
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	ceil := p.Cap
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	// Jitter in [d/2, 3d/2): decorrelates clients without ever collapsing
+	// the delay to zero.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	time.Sleep(d)
+}
+
 // Client is a TCP Store client with a small connection pool, so blocking
 // LOCK calls do not stall unrelated operations. It counts transferred bytes
 // for the network-transfer experiments (Figs 6b, 8b).
+//
+// DialTimeout, OpTimeout and Retry tune the failure behaviour; set them
+// before the client is shared between goroutines (they are read without
+// synchronisation once traffic starts).
 type Client struct {
 	addr string
 	pool chan *clientConn
 	max  int
+
+	// DialTimeout bounds one connection attempt (0 = 5s).
+	DialTimeout time.Duration
+	// OpTimeout, when set, bounds each request/reply exchange except LOCK —
+	// a lease acquire legitimately blocks server-side until the holder
+	// releases, so deadlining it would break mutual exclusion under
+	// contention. 0 (the default) leaves exchanges unbounded.
+	OpTimeout time.Duration
+	// Retry governs redial-and-retry on unavailability; see RetryPolicy.
+	Retry RetryPolicy
 
 	Sent     metrics.Counter
 	Received metrics.Counter
@@ -591,14 +654,19 @@ type clientConn struct {
 	w    *bufio.Writer
 }
 
-// NewClient returns a client for the server at addr.
+// NewClient returns a client for the server at addr with the default
+// timeouts and retry policy.
 func NewClient(addr string) *Client {
 	const poolSize = 8
 	return &Client{addr: addr, pool: make(chan *clientConn, poolSize), max: poolSize}
 }
 
 func (c *Client) dial() (*clientConn, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	timeout := c.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("kvs: dial %s: %w", c.addr, err)
 	}
@@ -646,23 +714,36 @@ func (c *Client) Close() error {
 // possibly multi-request — batch, then after a single flush recv parses the
 // entire reply stream. reqBytes is the request size for transfer accounting
 // (counted once per logical exchange, on success).
-//
-// A connection handed back by the pool can have been closed server-side
-// while it sat idle; such a conn fails at the first write or before the
-// first reply byte arrives, in which case the exchange retries once on a
-// freshly dialed connection instead of surfacing a spurious error — but
-// only when retriable. There is a narrow race where the server executed the
-// request and died before flushing the reply; replaying is harmless for
-// value reads/writes (same bytes land again) but would double-apply INCR
-// and APPEND and leak a LOCK lease, so those commands pass retriable=false
-// and surface the error. Failures after the first reply byte never retry:
-// the reply is underway and the stream position is unrecoverable.
 func (c *Client) pipelined(reqBytes int, retriable bool, send func(w *bufio.Writer) error, recv func(r *bufio.Reader) error) error {
-	cc, fromPool, err := c.getConn()
-	if err != nil {
-		return err
-	}
+	return c.exchange(reqBytes, retriable, true, send, recv)
+}
+
+// exchange is the client's failure-handling core. Three failure classes,
+// three policies:
+//
+//   - Dial failures: nothing was sent, so a retry can never double-apply —
+//     every command (including the non-retriable ones) redials with Retry's
+//     bounded exponential backoff. This is what rides out a shard restart.
+//   - Pre-reply failures on a pooled connection: the conn was probably
+//     closed server-side while idle; retriable commands replay immediately
+//     on a fresh conn without consuming a backoff attempt (bounded by the
+//     pool size). There is a narrow race where the server executed the
+//     request and died before flushing the reply; replaying is harmless for
+//     value reads/writes (same bytes land again) but would double-apply
+//     INCR and APPEND and leak a LOCK lease, so those commands pass
+//     retriable=false and surface the error.
+//   - Pre-reply failures on a fresh connection (send error, op deadline,
+//     peer death): retriable commands back off and retry while the failure
+//     classifies as unavailability; semantic errors surface immediately.
+//
+// Failures after the first reply byte never retry, regardless of policy:
+// the reply is underway and the stream position is unrecoverable. useDeadline
+// is false only for LOCK, which legitimately blocks server-side.
+func (c *Client) exchange(reqBytes int, retriable, useDeadline bool, send func(w *bufio.Writer) error, recv func(r *bufio.Reader) error) error {
 	attempt := func(cc *clientConn) (err error, started bool) {
+		if useDeadline && c.OpTimeout > 0 {
+			cc.conn.SetDeadline(time.Now().Add(c.OpTimeout))
+		}
 		if err := send(cc.w); err != nil {
 			return err, false
 		}
@@ -677,27 +758,44 @@ func (c *Client) pipelined(reqBytes int, retriable bool, send func(w *bufio.Writ
 		}
 		return recv(cc.r), true
 	}
-	err, started := attempt(cc)
-	if err == nil {
-		c.Sent.Add(int64(reqBytes))
-		c.putConn(cc)
-		return nil
-	}
-	cc.conn.Close()
-	if !fromPool || started || !retriable {
-		return err
-	}
-	cc, derr := c.dial()
-	if derr != nil {
-		return err
-	}
-	if err, _ := attempt(cc); err != nil {
+	maxRetries := c.Retry.max()
+	retries, staleReplays := 0, 0
+	var lastErr error
+	for {
+		cc, fromPool, err := c.getConn()
+		if err != nil {
+			lastErr = err
+			if retries >= maxRetries {
+				return lastErr
+			}
+			retries++
+			c.Retry.sleep(retries)
+			continue
+		}
+		err, started := attempt(cc)
+		if err == nil {
+			if useDeadline && c.OpTimeout > 0 {
+				cc.conn.SetDeadline(time.Time{})
+			}
+			c.Sent.Add(int64(reqBytes))
+			c.putConn(cc)
+			return nil
+		}
 		cc.conn.Close()
-		return err
+		lastErr = err
+		if started || !retriable {
+			return err
+		}
+		if fromPool && staleReplays < c.max {
+			staleReplays++
+			continue
+		}
+		if !IsUnavailable(err) || retries >= maxRetries {
+			return err
+		}
+		retries++
+		c.Retry.sleep(retries)
 	}
-	c.Sent.Add(int64(reqBytes))
-	c.putConn(cc)
-	return nil
 }
 
 // roundTrip sends one request and parses the status line. Payload handling
@@ -713,7 +811,11 @@ func (c *Client) roundTripOnce(req string, payload []byte, handle func(status st
 }
 
 func (c *Client) roundTripRetry(req string, payload []byte, retriable bool, handle func(status string, r *bufio.Reader) error) error {
-	return c.pipelined(len(req)+len(payload), retriable,
+	return c.roundTripDeadline(req, payload, retriable, true, handle)
+}
+
+func (c *Client) roundTripDeadline(req string, payload []byte, retriable, useDeadline bool, handle func(status string, r *bufio.Reader) error) error {
+	return c.exchange(len(req)+len(payload), retriable, useDeadline,
 		func(w *bufio.Writer) error {
 			if _, err := w.WriteString(req); err != nil {
 				return err
@@ -1006,7 +1108,9 @@ func (c *Client) Lock(key string, write bool, ttl time.Duration) (uint64, error)
 		mode = "w"
 	}
 	var out uint64
-	err := c.roundTripOnce(fmt.Sprintf("LOCK %s %s %d\n", strconv.Quote(key), mode, ttl.Milliseconds()), nil,
+	// useDeadline=false: OpTimeout must not cut short a legitimate blocking
+	// acquire; retriable=false: a replayed LOCK would leak its first lease.
+	err := c.roundTripDeadline(fmt.Sprintf("LOCK %s %s %d\n", strconv.Quote(key), mode, ttl.Milliseconds()), nil, false, false,
 		func(status string, _ *bufio.Reader) error {
 			n, err := parseIntReply(status)
 			out = uint64(n)

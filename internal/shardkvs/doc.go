@@ -30,9 +30,24 @@
 //     leaves all R copies identical; writers on different ring instances
 //     coordinate through the kvs global lock (the paper's §4.2 recipe).
 //
+// # Failure handling
+//
+// The ring survives shard failure rather than surfacing it. A write needs
+// only Options.WriteQuorum acknowledgements (0 = all copies, the strict
+// historical behaviour); copies that miss a write are marked suspect and
+// counted as divergence. With Options.ReadFailover, reads skip suspect
+// copies and fall through to in-sync ones on unavailability errors
+// (kvs.IsUnavailable — semantic errors still surface immediately). Heal
+// probes suspect shards, rewrites every entry they own from an in-sync
+// holder (read-repair), and clears the mark; HealInterval runs it on a
+// cadence. The durability contract with W<R: a write acknowledged only by
+// copies that all later crash is dropped by repair.
+//
 // Consistency notes: replica fan-out is synchronous (read-your-writes
-// everywhere). Rebalancing serialises against itself but not against
-// in-flight operations — a write racing a migration can land on the old
-// owner after its range moved. The cluster harness rebalances only between
-// experiment phases, matching how operators resize a tier.
+// everywhere). Membership changes (Join/Leave) serialise against each other
+// and coordinate with in-flight writes: per-key fences order each copy
+// against the migrating stream, and a double-write window routes writes to
+// the union of old and new owners until the new ring commits, so a write
+// racing a resize can neither be stranded on the old owner nor missed by
+// the new one. Reads stay on the committed ring throughout.
 package shardkvs

@@ -27,6 +27,8 @@ type MigrationStats struct {
 // tier (faasmd, faasm-cli): attaching must never mutate tier data. Use Join
 // to add an empty node to a live tier and stream its ranges over.
 func (r *Ring) Attach(id string, store kvs.Store) error {
+	r.migrateMu.Lock()
+	defer r.migrateMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.nodes[id]; dup {
@@ -46,10 +48,18 @@ func (r *Ring) Attach(id string, store kvs.Store) error {
 // membership back with the tier untouched apart from harmless extra copies;
 // a drop-phase error leaves routing committed and only stale (unrouted)
 // copies behind, and a later Rebalance retries the cleanup.
+//
+// Plain traffic proceeds during the stream. The migration opens the
+// double-write window first (writes land on the union of current and
+// incoming owners), then copies each key under its write fence, so a racing
+// update either reaches the new owner via the fan-out or is carried by the
+// copy — it cannot strand on the old owner.
 func (r *Ring) Join(id string, store kvs.Store) (MigrationStats, error) {
+	r.migrateMu.Lock()
+	defer r.migrateMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.nodes[id]; dup {
+		r.mu.Unlock()
 		return MigrationStats{}, fmt.Errorf("shardkvs: node %q already joined", id)
 	}
 	r.nodes[id] = newNode(id, store)
@@ -57,30 +67,44 @@ func (r *Ring) Join(id string, store kvs.Store) (MigrationStats, error) {
 	if len(r.points) == 0 {
 		// First node: nothing to stream.
 		r.points = newPoints
+		r.mu.Unlock()
 		return MigrationStats{}, nil
 	}
+	r.nextPoints = newPoints // double-write window opens
+	r.mu.Unlock()
+
 	stats, drops, err := r.copyPhase(newPoints)
+
+	r.mu.Lock()
 	if err != nil {
 		delete(r.nodes, id)
+		r.nextPoints = nil
+		r.mu.Unlock()
 		return stats, err
 	}
 	r.points = newPoints
-	err = dropPhase(drops, &stats)
+	r.nextPoints = nil // commit: reads now route to the new placement
+	r.mu.Unlock()
+	err = r.dropPhase(drops, &stats)
 	return stats, err
 }
 
 // Leave removes a shard gracefully: its keys are streamed to their new
 // owners before the node is dropped (the leaving node is still reachable as
-// a copy source during the stream). The last node cannot leave. Error
-// semantics match Join: a copy-phase error leaves the ring unchanged, a
-// drop-phase error leaves only stale copies behind.
+// a copy source — and still receives double-writes — during the stream). The
+// last node cannot leave. Error semantics match Join: a copy-phase error
+// leaves the ring unchanged, a drop-phase error leaves only stale copies
+// behind.
 func (r *Ring) Leave(id string) (MigrationStats, error) {
+	r.migrateMu.Lock()
+	defer r.migrateMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.nodes[id]; !ok {
+		r.mu.Unlock()
 		return MigrationStats{}, fmt.Errorf("shardkvs: node %q not in ring", id)
 	}
 	if len(r.nodes) == 1 {
+		r.mu.Unlock()
 		return MigrationStats{}, fmt.Errorf("shardkvs: cannot remove last node %q", id)
 	}
 	ids := make([]string, 0, len(r.nodes)-1)
@@ -90,31 +114,45 @@ func (r *Ring) Leave(id string) (MigrationStats, error) {
 		}
 	}
 	newPoints := buildPoints(ids, r.opts.VirtualNodes)
+	r.nextPoints = newPoints // double-write window opens
+	r.mu.Unlock()
+
 	stats, drops, err := r.copyPhase(newPoints)
+
+	r.mu.Lock()
 	if err != nil {
+		r.nextPoints = nil
+		r.mu.Unlock()
 		return stats, err
 	}
 	delete(r.nodes, id)
 	r.points = newPoints
-	err = dropPhase(drops, &stats)
+	r.nextPoints = nil
+	r.mu.Unlock()
+	err = r.dropPhase(drops, &stats)
 	return stats, err
 }
 
 // Rebalance re-converges data placement onto the current routing: copies
 // every entry to owners that lack it and drops copies from non-owners. It
 // is idempotent — a no-op on a converged tier — and is the retry path after
-// a failed Join/Leave migration.
+// a failed Join/Leave migration. Placement does not change, so no
+// double-write window is needed; each key's copy and drop still run under
+// its write fence.
 func (r *Ring) Rebalance() (MigrationStats, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.points) == 0 {
+	r.migrateMu.Lock()
+	defer r.migrateMu.Unlock()
+	r.mu.RLock()
+	points := r.points
+	r.mu.RUnlock()
+	if len(points) == 0 {
 		return MigrationStats{}, nil
 	}
-	stats, drops, err := r.copyPhase(r.points)
+	stats, drops, err := r.copyPhase(points)
 	if err != nil {
 		return stats, err
 	}
-	err = dropPhase(drops, &stats)
+	err = r.dropPhase(drops, &stats)
 	return stats, err
 }
 
@@ -135,12 +173,23 @@ type pendingDrop struct {
 // copyPhase enumerates which node holds which entry and streams every entry
 // to the owners (under newPoints) that do not yet hold it, copying from a
 // node that actually holds the data. Nothing is deleted here; the returned
-// drops list the copies that stopped being owned. Caller holds r.mu.
+// drops list the copies that stopped being owned.
+//
+// The ring lock is not held: membership cannot change underneath (the
+// caller holds migrateMu, which serialises Attach and every migration) and
+// each key's copies run under its write fence, ordering the stream against
+// live writers on that key.
 func (r *Ring) copyPhase(newPoints []point) (MigrationStats, []pendingDrop, error) {
 	var stats MigrationStats
+	r.mu.RLock()
+	nodes := make(map[string]*node, len(r.nodes))
+	for id, n := range r.nodes {
+		nodes[id] = n
+	}
+	r.mu.RUnlock()
 	// key → kind → sorted ids of nodes holding that entry.
 	holders := map[string]map[kvs.Kind][]string{}
-	for id, n := range r.nodes {
+	for id, n := range nodes {
 		infos, err := listKeys(n)
 		if err != nil {
 			return stats, nil, err
@@ -165,41 +214,52 @@ func (r *Ring) copyPhase(newPoints []point) (MigrationStats, []pendingDrop, erro
 		}
 		moved := false
 		holdsAny := map[string]bool{}
-		for kind, ids := range byKind {
-			sort.Strings(ids)
-			has := map[string]bool{}
-			for _, id := range ids {
-				has[id] = true
-				holdsAny[id] = true
-			}
-			// Copy from a node that holds the entry, preferring one that
-			// stays an owner (it will survive the drop phase).
-			src := r.nodes[ids[0]]
-			for _, id := range ids {
-				if newSet[id] {
-					src = r.nodes[id]
-					break
+		err := func() error {
+			// Fence the key across all its kinds: a racing writer either
+			// completes before the copy (the copy carries its update) or
+			// routes after it (the open double-write window lands the update
+			// on the new owners directly).
+			defer r.writeFence(key)()
+			for kind, ids := range byKind {
+				sort.Strings(ids)
+				has := map[string]bool{}
+				for _, id := range ids {
+					has[id] = true
+					holdsAny[id] = true
+				}
+				// Copy from a node that holds the entry, preferring one that
+				// stays an owner (it will survive the drop phase).
+				src := nodes[ids[0]]
+				for _, id := range ids {
+					if newSet[id] {
+						src = nodes[id]
+						break
+					}
+				}
+				for _, owner := range newOwners {
+					if has[owner] {
+						continue
+					}
+					n, err := copyKind(src.store, nodes[owner].store, key, kind)
+					if err != nil {
+						return fmt.Errorf("shardkvs: stream %q %s→%s: %w", key, src.id, owner, err)
+					}
+					stats.CopiesWritten++
+					stats.BytesMoved += n
+					moved = true
 				}
 			}
-			for _, owner := range newOwners {
-				if has[owner] {
-					continue
-				}
-				n, err := copyKind(src.store, r.nodes[owner].store, key, kind)
-				if err != nil {
-					return stats, nil, fmt.Errorf("shardkvs: stream %q %s→%s: %w", key, src.id, owner, err)
-				}
-				stats.CopiesWritten++
-				stats.BytesMoved += n
-				moved = true
-			}
+			return nil
+		}()
+		if err != nil {
+			return stats, nil, err
 		}
 		if moved {
 			stats.KeysMoved++
 		}
 		for id := range holdsAny {
 			if !newSet[id] {
-				drops = append(drops, pendingDrop{r.nodes[id], key})
+				drops = append(drops, pendingDrop{nodes[id], key})
 			}
 		}
 	}
@@ -208,10 +268,16 @@ func (r *Ring) copyPhase(newPoints []point) (MigrationStats, []pendingDrop, erro
 
 // dropPhase deletes copies from nodes that stopped owning them. Every new
 // owner already holds the data, so a failure here leaves only stale,
-// unrouted copies — Rebalance retries the cleanup.
-func dropPhase(drops []pendingDrop, stats *MigrationStats) error {
+// unrouted copies — Rebalance retries the cleanup. It runs after commit, so
+// writers no longer route to the dropped copies; each drop is still fenced
+// against a writer that routed just before commit.
+func (r *Ring) dropPhase(drops []pendingDrop, stats *MigrationStats) error {
 	for _, d := range drops {
-		if err := d.node.store.Delete(d.key); err != nil {
+		err := func() error {
+			defer r.writeFence(d.key)()
+			return d.node.store.Delete(d.key)
+		}()
+		if err != nil {
 			return fmt.Errorf("shardkvs: drop %q from %s (stale copy remains, rerun Rebalance): %w", d.key, d.node.id, err)
 		}
 		stats.CopiesDropped++

@@ -1,6 +1,7 @@
 package shardkvs
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -38,9 +39,31 @@ type Options struct {
 	VirtualNodes int
 	// ReadPref selects the read routing policy.
 	ReadPref ReadPref
+	// WriteQuorum is how many copies must acknowledge a replicated write
+	// (clamped to the copy count; 0 means every copy — the strictest, and
+	// the historical, semantics). With W < R a write succeeds while up to
+	// R−W copies are down; the failed copies are marked suspect, dropped
+	// from the read set, and re-synced by Heal when they return.
+	WriteQuorum int
+	// ReadFailover lets a read that fails with an unavailability error on
+	// its chosen node fall through to the remaining in-sync copies, marking
+	// the failed node suspect. Off by default: an unreplicated tier has
+	// nowhere to fail over to, and callers that want fail-stop semantics
+	// keep them.
+	ReadFailover bool
+	// HealInterval, when positive, runs Heal on a background loop so
+	// suspect shards are probed and re-synced without operator action.
+	// 0 (default) leaves healing to explicit Heal calls — deterministic
+	// for tests. Close stops the loop.
+	HealInterval time.Duration
+	// NewStore, when set, builds the store for each endpoint AttachRemote
+	// attaches (nil = kvs.NewClient with defaults). faasmd uses it to hand
+	// every shard client its dial timeout and retry policy.
+	NewStore func(addr string) kvs.Store
 }
 
-// node is one shard: an id on the ring plus the store that holds its keys.
+// node is one shard: an id on the ring plus the store that holds its keys,
+// and the ring's local view of its health.
 type node struct {
 	id    string
 	store kvs.Store
@@ -48,6 +71,17 @@ type node struct {
 	// CPU work. Fan-out parallelism is pointless for those on a single-CPU
 	// host (see spawnFanOut).
 	inproc bool
+
+	// suspect marks a copy that failed an operation with an unavailability
+	// error and has not been re-synced since. Suspect copies are skipped by
+	// reads (their data may be stale: writes keep succeeding on the other
+	// copies while a node is down) but still attempted by writes — a write
+	// that lands on a suspect node shrinks, never grows, the repair. Only
+	// Heal clears the mark, after re-syncing the node's keys.
+	suspect  atomic.Bool
+	failures atomic.Int64
+	// downSince is the wall time (UnixNano) of the suspect marking.
+	downSince atomic.Int64
 }
 
 func newNode(id string, store kvs.Store) *node {
@@ -89,6 +123,17 @@ type Ring struct {
 	mu     sync.RWMutex
 	nodes  map[string]*node
 	points []point // sorted by hash
+	// nextPoints, when non-nil, is the placement a migration is streaming
+	// toward: the double-write window is open and writes target the union
+	// of owners under points and nextPoints, so an update during a resize
+	// cannot strand on the old owner. Reads keep routing on points until
+	// the migration commits. Guarded by mu.
+	nextPoints []point
+
+	// migrateMu serialises Join/Leave/Rebalance/Heal against each other;
+	// they no longer hold mu across the stream, so plain traffic proceeds
+	// during a migration.
+	migrateMu sync.Mutex
 
 	rr atomic.Uint64 // read round-robin cursor
 
@@ -97,10 +142,47 @@ type Ring struct {
 	reads  atomic.Int64
 	writes atomic.Int64
 
-	// writeStripes serialise replicated writes per key: without them two
-	// concurrent Sets can commit in opposite orders on primary and replica
-	// and diverge the copies permanently. Unused when Replication is 1.
+	// Failure-handling counters (see Instrument for the exported series).
+	failovers  atomic.Int64 // reads served by a fallback copy
+	divergence atomic.Int64 // writes whose copies may disagree
+	repairs    atomic.Int64 // suspect nodes re-synced back into service
+	suspects   atomic.Int64 // nodes currently suspect
+
+	// healStop terminates the HealInterval loop, if one was started.
+	healStop chan struct{}
+	healOnce sync.Once
+
+	// writeStripes serialise writes per key: a replicated write must commit
+	// in the same order on every copy or the copies diverge permanently,
+	// and a migration's per-key copy/drop steps take the same stripe so a
+	// racing write can never interleave with the key's stream. Fencing is
+	// unconditional — an unreplicated ring still needs write-vs-migration
+	// ordering — and costs one uncontended mutex on the healthy path.
 	writeStripes [64]sync.Mutex
+}
+
+// FailureStats is a snapshot of the ring's failure-handling counters — the
+// same series Instrument exports as faasm_shardkvs_failovers_total and
+// friends; tests and the chaos experiment read them directly.
+type FailureStats struct {
+	// Failovers is reads served by a fallback copy.
+	Failovers int64
+	// Divergence is writes acknowledged by some copies but not others.
+	Divergence int64
+	// Repairs is suspect nodes re-synced back into service.
+	Repairs int64
+	// Suspects is nodes currently suspect.
+	Suspects int64
+}
+
+// FailureStats snapshots the failure-handling counters.
+func (r *Ring) FailureStats() FailureStats {
+	return FailureStats{
+		Failovers:  r.failovers.Load(),
+		Divergence: r.divergence.Load(),
+		Repairs:    r.repairs.Load(),
+		Suspects:   r.suspects.Load(),
+	}
 }
 
 // Instrument registers the ring's op counters and shard gauge with reg, plus
@@ -110,6 +192,10 @@ func (r *Ring) Instrument(reg *obsv.Registry) {
 	none := map[string]string(nil)
 	reg.CounterFunc("faasm_shardkvs_reads_total", "reads routed through the ring", none, r.reads.Load)
 	reg.CounterFunc("faasm_shardkvs_writes_total", "writes routed through the ring", none, r.writes.Load)
+	reg.CounterFunc("faasm_shardkvs_failovers_total", "reads served by a fallback copy after the chosen shard failed", none, r.failovers.Load)
+	reg.CounterFunc("faasm_shardkvs_replica_divergence_total", "writes acknowledged by some copies but not others, so copies may disagree until repair", none, r.divergence.Load)
+	reg.CounterFunc("faasm_shardkvs_repairs_total", "suspect shards re-synced and returned to the read set", none, r.repairs.Load)
+	reg.GaugeFunc("faasm_shardkvs_suspect_shards", "shard nodes currently marked suspect and excluded from reads", none, r.suspects.Load)
 	reg.GaugeFunc("faasm_shardkvs_shards", "shard nodes attached to the ring", none, func() int64 {
 		r.mu.RLock()
 		defer r.mu.RUnlock()
@@ -132,7 +218,12 @@ func New(opts Options) *Ring {
 	if opts.Replication <= 0 {
 		opts.Replication = 1
 	}
-	return &Ring{opts: opts, nodes: map[string]*node{}}
+	r := &Ring{opts: opts, nodes: map[string]*node{}}
+	if opts.HealInterval > 0 {
+		r.healStop = make(chan struct{})
+		go r.healLoop(opts.HealInterval)
+	}
+	return r
 }
 
 // NewLocal builds a ring of n in-process engines named shard-0..shard-n-1;
@@ -156,7 +247,13 @@ func AttachRemote(endpoints []string, opts Options) (*Ring, error) {
 	}
 	r := New(opts)
 	for _, addr := range endpoints {
-		if err := r.Attach(addr, kvs.NewClient(addr)); err != nil {
+		var store kvs.Store
+		if opts.NewStore != nil {
+			store = opts.NewStore(addr)
+		} else {
+			store = kvs.NewClient(addr)
+		}
+		if err := r.Attach(addr, store); err != nil {
 			r.Close()
 			return nil, err
 		}
@@ -176,8 +273,12 @@ func SplitEndpoints(s string) []string {
 	return out
 }
 
-// Close releases node stores that hold resources (TCP clients).
+// Close stops the heal loop (if any) and releases node stores that hold
+// resources (TCP clients).
 func (r *Ring) Close() error {
+	if r.healStop != nil {
+		r.healOnce.Do(func() { close(r.healStop) })
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var firstErr error
@@ -270,6 +371,8 @@ func (r *Ring) Owners(key string) []string {
 // invoke the stores after the lock is released so a blocking Lock acquire
 // cannot wedge the ring against a rebalance. The unreplicated hot path does
 // no allocation — routing must stay far cheaper than the shard op itself.
+// Reads route on the committed points even mid-migration: old owners hold
+// their data until the drop phase, which runs only after commit.
 func (r *Ring) route(key string) (*node, []*node, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -291,86 +394,180 @@ func (r *Ring) route(key string) (*node, []*node, error) {
 	return primary, replicas, nil
 }
 
-// writeFence serialises replicated writes to one key across this ring
-// instance. Returns nil (no fence needed) when the tier is unreplicated.
+// routeWrite is route for writes: while a migration's double-write window
+// is open it extends the target set with the key's owners under the
+// incoming placement, so an update during a resize lands on the nodes that
+// are about to own it as well as the ones that do. The primary stays the
+// old primary — its result remains authoritative until commit.
+func (r *Ring) routeWrite(key string) (*node, []*node, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil, nil, fmt.Errorf("shardkvs: empty ring")
+	}
+	if r.opts.Replication == 1 && r.nextPoints == nil {
+		return r.nodes[r.points[searchPoints(r.points, key)].id], nil, nil
+	}
+	ids := ownersOn(r.points, key, r.opts.Replication)
+	primary := r.nodes[ids[0]]
+	var extras []*node
+	for _, id := range ids[1:] {
+		extras = append(extras, r.nodes[id])
+	}
+	if r.nextPoints != nil {
+	next:
+		for _, id := range ownersOn(r.nextPoints, key, r.opts.Replication) {
+			if id == primary.id {
+				continue
+			}
+			for _, n := range extras {
+				if n.id == id {
+					continue next
+				}
+			}
+			// A just-joining node is in r.nodes before the window opens; a
+			// leaving node stays in r.nodes until commit. Either way every
+			// incoming owner resolves.
+			if n := r.nodes[id]; n != nil {
+				extras = append(extras, n)
+			}
+		}
+	}
+	return primary, extras, nil
+}
+
+// writeFence serialises writes to one key across this ring instance, and
+// orders them against a migration's per-key copy/drop steps (which take the
+// same stripe). Replicated writes need the ordering so copies cannot commit
+// concurrent Sets in opposite orders and diverge permanently; unreplicated
+// writes need it so a resize cannot interleave with a racing update.
 // Writers from other ring instances are not ordered — cross-client writes
 // to one key need the kvs global lock, exactly as the paper's §4.2
 // consistent-write recipe prescribes.
 func (r *Ring) writeFence(key string) func() {
-	if r.opts.Replication <= 1 {
-		return nil
-	}
 	m := &r.writeStripes[hashKey(key)&63]
 	m.Lock()
 	return m.Unlock
 }
 
-// writeVal applies op to the key's primary and fans the same op out to its
-// replicas, returning the primary's result. The fan-out is parallel: every
-// copy applies the op concurrently, so a replicated write costs the slowest
-// copy instead of the sum over R copies (sequential fan-out made R=2 double
-// write latency). The write fence above keeps concurrent writers to one key
-// ordered identically on every copy, so parallelism cannot diverge an
-// error-free write.
+// quorum resolves Options.WriteQuorum against the actual copy count of one
+// write.
+func (r *Ring) quorum(copies int) int {
+	w := r.opts.WriteQuorum
+	if w <= 0 || w > copies {
+		return copies
+	}
+	return w
+}
+
+// noteFailure records an unavailability error against a node, marking it
+// suspect so reads skip it until Heal re-syncs it. Semantic errors are not
+// health signals — a live shard rejecting a bad TTL is healthy.
+func (r *Ring) noteFailure(n *node, err error) {
+	if !kvs.IsUnavailable(err) {
+		return
+	}
+	n.failures.Add(1)
+	if n.suspect.CompareAndSwap(false, true) {
+		n.downSince.Store(time.Now().UnixNano())
+		r.suspects.Add(1)
+	}
+}
+
+// clearSuspect returns a repaired node to the read set.
+func (r *Ring) clearSuspect(n *node) {
+	if n.suspect.CompareAndSwap(true, false) {
+		r.suspects.Add(-1)
+		r.repairs.Add(1)
+	}
+}
+
+// writeVal applies op to every copy of key — primary, replicas, and (during
+// a migration) incoming owners — in parallel, so a replicated write costs
+// the slowest copy instead of the sum over R copies. The write fence keeps
+// concurrent writers to one key ordered identically on every copy, so
+// parallelism cannot diverge an error-free write.
 //
-// Error semantics: any error (primary or replica) means the write's copies
-// may disagree — in the parallel path a replica can even have applied an op
-// the primary rejected, because the copies start concurrently. Callers must
-// treat an errored write as indeterminate: retry it (Set/SetRange replays
-// converge every copy) or run Rebalance to re-converge placement. The
-// single-CPU inline path keeps the stricter primary-first order as a side
-// effect, but callers must not rely on it. (A package function because
-// methods cannot take type parameters.)
+// Quorum semantics: the write succeeds when at least W copies acknowledge
+// (Options.WriteQuorum; default all). The returned value is the primary's
+// when it acked, else the first acking copy's. Copies that failed with
+// unavailability are marked suspect — reads skip them and Heal re-syncs
+// them — and a partial acknowledgement increments the divergence counter,
+// because until repair the copies may disagree.
+//
+// Error semantics below quorum: the error aggregates every copy's failure
+// (errors.Join), not just the first, so a diagnosing operator sees which
+// copies refused and why. A failed write remains indeterminate — some
+// copies may have applied it — so callers retry it (Set/SetRange replays
+// converge every copy) or run Rebalance/Heal to re-converge. (A package
+// function because methods cannot take type parameters.)
 func writeVal[T any](r *Ring, key string, op func(s kvs.Store) (T, error)) (T, error) {
 	r.writes.Add(1)
-	if unlock := r.writeFence(key); unlock != nil {
-		defer unlock()
-	}
-	primary, replicas, err := r.route(key)
+	defer r.writeFence(key)()
+	primary, extras, err := r.routeWrite(key)
 	if err != nil {
 		var zero T
 		return zero, err
 	}
-	if len(replicas) == 0 {
-		return op(primary.store)
-	}
-	if !spawnFanOut(replicas) {
+	if len(extras) == 0 {
 		v, err := op(primary.store)
 		if err != nil {
+			r.noteFailure(primary, err)
+		}
+		return v, err
+	}
+	copies := 1 + len(extras)
+	w := r.quorum(copies)
+	results := make([]T, copies)
+	errs := make([]error, copies)
+	apply := func(i int, n *node) {
+		results[i], errs[i] = op(n.store)
+		if errs[i] != nil {
+			r.noteFailure(n, errs[i])
+			errs[i] = fmt.Errorf("shardkvs: copy %s: %w", n.id, errs[i])
+		}
+	}
+	if !spawnFanOut(extras) {
+		apply(0, primary)
+		if errs[0] != nil && w == copies {
+			// Strict quorum cannot be met anymore; preserve the inline
+			// path's stricter primary-first order and stop here.
 			var zero T
-			return zero, err
+			return zero, errs[0]
 		}
-		var firstErr error
-		for _, rep := range replicas {
-			if _, err := op(rep.store); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("shardkvs: replica %s: %w", rep.id, err)
-			}
+		for i, n := range extras {
+			apply(i+1, n)
 		}
-		return v, firstErr
+	} else {
+		var wg sync.WaitGroup
+		for i, n := range extras {
+			wg.Add(1)
+			go func(i int, n *node) {
+				defer wg.Done()
+				apply(i, n)
+			}(i+1, n)
+		}
+		apply(0, primary)
+		wg.Wait()
 	}
-	errs := make([]error, len(replicas))
-	var wg sync.WaitGroup
-	for i, rep := range replicas {
-		wg.Add(1)
-		go func(i int, rep *node) {
-			defer wg.Done()
-			if _, err := op(rep.store); err != nil {
-				errs[i] = fmt.Errorf("shardkvs: replica %s: %w", rep.id, err)
-			}
-		}(i, rep)
-	}
-	v, perr := op(primary.store)
-	wg.Wait()
-	if perr != nil {
-		var zero T
-		return zero, perr
-	}
+	acks := 0
 	for _, e := range errs {
-		if e != nil {
-			return v, e
+		if e == nil {
+			acks++
 		}
 	}
-	return v, nil
+	if acks > 0 && acks < copies {
+		r.divergence.Add(1)
+	}
+	if acks >= w {
+		for i, e := range errs {
+			if e == nil {
+				return results[i], nil
+			}
+		}
+	}
+	var zero T
+	return zero, errors.Join(errs...)
 }
 
 // write is writeVal for operations without a result.
@@ -381,32 +578,106 @@ func (r *Ring) write(key string, op func(s kvs.Store) error) error {
 	return err
 }
 
-// readNode picks the owner that serves a read of key.
+// readNode picks the owner that serves a read of key, skipping suspect
+// copies (their data may be stale — a down node missed writes that the
+// surviving copies acknowledged). If every copy is suspect the primary is
+// returned anyway: a desperate read beats no read.
 func (r *Ring) readNode(key string) (*node, error) {
 	r.reads.Add(1)
 	primary, replicas, err := r.route(key)
 	if err != nil {
 		return nil, err
 	}
-	if r.opts.ReadPref == ReadPrimary || len(replicas) == 0 {
+	if len(replicas) == 0 {
+		return primary, nil
+	}
+	if r.opts.ReadPref == ReadPrimary {
+		if primary.suspect.Load() {
+			for _, rep := range replicas {
+				if !rep.suspect.Load() {
+					// Served by a fallback copy: count it, so the failover
+					// series reflects suspect-skips as well as live fall-throughs.
+					r.failovers.Add(1)
+					return rep, nil
+				}
+			}
+		}
 		return primary, nil
 	}
 	// Modulo in uint64: a signed conversion first would eventually go
 	// negative and index out of range.
-	idx := int(r.rr.Add(1) % uint64(1+len(replicas)))
-	if idx == 0 {
-		return primary, nil
+	total := 1 + len(replicas)
+	start := int(r.rr.Add(1) % uint64(total))
+	for i := 0; i < total; i++ {
+		var n *node
+		if idx := (start + i) % total; idx == 0 {
+			n = primary
+		} else {
+			n = replicas[idx-1]
+		}
+		if !n.suspect.Load() {
+			if i > 0 {
+				// The round-robin pick was suspect; this read is served by a
+				// fallback copy.
+				r.failovers.Add(1)
+			}
+			return n, nil
+		}
 	}
-	return replicas[idx-1], nil
+	return primary, nil
+}
+
+// readVal serves one single-key read with failover: the chosen node first;
+// if it fails with an unavailability error (and Options.ReadFailover is on)
+// the read falls through the remaining in-sync copies, marking failed nodes
+// suspect as it goes. Semantic errors surface immediately — a live shard's
+// rejection is the answer, not an outage. (A package function because
+// methods cannot take type parameters.)
+func readVal[T any](r *Ring, key string, op func(s kvs.Store) (T, error)) (T, error) {
+	n, err := r.readNode(key)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	v, err := op(n.store)
+	if err == nil {
+		return v, nil
+	}
+	r.noteFailure(n, err)
+	if !r.opts.ReadFailover || !kvs.IsUnavailable(err) {
+		return v, err
+	}
+	primary, replicas, rerr := r.route(key)
+	if rerr != nil {
+		var zero T
+		return zero, err
+	}
+	for i := 0; i < 1+len(replicas); i++ {
+		cand := primary
+		if i > 0 {
+			cand = replicas[i-1]
+		}
+		if cand == n || cand.suspect.Load() {
+			continue
+		}
+		r.failovers.Add(1)
+		v, ferr := op(cand.store)
+		if ferr == nil {
+			return v, nil
+		}
+		r.noteFailure(cand, ferr)
+		if !kvs.IsUnavailable(ferr) {
+			return v, ferr
+		}
+		err = ferr
+	}
+	var zero T
+	return zero, err
 }
 
 // Get implements kvs.Store.
 func (r *Ring) Get(key string) ([]byte, error) {
-	n, err := r.readNode(key)
-	if err != nil {
-		return nil, err
-	}
-	return n.store.Get(key)
+	return readVal(r, key, func(s kvs.Store) ([]byte, error) { return s.Get(key) })
 }
 
 // Set implements kvs.Store.
@@ -414,24 +685,79 @@ func (r *Ring) Set(key string, val []byte) error {
 	return r.write(key, func(s kvs.Store) error { return s.Set(key, val) })
 }
 
-// SetEx implements kvs.Store: the expiring write lands on the key's primary
-// and fans out to its replicas in parallel like any other write. Each copy
-// arms its own deadline on its own clock at fan-out time, so replica
-// deadlines can skew by the fan-out latency — which is why TTL reads route
-// to the primary.
-func (r *Ring) SetEx(key string, val []byte, ttl time.Duration) error {
-	return r.write(key, func(s kvs.Store) error { return s.SetEx(key, val, ttl) })
+// setExRemaining converts one absolute deadline into the TTL a copy should
+// arm right now, clamped to a millisecond minimum: a fan-out that outlives
+// the lease still arms an immediately-expiring deadline rather than turning
+// a valid SetEx into a semantic error halfway through its copies.
+func setExRemaining(deadline time.Time) time.Duration {
+	rem := time.Until(deadline)
+	if rem < time.Millisecond {
+		rem = time.Millisecond
+	}
+	return rem
 }
 
-// TTL implements kvs.Store, always reading the primary: the primary's clock
-// is the authority for a key's lifetime, and ReadAny replicas may hold
-// deadlines skewed by replication latency.
+// SetEx implements kvs.Store: the expiring write lands on the key's primary
+// and fans out to its replicas in parallel like any other write. The ring
+// computes the absolute deadline once and hands each copy the *remaining*
+// TTL at the moment its write issues, so replica deadlines skew only by
+// inter-shard clock delta — not by fan-out latency, which on a slow path
+// used to extend a replica's lease by the whole fan-out. TTL reads still
+// route to the primary as the lifetime authority.
+func (r *Ring) SetEx(key string, val []byte, ttl time.Duration) error {
+	if ttl <= 0 {
+		// Validate before computing a deadline: a non-positive ttl must be
+		// rejected, not clamped into a 1ms lease.
+		return fmt.Errorf("shardkvs: setex ttl must be positive, got %v", ttl)
+	}
+	deadline := time.Now().Add(ttl)
+	return r.write(key, func(s kvs.Store) error { return s.SetEx(key, val, setExRemaining(deadline)) })
+}
+
+// TTL implements kvs.Store, preferring the primary: the primary's clock is
+// the authority for a key's lifetime. With ReadFailover a suspect or
+// unreachable primary falls through to a replica — its deadline can skew by
+// the inter-shard clock delta, which beats refusing liveness judgements
+// while a shard restarts.
 func (r *Ring) TTL(key string) (time.Duration, error) {
-	primary, _, err := r.route(key)
+	primary, replicas, err := r.route(key)
 	if err != nil {
 		return 0, err
 	}
-	return primary.store.TTL(key)
+	n := primary
+	if primary.suspect.Load() && r.opts.ReadFailover {
+		for _, rep := range replicas {
+			if !rep.suspect.Load() {
+				n = rep
+				break
+			}
+		}
+	}
+	r.reads.Add(1)
+	d, err := n.store.TTL(key)
+	if err == nil || !r.opts.ReadFailover || !kvs.IsUnavailable(err) {
+		if err != nil {
+			r.noteFailure(n, err)
+		}
+		return d, err
+	}
+	r.noteFailure(n, err)
+	for _, cand := range replicas {
+		if cand == n || cand.suspect.Load() {
+			continue
+		}
+		r.failovers.Add(1)
+		if d, ferr := cand.store.TTL(key); ferr == nil {
+			return d, nil
+		} else {
+			r.noteFailure(cand, ferr)
+			if !kvs.IsUnavailable(ferr) {
+				return d, ferr
+			}
+			err = ferr
+		}
+	}
+	return 0, err
 }
 
 // Persist implements kvs.Store. The primary's removed result is
@@ -442,11 +768,7 @@ func (r *Ring) Persist(key string) (bool, error) {
 
 // GetRange implements kvs.Store.
 func (r *Ring) GetRange(key string, off, n int) ([]byte, error) {
-	nd, err := r.readNode(key)
-	if err != nil {
-		return nil, err
-	}
-	return nd.store.GetRange(key, off, n)
+	return readVal(r, key, func(s kvs.Store) ([]byte, error) { return s.GetRange(key, off, n) })
 }
 
 // SetRange implements kvs.Store.
@@ -462,11 +784,7 @@ func (r *Ring) Append(key string, val []byte) (int, error) {
 
 // Len implements kvs.Store.
 func (r *Ring) Len(key string) (int, error) {
-	n, err := r.readNode(key)
-	if err != nil {
-		return 0, err
-	}
-	return n.store.Len(key)
+	return readVal(r, key, func(s kvs.Store) (int, error) { return s.Len(key) })
 }
 
 // Delete implements kvs.Store.
@@ -486,11 +804,7 @@ func (r *Ring) SRem(key, member string) (bool, error) {
 
 // SMembers implements kvs.Store.
 func (r *Ring) SMembers(key string) ([]string, error) {
-	n, err := r.readNode(key)
-	if err != nil {
-		return nil, err
-	}
-	return n.store.SMembers(key)
+	return readVal(r, key, func(s kvs.Store) ([]string, error) { return s.SMembers(key) })
 }
 
 // Incr implements kvs.Store. The primary's result is authoritative.
@@ -501,11 +815,8 @@ func (r *Ring) Incr(key string, delta int64) (int64, error) {
 // writeFenceAll is writeFence for a batch: the write stripes of every key
 // are taken in ascending stripe order (so concurrent batches cannot
 // deadlock) and held for the whole batched write. Stripes fit one uint64
-// bitmask. Returns nil when the tier is unreplicated.
+// bitmask.
 func (r *Ring) writeFenceAll(pairs []kvs.Pair) func() {
-	if r.opts.Replication <= 1 {
-		return nil
-	}
 	var mask uint64
 	for _, p := range pairs {
 		mask |= 1 << (hashKey(p.Key) & 63)
@@ -592,7 +903,33 @@ func eachGroup(groups []nodeGroup, op func(g nodeGroup) error) error {
 // MGet implements kvs.Batcher: keys are grouped by the shard that serves
 // their read and one batch issues per shard, all shards in parallel — so a
 // cross-shard batch costs one shard round trip, not one per key.
+//
+// Failover is batch-grained: a shard failing its group marks it suspect and
+// (with ReadFailover) the whole batch re-routes — readNode now skips the
+// suspect node, so the retry lands the failed group on surviving copies.
+// Bounded by the replication factor: after R re-routes every copy of some
+// key has failed and the error surfaces.
 func (r *Ring) MGet(keys []string) ([][]byte, error) {
+	attempts := 1
+	if r.opts.ReadFailover {
+		attempts += r.opts.Replication
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		out, err := r.mgetOnce(keys)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !r.opts.ReadFailover || !kvs.IsUnavailable(err) {
+			break
+		}
+		r.failovers.Add(1)
+	}
+	return nil, lastErr
+}
+
+func (r *Ring) mgetOnce(keys []string) ([][]byte, error) {
 	out := make([][]byte, len(keys))
 	if len(keys) == 0 {
 		return out, nil
@@ -608,6 +945,7 @@ func (r *Ring) MGet(keys []string) ([][]byte, error) {
 		}
 		vals, err := kvs.MGet(g.n.store, sub)
 		if err != nil {
+			r.noteFailure(g.n, err)
 			return err
 		}
 		if len(vals) != len(g.idx) {
@@ -636,33 +974,43 @@ func (r *Ring) MSet(pairs []kvs.Pair) error {
 }
 
 // MSetEx implements kvs.Batcher: MSet's per-shard batching and
-// primaries-first ordering, with every sub-batch armed with the shared ttl.
+// primaries-first ordering. Like SetEx, the ring computes one absolute
+// deadline up front and each sub-batch arms the TTL remaining when it
+// issues — in particular the replica wave, which starts only after every
+// primary committed, no longer outlives its primaries by the fan-out
+// latency.
 func (r *Ring) MSetEx(pairs []kvs.Pair, ttl time.Duration) error {
 	if ttl <= 0 {
 		// Fail before any shard is touched: a partial batch where some
 		// shards rejected the ttl and others never saw it is avoidable here.
 		return fmt.Errorf("shardkvs: msetex ttl must be positive, got %v", ttl)
 	}
+	deadline := time.Now().Add(ttl)
 	return r.msetBatched(pairs, func(s kvs.Store, sub []kvs.Pair) error {
-		return kvs.MSetEx(s, sub, ttl)
+		return kvs.MSetEx(s, sub, setExRemaining(deadline))
 	})
 }
 
 // msetBatched is the shared MSet/MSetEx fan-out: pairs grouped by owner,
 // one batch per shard, primaries committed (concurrently) before any
 // replica batch starts.
+//
+// Quorum semantics are batch-grained, coarser than writeVal's per-key
+// accounting: every primary batch must land (a failed primary fails the
+// whole call), and replica-batch failures are tolerated — suspect-marked
+// and divergence-counted but not surfaced — when Options.WriteQuorum
+// relaxes below full replication. With the default strict quorum any
+// replica failure surfaces, aggregated across groups.
 func (r *Ring) msetBatched(pairs []kvs.Pair, apply func(s kvs.Store, sub []kvs.Pair) error) error {
 	if len(pairs) == 0 {
 		return nil
 	}
 	r.writes.Add(int64(len(pairs)))
-	if unlock := r.writeFenceAll(pairs); unlock != nil {
-		defer unlock()
-	}
+	defer r.writeFenceAll(pairs)()
 	primaries := make([]*node, len(pairs))
 	replicas := make([][]*node, len(pairs))
 	for i, p := range pairs {
-		pri, reps, err := r.route(p.Key)
+		pri, reps, err := r.routeWrite(p.Key)
 		if err != nil {
 			return err
 		}
@@ -676,6 +1024,7 @@ func (r *Ring) msetBatched(pairs []kvs.Pair, apply func(s kvs.Store, sub []kvs.P
 				sub[j] = pairs[i]
 			}
 			if err := apply(g.n.store, sub); err != nil {
+				r.noteFailure(g.n, err)
 				return fmt.Errorf("shardkvs: node %s: %w", g.n.id, err)
 			}
 			return nil
@@ -705,26 +1054,40 @@ func (r *Ring) msetBatched(pairs []kvs.Pair, apply func(s kvs.Store, sub []kvs.P
 	if err != nil {
 		return err
 	}
-	return eachGroup(repGroups, func(g nodeGroup) error {
+	relaxed := r.quorum(r.opts.Replication) < r.opts.Replication
+	var repMu sync.Mutex
+	var repErrs []error
+	gerr := eachGroup(repGroups, func(g nodeGroup) error {
 		sub := make([]kvs.Pair, len(g.idx))
 		for j, i := range g.idx {
 			sub[j] = pairs[places[i].pair]
 		}
 		if err := apply(g.n.store, sub); err != nil {
-			return fmt.Errorf("shardkvs: replica %s: %w", g.n.id, err)
+			r.noteFailure(g.n, err)
+			r.divergence.Add(1)
+			repMu.Lock()
+			repErrs = append(repErrs, fmt.Errorf("shardkvs: replica %s: %w", g.n.id, err))
+			repMu.Unlock()
+			if relaxed {
+				// Relaxed quorum: the primaries hold the write; the failed
+				// replica is suspect and Heal re-syncs it.
+				return nil
+			}
+			return err
 		}
 		return nil
 	})
+	if gerr != nil {
+		return errors.Join(repErrs...)
+	}
+	return nil
 }
 
 // GetRanges implements kvs.Batcher: one key lives on one shard, so the whole
-// window batch forwards to the shard serving the read.
+// window batch forwards to the shard serving the read (with the same
+// failover as any single-key read).
 func (r *Ring) GetRanges(key string, ranges []kvs.Range) ([][]byte, error) {
-	n, err := r.readNode(key)
-	if err != nil {
-		return nil, err
-	}
-	return kvs.GetRanges(n.store, key, ranges)
+	return readVal(r, key, func(s kvs.Store) ([][]byte, error) { return kvs.GetRanges(s, key, ranges) })
 }
 
 // Lock implements kvs.Store: a key's lease lock lives on its owning

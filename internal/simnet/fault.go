@@ -1,0 +1,37 @@
+package simnet
+
+import (
+	"time"
+
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/kvs/kvstest"
+	"faasm.dev/faasm/internal/vtime"
+)
+
+// FaultShard is a fault-capable shard for the simulated tier: one shard's
+// store behind deterministic fault injection (whole-shard crash/restore,
+// injected errors, added latency), with the injected latency paid on the
+// experiment clock so a vtime-scaled chaos run degrades in experiment time,
+// not wall time. The cluster harness wraps every shard engine in one when
+// Config.FaultyShards is set, which is how the chaos experiments kill and
+// revive shards without real process death.
+//
+// A partition is the same machinery observed asymmetrically: crash the
+// FaultShard on one routing path while a second path wraps the same inner
+// store with a healthy shard.
+type FaultShard struct {
+	*kvstest.FaultStore
+}
+
+// NewFaultShard wraps inner as a crashable shard; a nil clock uses the wall
+// clock.
+func NewFaultShard(inner kvs.Store, clock vtime.Clock) *FaultShard {
+	f := kvstest.NewFaultStore(inner)
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	f.SetSleeper(func(d time.Duration) { clock.Sleep(d) })
+	return &FaultShard{FaultStore: f}
+}
+
+var _ kvs.Store = (*FaultShard)(nil)

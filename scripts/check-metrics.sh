@@ -56,5 +56,19 @@ if grep -q FAIL /tmp/check-metrics-out; then
     exit 1
 fi
 
+# Required series: the shard-health metrics the failure-model docs and the
+# chaos gate rely on must stay registered under these exact names.
+for required in \
+    faasm_shardkvs_failovers_total \
+    faasm_shardkvs_replica_divergence_total \
+    faasm_shardkvs_repairs_total \
+    faasm_shardkvs_suspect_shards; do
+    if ! echo "$sites" | grep -q ":$required\$"; then
+        echo "FAIL: required metric $required is not registered anywhere"
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
 count=$(echo "$sites" | wc -l | tr -d ' ')
 echo "metrics conventions: $count registration sites clean"
