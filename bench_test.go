@@ -80,6 +80,10 @@ func BenchmarkInvokeScale(b *testing.B) { benchReport(b, experiments.InvokeScale
 // (warm-pool grow-ahead vs static sizing + leased-liveness failover drain).
 func BenchmarkElasticity(b *testing.B) { benchReport(b, experiments.Elasticity) }
 
+// BenchmarkLocality regenerates the locality-aware forwarding experiment
+// (remote state bytes with the locality weight off vs on, sgd + dmatmul).
+func BenchmarkLocality(b *testing.B) { benchReport(b, experiments.Locality) }
+
 // BenchmarkBatchedVsSingleOps demonstrates the batch surface's win through
 // the TCP client: one pipelined MGet/MSet/GetRanges exchange against N
 // single round trips for the same data.

@@ -50,10 +50,11 @@ func main() {
 		"invoke-scale":  experiments.InvokeScale,
 		"elastic-sched": experiments.Elasticity,
 		"state-chaos":   experiments.StateChaos,
+		"locality":      experiments.Locality,
 	}
 	order := []string{"table1", "table3", "table3-python", "fig6", "fig6-small",
 		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "state-scale", "invoke-scale",
-		"elastic-sched", "state-chaos"}
+		"elastic-sched", "state-chaos", "locality"}
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
@@ -85,5 +86,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: faasm-bench [-quick] [-csv] [-json] <experiment>...
-experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale invoke-scale elastic-sched state-chaos`)
+experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale invoke-scale elastic-sched state-chaos locality`)
 }

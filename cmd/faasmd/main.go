@@ -12,7 +12,8 @@
 //	faasmd -trace-sample 1                         # trace every invocation
 //
 // The scheduling and state knobs (-pool-cap, -lease-ttl, -peer-cache-ttl,
-// -expiry-sweep and the elastic-pool flags) are documented in the README's
+// -locality-weight, -shard-id, -expiry-sweep and the elastic-pool flags)
+// are documented in the README's
 // "Operating faasmd" section, as are the observability knobs
 // (-trace-sample, -trace-buffer).
 //
@@ -33,6 +34,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -60,6 +62,8 @@ func main() {
 	poolCap := flag.Int("pool-cap", 0, "idle warm Faaslets kept per function (0 = runtime default, 64)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "liveness lease on this host's warm advertisements; heartbeats run at a third of it (0 = 10s)")
 	peerCacheTTL := flag.Duration("peer-cache-ttl", 0, "staleness bound on the cached peer warm set (0 = 1s)")
+	localityWeight := flag.Float64("locality-weight", 0, "blend data locality into cross-host forwarding: peer scores scale by (1 + weight×footprint-miss); 0 = off")
+	shardID := flag.String("shard-id", "", "tier shard this process co-hosts (e.g. the -kvs shard's ring id); residency adverts then credit shard-primary co-location")
 	elasticPool := flag.Bool("elastic-pool", false, "autoscale warm pools: grow ahead of misses, shrink on idle")
 	poolIdleTimeout := flag.Duration("pool-idle-timeout", 0, "idle time before an elastic pool starts shrinking (0 = 30s)")
 	expirySweep := flag.Duration("expiry-sweep", 0, "background sweep cadence for tier-side key expiry on engines this process hosts (0 = 1s)")
@@ -126,17 +130,23 @@ func main() {
 
 	objects := objstore.NewMemory()
 	up := upload.New(objects)
-	inst := frt.New(frt.Config{
+	fc := frt.Config{
 		Host:            *host,
 		Store:           store,
 		PoolCap:         *poolCap,
 		LeaseTTL:        *leaseTTL,
 		PeerCacheTTL:    *peerCacheTTL,
+		LocalityWeight:  *localityWeight,
 		ElasticPool:     *elasticPool,
 		PoolIdleTimeout: *poolIdleTimeout,
 		TraceSample:     *traceSample,
 		TraceBuffer:     *traceBuffer,
-	})
+	}
+	if ring != nil && *shardID != "" {
+		fc.StateOwners = ring.HealthyOwners
+		fc.LocalShard = *shardID
+	}
+	inst := frt.New(fc)
 	if localEngine != nil {
 		localEngine.Instrument(inst.Registry(), "global")
 	}
@@ -181,6 +191,19 @@ func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, rin
 			inst.ExecLatency.Median())
 		fmt.Fprintf(w, "pool misses: %d prewarmed: %d idle reclaims: %d\n",
 			inst.PoolMisses.Value(), inst.Prewarmed.Value(), inst.IdleReclaims.Value())
+		sc := inst.Scheduler()
+		fmt.Fprintf(w, "locality: hits %d misses %d saved %d bytes\n",
+			sc.Stats.LocalityHits.Load(), sc.Stats.LocalityMisses.Load(), sc.Stats.LocalitySavedBytes.Load())
+		if res := inst.Residency(); len(res) > 0 {
+			fns := make([]string, 0, len(res))
+			for fn := range res {
+				fns = append(fns, fn)
+			}
+			sort.Strings(fns)
+			for _, fn := range fns {
+				fmt.Fprintf(w, "resident %s: %d bytes\n", fn, res[fn])
+			}
+		}
 		if ring != nil {
 			st := ring.FailureStats()
 			fmt.Fprintf(w, "state tier: failovers %d divergent %d repairs %d\n",

@@ -84,10 +84,28 @@ func TestStatusEndpoint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	for _, want := range []string{"host: test-0", "functions:", "cold:", "pool misses:"} {
+	for _, want := range []string{"host: test-0", "functions:", "cold:", "pool misses:", "locality: hits"} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("status missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// A function that touches state must surface its locally-resident bytes on
+// /status once its access profile exists.
+func TestStatusResidency(t *testing.T) {
+	srv, inst := newTestServer(t, 1)
+	inst.RegisterNative("writer", hostapi.WrapGuest(func(api hostapi.API) (int32, error) {
+		if _, err := api.StateView("status/key", 4096); err != nil {
+			return 1, err
+		}
+		return 0, api.StatePush("status/key")
+	}))
+	invoke(t, srv, "writer", "").Body.Close()
+
+	_, body, _ := get(t, srv.URL+"/status")
+	if !strings.Contains(body, "resident writer: 4096 bytes") {
+		t.Fatalf("/status missing residency line:\n%s", body)
 	}
 }
 

@@ -104,6 +104,13 @@ type Config struct {
 	// 0 = obsv.DefaultSampleRate, 1 = all, < 0 off). All hosts share one
 	// tracer, so a forwarded call's spans — both hosts' — land in one record.
 	TraceSample int
+	// LocalityWeight blends data locality into cross-host forwarding (FAASM
+	// mode; see sched.Scheduler.LocalityWeight, 0 = off).
+	LocalityWeight float64
+	// CoLocateShards models each host h < StateShards co-hosting shard-h:
+	// those hosts' residency adverts credit keys whose healthy primary is
+	// their co-located shard. Requires StateShards > 1.
+	CoLocateShards bool
 }
 
 // Cluster is a live experiment cluster.
@@ -202,7 +209,7 @@ func New(cfg Config) *Cluster {
 			if cfg.UseProto {
 				cold = cfg.ProtoColdStart
 			}
-			inst := frt.New(frt.Config{
+			fc := frt.Config{
 				Host:            host,
 				Store:           store,
 				Clock:           c.Clock,
@@ -211,13 +218,19 @@ func New(cfg Config) *Cluster {
 				ColdStartDelay:  cold,
 				LeaseTTL:        cfg.LeaseTTL,
 				PeerCacheTTL:    cfg.PeerCacheTTL,
+				LocalityWeight:  cfg.LocalityWeight,
 				PoolCap:         cfg.PoolCap,
 				ElasticPool:     cfg.ElasticPool,
 				PoolIdleTimeout: cfg.PoolIdleTimeout,
 				ElasticInterval: cfg.ElasticInterval,
 				Tracer:          c.Tracer,
 				Registry:        c.Registry,
-			})
+			}
+			if cfg.CoLocateShards && c.ring != nil && h < cfg.StateShards {
+				fc.StateOwners = c.ring.HealthyOwners
+				fc.LocalShard = fmt.Sprintf("shard-%d", h)
+			}
+			inst := frt.New(fc)
 			c.faasm = append(c.faasm, inst)
 		case ModeBaseline:
 			p := baseline.New(baseline.Config{

@@ -46,6 +46,13 @@ type TraceSink interface {
 	RecordSpan(host, name, key string, start time.Time, dur time.Duration, bytes int64, fail bool)
 }
 
+// StateAccess observes guest state reads (key + bytes addressed) so the
+// runtime can maintain per-function access profiles for locality-aware
+// scheduling. core depends only on this interface, mirroring TraceSink.
+type StateAccess interface {
+	NoteStateAccess(fn, key string, n int64)
+}
+
 // NativeGuest is a function "compiled" to run inside a Faaslet without the
 // VM: it may only touch the outside world through the Ctx handle, which is
 // the same host interface the VM thunks expose. The returned int32 is the
@@ -86,6 +93,9 @@ type Env struct {
 	// RandSeed seeds the per-Faaslet PRNG behind getrandom; 0 derives one
 	// from the Faaslet id, keeping runs reproducible.
 	RandSeed int64
+	// Access, when non-nil, observes guest state reads for the per-function
+	// access profiles behind locality-aware scheduling.
+	Access StateAccess
 }
 
 func (e *Env) clock() vtime.Clock {
@@ -482,6 +492,7 @@ func (c *Ctx) MapState(key string, size int) ([]byte, error) {
 	start := c.TraceStart()
 	pulled, err := v.EnsurePulledN(0, v.Size())
 	c.TraceSpan("state.pull", key, start, pulled, err)
+	c.NoteStateAccess(key, int64(v.Size()))
 	if err != nil {
 		return nil, err
 	}
@@ -510,6 +521,7 @@ func (c *Ctx) ReadAllState(key string) ([]byte, error) {
 	start := c.TraceStart()
 	b, err := c.f.env.State.ReadAll(key)
 	c.TraceSpan("state.read_all", key, start, int64(len(b)), err)
+	c.NoteStateAccess(key, int64(len(b)))
 	return b, err
 }
 
@@ -575,6 +587,16 @@ func (c *Ctx) Random(b []byte) {
 
 // Function returns the executing function's name.
 func (c *Ctx) Function() string { return c.f.def.Name }
+
+// NoteStateAccess feeds one guest state read (key, bytes addressed) into
+// the environment's access observer; a no-op when none is attached or the
+// read touched nothing.
+func (c *Ctx) NoteStateAccess(key string, n int64) {
+	if c.f.env.Access == nil || n <= 0 {
+		return
+	}
+	c.f.env.Access.NoteStateAccess(c.f.def.Name, key, n)
+}
 
 // TraceStart returns the clock reading to pass to TraceSpan, or the zero Time
 // when this call carries no trace — untraced calls skip the clock read.

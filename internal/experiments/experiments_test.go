@@ -259,3 +259,26 @@ func TestStateChaosGate(t *testing.T) {
 		t.Fatalf("missing section: %v", sections)
 	}
 }
+
+func TestLocalityGate(t *testing.T) {
+	// The PR 8 locality gate: with the locality weight on, the same
+	// workloads must pull >=50% fewer remote state bytes than with it off,
+	// for both sgd and dmatmul. Every gate row must read OK.
+	r := Locality(Options{Quick: true})
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	gates := map[string]bool{}
+	for _, row := range r.Rows {
+		status := row[len(row)-1]
+		if status == "FAILED" {
+			t.Errorf("gate failed: %v", row)
+		}
+		if row[1] == "gate" && status == "OK" {
+			gates[row[0]] = true
+		}
+	}
+	if !gates["sgd"] || !gates["dmatmul"] {
+		t.Fatalf("missing passing gate rows: %v (rows %v)", gates, r.Rows)
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"faasm.dev/faasm/internal/cluster"
+	"faasm.dev/faasm/internal/hostapi"
+	"faasm.dev/faasm/internal/workloads/dmatmul"
+	"faasm.dev/faasm/internal/workloads/sgd"
+)
+
+// localityWarmSentinel is the input that makes a warmable worker return
+// without touching state. It is 13 bytes long; every real worker input in
+// the sgd and dmatmul wire formats is a fixed other size, so the sentinel
+// can never collide with genuine work.
+const localityWarmSentinel = "locality-warm"
+
+// Locality measures locality-aware forwarding end to end: the same stateful
+// workload (Fig 6 SGD training, then distributed matmul) runs on a 4-host
+// simnet cluster with the locality weight off and on, and the gate demands
+// the weight cut remote state-tier bytes by >=50% without slowing rounds.
+//
+// The scenario forces the scheduler to choose between a data-free and a
+// data-home peer: host 0 runs the workload once (pulling the dataset, so
+// its access profile and residency adverts cover it), hosts 1-2 are warmed
+// for the worker functions via the sentinel (warm adverts, no data), and
+// host 3 then drives rounds through a driver alias that cold-starts locally
+// and forwards every worker. With the weight off, forwarding follows
+// latency x load and sprays workers across all warm peers, each pulling its
+// share of the dataset; with the weight on, the residency riding host 0's
+// lease steers workers home and the data never moves.
+func Locality(opts Options) *Report {
+	r := &Report{
+		ID:     "locality",
+		Title:  "Locality-aware forwarding: remote state bytes, weight off vs on",
+		Header: []string{"workload", "locality", "remote state", "hit rate", "saved", "round time", "status"},
+	}
+
+	for _, wl := range []string{"sgd", "dmatmul"} {
+		off, err := runLocality(wl, 0, opts.Quick)
+		if err != nil {
+			r.Add(wl, "gate", "error: "+err.Error(), "", "", "", "FAILED")
+			continue
+		}
+		on, err := runLocality(wl, 32, opts.Quick)
+		if err != nil {
+			r.Add(wl, "gate", "error: "+err.Error(), "", "", "", "FAILED")
+			continue
+		}
+
+		r.Add(wl, "off", mb(off.pulledBytes), "-", "-",
+			fmt.Sprintf("%.1f ms", off.perRound.Seconds()*1e3), "")
+		hitRate := "-"
+		if scored := on.hits + on.misses; scored > 0 {
+			hitRate = fmt.Sprintf("%.0f%%", 100*float64(on.hits)/float64(scored))
+		}
+		r.Add(wl, "w=32", mb(on.pulledBytes), hitRate, mb(on.savedBytes),
+			fmt.Sprintf("%.1f ms", on.perRound.Seconds()*1e3), "")
+
+		status := "OK"
+		reduction := 0.0
+		if off.pulledBytes > 0 {
+			reduction = 1 - float64(on.pulledBytes)/float64(off.pulledBytes)
+		}
+		if reduction < 0.5 {
+			status = "FAILED"
+		}
+		r.Add(wl, "gate", fmt.Sprintf("%.0f%% fewer remote bytes", 100*reduction),
+			"", "", "", status)
+	}
+
+	r.Note("both modes run the identical prime/warm/drive sequence; only the scheduler's -locality-weight differs, so every remote byte saved is attributable to placement")
+	r.Note("sgd runs on a 2-shard co-located tier (CoLocateShards), so shard-primary credit is exercised alongside pulled-replica residency; dmatmul runs on the single-engine tier")
+	r.Note("round time is wall clock for the measured rounds and is reported for parity only — the gate is bytes; warm-invoke latency parity is guarded separately by BenchmarkWarmInvokeThroughput")
+	return r
+}
+
+type localityRun struct {
+	pulledBytes int64 // state-tier bytes pulled across all hosts, measured rounds only
+	hits        int64
+	misses      int64
+	savedBytes  int64
+	perRound    time.Duration
+}
+
+// warmable wraps a worker guest so the warm sentinel exercises the cold
+// start (advertising the function on the host) without touching state.
+func warmable(g hostapi.Guest) hostapi.Guest {
+	return func(api hostapi.API) (int32, error) {
+		if string(api.Input()) == localityWarmSentinel {
+			return 0, nil
+		}
+		return g(api)
+	}
+}
+
+func runLocality(workload string, weight float64, quick bool) (localityRun, error) {
+	// TimeScale 1 (like the elastic experiment): liveness leases are judged
+	// on the experiment clock, and at 100× every millisecond a host spends
+	// on real matrix math ages its lease by 100 ms — a busy data home would
+	// flap dead mid-burst, be evicted from warm sets, and both modes would
+	// measure lease churn instead of placement.
+	cfg := cluster.Config{
+		Mode:           cluster.ModeFaasm,
+		Hosts:          4,
+		TimeScale:      1,
+		LocalityWeight: weight,
+		LeaseTTL:       250 * time.Millisecond,
+		PeerCacheTTL:   2 * time.Millisecond,
+	}
+	if workload == "sgd" {
+		cfg.StateShards = 2
+		cfg.CoLocateShards = true
+	}
+	c := cluster.New(cfg)
+	defer c.Shutdown()
+
+	// Register the workload: workers are warmable, and the driver rides an
+	// alias of the real main so measurement calls cold-start on the entry
+	// host instead of forwarding to the primed data home.
+	var mainFn, driverFn string
+	var input []byte
+	var workers []string
+	switch workload {
+	case "sgd":
+		p := sgd.DefaultParams()
+		p.Examples, p.Features, p.NNZ = 2048, 1024, 32
+		p.Epochs, p.Workers, p.PushEvery = 2, 6, 256
+		if quick {
+			p.Examples, p.Features, p.NNZ = 512, 256, 16
+			p.Epochs, p.Workers, p.PushEvery = 1, 4, 128
+		}
+		// The sgd weight updates are HOGWILD — co-located workers race on
+		// the shared weights replica by design. This experiment's gate runs
+		// under -race in CI, so serialize the updates here: the gate
+		// measures placement and bytes moved, which a mutex cannot change.
+		var updateMu sync.Mutex
+		serialUpdate := func(api hostapi.API) (int32, error) {
+			updateMu.Lock()
+			defer updateMu.Unlock()
+			return sgd.WeightUpdate(api)
+		}
+		if err := c.Register("sgd-update", warmable(serialUpdate)); err != nil {
+			return localityRun{}, err
+		}
+		if err := c.Register("sgd-main", sgd.Main); err != nil {
+			return localityRun{}, err
+		}
+		if err := c.Register("sgd-driver", sgd.Main); err != nil {
+			return localityRun{}, err
+		}
+		if err := sgd.Generate(p).Seed(c); err != nil {
+			return localityRun{}, err
+		}
+		mainFn, driverFn, input = "sgd-main", "sgd-driver", sgd.EncodeMain(p)
+		workers = []string{"sgd-update"}
+	case "dmatmul":
+		// Depth 1 keeps the chain fan-out (8 mults) inside the locality
+		// weight's regime: the blend weighs rather than pins, so a fan-out
+		// whose inflight factor exceeds 1+weight would legitimately spill
+		// to data-free peers and measure load shedding, not locality.
+		p := dmatmul.Params{N: 192, Depth: 1, Seed: 7}
+		if quick {
+			p = dmatmul.Params{N: 64, Depth: 1, Seed: 7}
+		}
+		a, b := dmatmul.Generate(p)
+		if err := dmatmul.Seed(c, p, a, b); err != nil {
+			return localityRun{}, err
+		}
+		if err := c.Register("mm-mult", warmable(dmatmul.Mult)); err != nil {
+			return localityRun{}, err
+		}
+		if err := c.Register("mm-merge", warmable(dmatmul.Merge)); err != nil {
+			return localityRun{}, err
+		}
+		if err := c.Register("mm-main", dmatmul.Main); err != nil {
+			return localityRun{}, err
+		}
+		if err := c.Register("mm-driver", dmatmul.Main); err != nil {
+			return localityRun{}, err
+		}
+		mainFn, driverFn, input = "mm-main", "mm-driver", dmatmul.MainInput(p)
+		workers = []string{"mm-mult", "mm-merge"}
+	default:
+		return localityRun{}, fmt.Errorf("unknown workload %q", workload)
+	}
+
+	// Establish the data home: one full run on host 0 pulls the dataset
+	// there and fills its access profile.
+	if _, ret, err := c.CallOn(0, mainFn, input); err != nil || ret != 0 {
+		return localityRun{}, fmt.Errorf("prime %s: ret=%d err=%v", mainFn, ret, err)
+	}
+	// Warm hosts 1-2 for the workers (adverts without data) so the
+	// forwarder has data-free alternatives to reject.
+	for _, h := range []int{1, 2} {
+		for _, fn := range workers {
+			if _, ret, err := c.Instance(h).ExecuteLocal(fn, []byte(localityWarmSentinel)); err != nil || ret != 0 {
+				return localityRun{}, fmt.Errorf("warm %s on host %d: ret=%d err=%v", fn, h, ret, err)
+			}
+		}
+	}
+	// Publish every host's warm adverts and residency before measuring.
+	for h := 0; h < cfg.Hosts; h++ {
+		if err := c.Instance(h).Scheduler().Heartbeat(); err != nil {
+			return localityRun{}, fmt.Errorf("heartbeat host %d: %v", h, err)
+		}
+	}
+
+	rounds := 3
+	if quick {
+		rounds = 2
+	}
+	base := localitySnapshot(c, cfg.Hosts)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, ret, err := c.CallOn(3, driverFn, input); err != nil || ret != 0 {
+			return localityRun{}, fmt.Errorf("round %d %s: ret=%d err=%v", i, driverFn, ret, err)
+		}
+	}
+	elapsed := time.Since(start)
+	cur := localitySnapshot(c, cfg.Hosts)
+
+	return localityRun{
+		pulledBytes: cur.pulled - base.pulled,
+		hits:        cur.hits - base.hits,
+		misses:      cur.misses - base.misses,
+		savedBytes:  cur.saved - base.saved,
+		perRound:    elapsed / time.Duration(rounds),
+	}, nil
+}
+
+type localitySnap struct {
+	pulled, hits, misses, saved int64
+}
+
+func localitySnapshot(c *cluster.Cluster, hosts int) localitySnap {
+	var s localitySnap
+	for h := 0; h < hosts; h++ {
+		inst := c.Instance(h)
+		s.pulled += inst.State().Pulled.Value()
+		sc := inst.Scheduler()
+		s.hits += sc.Stats.LocalityHits.Load()
+		s.misses += sc.Stats.LocalityMisses.Load()
+		s.saved += sc.Stats.LocalitySavedBytes.Load()
+	}
+	return s
+}
+
+func mb(n int64) string {
+	return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+}

@@ -54,6 +54,17 @@ type Config struct {
 	// last liveness heartbeat (0 = sched.DefaultLeaseTTL). The instance
 	// heartbeats at LeaseTTL/3.
 	LeaseTTL time.Duration
+	// LocalityWeight blends data locality into peer forwarding (see
+	// sched.Scheduler.LocalityWeight); 0 disables the blend.
+	LocalityWeight float64
+	// StateOwners, when non-nil, reports the healthy shard owners of a state
+	// key (primary first) — shardkvs.Ring.HealthyOwners in sharded
+	// deployments. With LocalShard it lets residency adverts credit
+	// shard-primary co-location: keys whose primary shard this host co-hosts
+	// count as resident even before they are pulled.
+	StateOwners func(key string) []string
+	// LocalShard names the shard-ring node this host co-hosts ("" = none).
+	LocalShard string
 	// PeerCacheTTL bounds the staleness of the scheduler's cached peer
 	// warm set (0 = sched.DefaultPeerCacheTTL).
 	PeerCacheTTL time.Duration
@@ -124,13 +135,14 @@ func newFnPool() *fnPool {
 
 // Instance is one FAASM runtime instance.
 type Instance struct {
-	cfg   Config
-	env   *core.Env
-	local *state.LocalTier
-	calls *mbus.CallTable
-	sched *sched.Scheduler
-	clock vtime.Clock
-	slots chan struct{}
+	cfg     Config
+	env     *core.Env
+	local   *state.LocalTier
+	calls   *mbus.CallTable
+	sched   *sched.Scheduler
+	clock   vtime.Clock
+	slots   chan struct{}
+	profile *accessProfile
 
 	// defs and protos are copy-on-write: readers load the pointer with no
 	// lock; writers (deployment-time only) clone under regMu and swap.
@@ -208,11 +220,15 @@ func New(cfg Config) *Instance {
 		calls:    mbus.NewCallTable(),
 		sched:    sched.New(cfg.Host, cfg.Store, cfg.Capacity),
 		clock:    cfg.Clock,
+		profile:  newAccessProfile(),
 		resetSem: make(chan struct{}, max(runtime.GOMAXPROCS(0), 2)),
 	}
 	inst.sched.SetClock(cfg.Clock)
 	inst.sched.LeaseTTL = cfg.LeaseTTL
 	inst.sched.PeerCacheTTL = cfg.PeerCacheTTL
+	inst.sched.LocalityWeight = cfg.LocalityWeight
+	inst.sched.SetResidencyProvider(inst.residentBytes)
+	inst.sched.SetFootprintProvider(inst.profile.footprint)
 	inst.tracer = cfg.Tracer
 	if inst.tracer == nil {
 		rate := cfg.TraceSample
@@ -231,10 +247,11 @@ func New(cfg Config) *Instance {
 	inst.defs.Store(&defs)
 	inst.protos.Store(&protos)
 	inst.env = &core.Env{
-		State: inst.local,
-		Files: cfg.Files,
-		Clock: cfg.Clock,
-		Chain: inst,
+		State:  inst.local,
+		Files:  cfg.Files,
+		Clock:  cfg.Clock,
+		Chain:  inst,
+		Access: inst,
 	}
 	if cfg.Capacity > 0 {
 		inst.slots = make(chan struct{}, cfg.Capacity)
@@ -297,6 +314,58 @@ func (i *Instance) span(tr *obsv.Trace, name, key string, start time.Time, bytes
 	}
 	tr.RecordSpan(i.cfg.Host, name, key, start, i.clock.Now().Sub(start), bytes, fail)
 }
+
+// NoteStateAccess implements core.StateAccess: every guest state read feeds
+// the per-function access profile behind locality scoring.
+func (i *Instance) NoteStateAccess(fn, key string, n int64) {
+	i.profile.record(fn, key, n)
+}
+
+// residentBytes reports how much of fn's profiled state footprint is
+// resident on this host: per profiled key, the locally pulled bytes clipped
+// to the profiled bytes — plus full shard-primary co-location credit when
+// this host co-hosts the key's primary shard (the data is one loopback hop
+// away even before it is pulled). Feeds the scheduler's lease-piggybacked
+// residency adverts.
+func (i *Instance) residentBytes(fn string) int64 {
+	keys := i.profile.keysOf(fn)
+	var total int64
+	for k, profiled := range keys {
+		r := i.local.ResidentBytes(k)
+		if r > profiled {
+			r = profiled
+		}
+		if r < profiled && i.cfg.StateOwners != nil && i.cfg.LocalShard != "" {
+			if owners := i.cfg.StateOwners(k); len(owners) > 0 && owners[0] == i.cfg.LocalShard {
+				r = profiled
+			}
+		}
+		total += r
+	}
+	return total
+}
+
+// Residency reports this host's per-function resident state bytes for every
+// profiled function (faasmd /status).
+func (i *Instance) Residency() map[string]int64 {
+	out := map[string]int64{}
+	i.profile.mu.Lock()
+	fns := make([]string, 0, len(i.profile.fns))
+	for fn := range i.profile.fns {
+		fns = append(fns, fn)
+	}
+	i.profile.mu.Unlock()
+	for _, fn := range fns {
+		if b := i.residentBytes(fn); b > 0 {
+			out[fn] = b
+		}
+	}
+	return out
+}
+
+// AccessedStateBytes totals the state bytes guests addressed on this host
+// (local or remote; the remote share is the tier's Pulled counter).
+func (i *Instance) AccessedStateBytes() int64 { return i.profile.accessed.Load() }
 
 // State exposes the instance's local state tier.
 func (i *Instance) State() *state.LocalTier { return i.local }
@@ -536,7 +605,15 @@ func (i *Instance) route(tr *obsv.Trace, function string, input []byte) ([]byte,
 	}
 	schedStart := i.traceNow(tr)
 	decision, err := i.sched.Schedule(function)
-	i.span(tr, "sched.decide", decision.Placement.String(), schedStart, 0, err != nil)
+	// The span key carries the placement and — when the locality blend ran —
+	// the chosen peer's resident fraction and the best-resident alternative,
+	// so /traces explains *why* a forward landed where it did; the span's
+	// byte count is the state bytes the choice avoided re-pulling.
+	spanKey := decision.Placement.String()
+	if decision.BestResidentHost != "" {
+		spanKey = fmt.Sprintf("%s loc=%.2f to=%s best=%s", spanKey, decision.LocalityFrac, decision.TargetHost, decision.BestResidentHost)
+	}
+	i.span(tr, "sched.decide", spanKey, schedStart, decision.SavedBytes, err != nil)
 	if err != nil {
 		return nil, -1, err
 	}

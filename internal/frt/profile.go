@@ -1,0 +1,120 @@
+package frt
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// profileDecayEvery halves a function's per-key byte counts after this many
+// recorded accesses, so the profile tracks the *current* working set instead
+// of everything the function ever touched. Counting records rather than
+// reading a clock keeps the hot path clock-free and deterministic under
+// simulated time.
+const profileDecayEvery = 256
+
+// profileMaxKeys caps the keys kept per function: when a decay pass still
+// leaves more, only the hottest survive. Bounds both memory and the cost of
+// the residency walk the heartbeat performs.
+const profileMaxKeys = 32
+
+// fnProfile is one function's decayed state-access profile: bytes addressed
+// per key since the last halvings.
+type fnProfile struct {
+	keys    map[string]int64
+	records int
+}
+
+// accessProfile aggregates guest state reads per function, feeding both
+// sides of locality scoring: the footprint (how many state bytes a function
+// pulls per execution, decayed) and the key set whose local residency the
+// host advertises.
+type accessProfile struct {
+	mu  sync.Mutex
+	fns map[string]*fnProfile
+
+	// accessed totals bytes addressed through guest state reads, local or
+	// remote (the local/remote split comes from the state tier's pull
+	// counters).
+	accessed atomic.Int64
+}
+
+func newAccessProfile() *accessProfile {
+	return &accessProfile{fns: map[string]*fnProfile{}}
+}
+
+// record notes one guest state read of n bytes of key by fn.
+func (p *accessProfile) record(fn, key string, n int64) {
+	p.accessed.Add(n)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fp := p.fns[fn]
+	if fp == nil {
+		fp = &fnProfile{keys: map[string]int64{}}
+		p.fns[fn] = fp
+	}
+	fp.keys[key] += n
+	fp.records++
+	if fp.records >= profileDecayEvery {
+		fp.records = 0
+		for k, v := range fp.keys {
+			v /= 2
+			if v == 0 {
+				delete(fp.keys, k)
+			} else {
+				fp.keys[k] = v
+			}
+		}
+		fp.trim()
+	}
+}
+
+// trim keeps only the profileMaxKeys hottest keys. Caller holds p.mu.
+func (fp *fnProfile) trim() {
+	if len(fp.keys) <= profileMaxKeys {
+		return
+	}
+	type kb struct {
+		k string
+		b int64
+	}
+	all := make([]kb, 0, len(fp.keys))
+	for k, b := range fp.keys {
+		all = append(all, kb{k, b})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].b > all[j].b })
+	for _, e := range all[profileMaxKeys:] {
+		delete(fp.keys, e.k)
+	}
+}
+
+// footprint returns fn's total profiled state bytes (0 when fn has never
+// read state here).
+func (p *accessProfile) footprint(fn string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fp := p.fns[fn]
+	if fp == nil {
+		return 0
+	}
+	var total int64
+	for _, b := range fp.keys {
+		total += b
+	}
+	return total
+}
+
+// keysOf returns a snapshot of fn's profiled keys and per-key bytes.
+func (p *accessProfile) keysOf(fn string) map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fp := p.fns[fn]
+	if fp == nil || len(fp.keys) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(fp.keys))
+	for k, b := range fp.keys {
+		out[k] = b
+	}
+	return out
+}

@@ -121,6 +121,7 @@ func (a *FaasmAPI) StateViewChunk(key string, off, n int) ([]byte, error) {
 	start := a.Ctx.TraceStart()
 	pulled, err := v.EnsurePulledN(off, n)
 	a.Ctx.TraceSpan("state.pull", key, start, pulled, err)
+	a.Ctx.NoteStateAccess(key, int64(n))
 	if err != nil {
 		return nil, err
 	}
@@ -134,12 +135,15 @@ func (a *FaasmAPI) StatePrefetch(key string, ranges [][2]int) error {
 		return err
 	}
 	rs := make([]kvs.Range, len(ranges))
+	var addressed int64
 	for i, rg := range ranges {
 		rs[i] = kvs.Range{Off: rg[0], N: rg[1]}
+		addressed += int64(rg[1])
 	}
 	start := a.Ctx.TraceStart()
 	pulled, err := v.PullChunksN(rs)
 	a.Ctx.TraceSpan("state.pull", key, start, pulled, err)
+	a.Ctx.NoteStateAccess(key, addressed)
 	return err
 }
 
@@ -176,6 +180,7 @@ func (a *FaasmAPI) StatePull(key string) error {
 	start := a.Ctx.TraceStart()
 	pulled, err := v.PullN()
 	a.Ctx.TraceSpan("state.pull", key, start, pulled, err)
+	a.Ctx.NoteStateAccess(key, int64(v.Size()))
 	return err
 }
 

@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +44,18 @@ type Decision struct {
 	Placement Placement
 	// TargetHost is the peer to share with when Placement == PlaceForward.
 	TargetHost string
+
+	// LocalityFrac is the chosen peer's advertised resident bytes as a
+	// fraction of the function's state footprint (0 when locality scoring
+	// is off or the function has no data gravity anywhere).
+	LocalityFrac float64
+	// BestResidentHost is the peer advertising the most resident bytes for
+	// the function — it differs from TargetHost when latency×load outweighed
+	// locality. Empty when no blended ranking ran.
+	BestResidentHost string
+	// SavedBytes is the state bytes the forward avoids re-pulling by landing
+	// on TargetHost (its advertised residency, clipped to the footprint).
+	SavedBytes int64
 }
 
 // warmSetKey is the global-tier key holding a function's warm hosts.
@@ -75,6 +90,14 @@ type Stats struct {
 	LocalWarm atomic.Int64
 	Forwarded atomic.Int64
 	ColdStart atomic.Int64
+
+	// LocalityHits counts blended forwards that landed on a peer advertising
+	// resident state for the function; LocalityMisses counts blended forwards
+	// that had to land on a data-free peer. LocalitySavedBytes accumulates
+	// the state bytes those hits avoided re-pulling.
+	LocalityHits       atomic.Int64
+	LocalityMisses     atomic.Int64
+	LocalitySavedBytes atomic.Int64
 }
 
 // fnState is the per-function scheduler state: the local idle-warm counter,
@@ -88,11 +111,15 @@ type fnState struct {
 	// warm traffic never re-issues SAdd.
 	advertised atomic.Bool
 
-	// cacheMu guards the cached peer set below.
-	cacheMu sync.Mutex
-	peers   []string
-	fetched time.Time
-	cached  bool
+	// cacheMu guards the cached peer set below. resident maps peer host →
+	// resident state bytes it advertised for this function on its lease
+	// (decoded from the same batched lease read that judged liveness); nil
+	// when no peer advertised any.
+	cacheMu  sync.Mutex
+	peers    []string
+	resident map[string]int64
+	fetched  time.Time
+	cached   bool
 }
 
 // peerStat is this scheduler's view of one forwarding target: an EWMA of
@@ -140,6 +167,22 @@ type Scheduler struct {
 	// clock. Set before first use; zero means DefaultLeaseTTL.
 	LeaseTTL time.Duration
 
+	// LocalityWeight blends data locality into peer ranking: a candidate's
+	// latency×load score is scaled by (1 + LocalityWeight×miss), where miss
+	// is the fraction of the function's state footprint the candidate does
+	// NOT advertise as locally resident. 0 (the default) disables the blend
+	// entirely — ranking is exactly the historical latency×load, and
+	// stateless functions take that path even when the weight is set. Set
+	// before first use.
+	LocalityWeight float64
+
+	// residency (advert side) reports this host's locally resident state
+	// bytes for a function it advertises as warm; footprint (scoring side)
+	// reports a function's profiled state footprint on this host. Both are
+	// optional and set before first use via the Set*Provider methods.
+	residency func(fn string) int64
+	footprint func(fn string) int64
+
 	// fns maps function name → *fnState.
 	fns sync.Map
 	// inflight counts executing calls on this host.
@@ -182,6 +225,18 @@ func (s *Scheduler) SetClock(c vtime.Clock) {
 // Host returns this scheduler's host name.
 func (s *Scheduler) Host() string { return s.host }
 
+// SetResidencyProvider installs the callback that reports this host's
+// locally resident state bytes for an advertised function. Each lease write
+// piggybacks the advertised functions' residency on the lease record, so
+// peers learn it from the batched lease read they already perform — steady
+// state adds zero extra tier operations. Call before StartHeartbeat.
+func (s *Scheduler) SetResidencyProvider(f func(fn string) int64) { s.residency = f }
+
+// SetFootprintProvider installs the callback that reports a function's
+// state footprint (decayed profile of bytes its executions pull) used on
+// the scoring side of the locality blend. Call before the first Schedule.
+func (s *Scheduler) SetFootprintProvider(f func(fn string) int64) { s.footprint = f }
+
 func (s *Scheduler) fn(name string) *fnState {
 	if e, ok := s.fns.Load(name); ok {
 		return e.(*fnState)
@@ -223,6 +278,9 @@ func (s *Scheduler) Instrument(reg *obsv.Registry, host string) {
 	reg.CounterFunc("faasm_sched_decisions_total", "scheduling decisions by placement", place("forward"), s.Stats.Forwarded.Load)
 	reg.CounterFunc("faasm_sched_decisions_total", "scheduling decisions by placement", place("local_cold"), s.Stats.ColdStart.Load)
 	l := map[string]string{"host": host}
+	reg.CounterFunc("faasm_sched_locality_hits_total", "blended forwards landed on a peer with resident state", l, s.Stats.LocalityHits.Load)
+	reg.CounterFunc("faasm_sched_locality_misses_total", "blended forwards landed on a data-free peer", l, s.Stats.LocalityMisses.Load)
+	reg.CounterFunc("faasm_sched_locality_saved_bytes_total", "state bytes locality hits avoided re-pulling", l, s.Stats.LocalitySavedBytes.Load)
 	reg.GaugeFunc("faasm_sched_inflight", "calls executing on this host", l, func() int64 { return int64(s.Inflight()) })
 	reg.GaugeFunc("faasm_sched_last_heartbeat_seconds", "unix time of the last liveness lease write", l, func() int64 {
 		return s.lastBeat.Load() / int64(time.Second)
@@ -240,16 +298,30 @@ func (s *Scheduler) Schedule(fn string) (Decision, error) {
 	}
 
 	// Consult the (cached) shared warm set for another host.
-	peers, err := s.peers(e, fn)
+	peers, resident, err := s.peers(e, fn)
 	if err != nil {
 		return Decision{}, fmt.Errorf("sched: warm set for %s: %w", fn, err)
 	}
 	if len(peers) > 0 {
 		// Share with a warm peer: lowest load-adjusted latency first,
-		// round-robin across peers we have never probed.
-		target := s.pickPeer(peers)
+		// blended with data locality when the function has state gravity.
+		target, lp := s.pickPeer(fn, peers, resident)
 		s.Stats.Forwarded.Add(1)
-		return Decision{Placement: PlaceForward, TargetHost: target}, nil
+		if lp.scored {
+			if lp.saved > 0 {
+				s.Stats.LocalityHits.Add(1)
+				s.Stats.LocalitySavedBytes.Add(lp.saved)
+			} else {
+				s.Stats.LocalityMisses.Add(1)
+			}
+		}
+		return Decision{
+			Placement:        PlaceForward,
+			TargetHost:       target,
+			LocalityFrac:     lp.frac,
+			BestResidentHost: lp.best,
+			SavedBytes:       lp.saved,
+		}, nil
 	}
 
 	if warmHere {
@@ -287,11 +359,105 @@ func (s *Scheduler) advertise(e *fnState, fn string) error {
 	return nil
 }
 
-// pickPeer chooses a forwarding target: unprobed peers first (round-robin,
-// so the scheduler explores and degrades to plain round-robin when it has
-// no data), then the probed peer with the lowest EWMA latency scaled by its
-// in-flight forward count.
-func (s *Scheduler) pickPeer(peers []string) string {
+// localityPick describes the data-gravity side of one forwarding choice.
+type localityPick struct {
+	// scored is true when the blended ranking ran: the weight is on and the
+	// function has state gravity somewhere (a local footprint or a peer
+	// advert).
+	scored bool
+	// saved is the chosen peer's advertised resident bytes clipped to the
+	// footprint; frac is saved/footprint.
+	saved int64
+	frac  float64
+	// best is the peer advertising the most resident bytes — it may differ
+	// from the chosen one when latency×load outweighed locality.
+	best string
+}
+
+// pickPeer chooses a forwarding target for fn among peers, given the
+// residency they advertised. With LocalityWeight off — or for a function
+// with no state gravity anywhere — it is the historical locality-blind
+// ranking (pickPeerByLatency). Otherwise every candidate is scored
+//
+//	score(h) = base(h) × (1 + LocalityWeight × miss(h))
+//	base(h)  = ewma(h) × (1 + inflight(h))
+//	miss(h)  = 1 − min(resident(h), footprint) / footprint
+//
+// and the lowest score wins: a peer holding the function's hot keys beats
+// an equally loaded data-free one, while a large enough latency or load gap
+// can still overrule locality. The footprint is this host's decayed access
+// profile for fn, or — when this host has never run fn, the common case on
+// a pure forwarder — the largest residency any peer advertises (the advert
+// itself proves the function is stateful). Unprobed peers take the mean
+// probed latency as a neutral base rather than ranking first: exploration
+// must not drag a stateful function onto a data-free peer just because that
+// peer has never been measured.
+func (s *Scheduler) pickPeer(fn string, peers []string, resident map[string]int64) (string, localityPick) {
+	var fp int64
+	if s.LocalityWeight > 0 {
+		if s.footprint != nil {
+			fp = s.footprint(fn)
+		}
+		for _, h := range peers {
+			if r := resident[h]; r > fp {
+				fp = r
+			}
+		}
+	}
+	if s.LocalityWeight <= 0 || fp <= 0 {
+		return s.pickPeerByLatency(peers), localityPick{}
+	}
+
+	var probedSum, probedN int64
+	for _, h := range peers {
+		if e := s.peerStat(h).ewmaNanos.Load(); e > 0 {
+			probedSum += e
+			probedN++
+		}
+	}
+	neutral := int64(1)
+	if probedN > 0 {
+		neutral = probedSum / probedN
+	}
+	pick := localityPick{scored: true}
+	best := peers[0]
+	bestScore := -1.0
+	var bestResident int64
+	for _, h := range peers {
+		st := s.peerStat(h)
+		e := st.ewmaNanos.Load()
+		if e == 0 {
+			e = neutral
+		}
+		base := float64(e) * float64(1+st.inflight.Load())
+		r := resident[h]
+		if r > fp {
+			r = fp
+		}
+		miss := 1 - float64(r)/float64(fp)
+		score := base * (1 + s.LocalityWeight*miss)
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = h, score
+		}
+		if r > bestResident {
+			bestResident, pick.best = r, h
+		}
+	}
+	if r := resident[best]; r > 0 {
+		if r > fp {
+			r = fp
+		}
+		pick.saved = r
+		pick.frac = float64(r) / float64(fp)
+	}
+	return best, pick
+}
+
+// pickPeerByLatency is the locality-blind ranking: unprobed peers first
+// (round-robin, so the scheduler explores and degrades to plain round-robin
+// when it has no data), then the probed peer with the lowest EWMA latency
+// scaled by its in-flight forward count.
+func (s *Scheduler) pickPeerByLatency(peers []string) string {
 	unprobed := 0
 	for _, h := range peers {
 		if s.peerStat(h).ewmaNanos.Load() == 0 {
@@ -397,20 +563,23 @@ func (s *Scheduler) PeerInflight(host string) int {
 // stale. A refresh reads the function's warm set plus the listed hosts'
 // liveness leases (one batched read), filters the dead, and best-effort
 // evicts their stale entries from the global set.
-func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
+// Alongside the peer list it returns the residency those peers advertised
+// for fn on their leases (nil when none did), decoded from the same batched
+// lease read and cached with the peer set.
+func (s *Scheduler) peers(e *fnState, fn string) ([]string, map[string]int64, error) {
 	ttl := s.peerCacheTTL()
 	now := s.clock.Now()
 	e.cacheMu.Lock()
 	if e.cached && now.Sub(e.fetched) < ttl {
-		peers := e.peers
+		peers, resident := e.peers, e.resident
 		e.cacheMu.Unlock()
-		return peers, nil
+		return peers, resident, nil
 	}
 	e.cacheMu.Unlock()
 
 	hosts, err := s.store.SMembers(warmSetKey(fn))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	candidates := hosts[:0]
 	for _, h := range hosts {
@@ -418,9 +587,18 @@ func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
 			candidates = append(candidates, h)
 		}
 	}
-	peers, dead, err := s.filterAlive(candidates)
+	peers, dead, leases, err := s.filterAlive(candidates)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var resident map[string]int64
+	for i, h := range peers {
+		if b := residencyFor(leases[i], fn); b > 0 {
+			if resident == nil {
+				resident = make(map[string]int64, len(peers))
+			}
+			resident[h] = b
+		}
 	}
 	// A dead host's warm entries are evicted by whoever notices: the global
 	// set heals itself instead of waiting for the crashed owner's retreat.
@@ -432,10 +610,11 @@ func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
 	// newly warm peer immediately rather than after a TTL.
 	e.cacheMu.Lock()
 	e.peers = peers
+	e.resident = resident
 	e.fetched = now
 	e.cached = len(peers) > 0
 	e.cacheMu.Unlock()
-	return peers, nil
+	return peers, resident, nil
 }
 
 // filterAlive splits hosts into live and dead by a single batched existence
@@ -445,9 +624,12 @@ func (s *Scheduler) peers(e *fnState, fn string) ([]string, error) {
 // anywhere on this path. A missing record counts as dead: every advertiser
 // writes its lease before its first SAdd, so only crashed (or fabricated)
 // hosts lack one.
-func (s *Scheduler) filterAlive(hosts []string) (alive, dead []string, err error) {
+// It also returns each live host's lease record (aligned with alive), so
+// callers can decode the residency adverts piggybacked on it without a
+// second tier read.
+func (s *Scheduler) filterAlive(hosts []string) (alive, dead []string, aliveLeases [][]byte, err error) {
 	if len(hosts) == 0 {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	keys := make([]string, len(hosts))
 	for i, h := range hosts {
@@ -455,25 +637,99 @@ func (s *Scheduler) filterAlive(hosts []string) (alive, dead []string, err error
 	}
 	leases, err := kvs.MGet(s.store, keys)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for i, h := range hosts {
 		if leaseLive(leases[i]) {
 			alive = append(alive, h)
+			aliveLeases = append(aliveLeases, leases[i])
 		} else {
 			dead = append(dead, h)
 		}
 	}
-	return alive, dead, nil
+	return alive, dead, aliveLeases, nil
 }
 
-// leaseLive reports whether a lease record marks a live host: exactly the
-// leaseMark payload, still returned by the tier (so its tier-side TTL has
-// not run out). Anything else — including the previous release's
-// writer-clock expiry stamps, whose one-release read-side tolerance has been
-// removed — is dead: stale stamp records never expire tier-side, so counting
-// them live would keep a crashed old host forwardable forever.
-func leaseLive(rec []byte) bool { return string(rec) == string(leaseMark) }
+// leaseLive reports whether a lease record marks a live host: the leaseMark
+// payload — alone, or followed by newline-separated residency adverts —
+// still returned by the tier (so its tier-side TTL has not run out).
+// Anything else — including the previous release's writer-clock expiry
+// stamps, whose one-release read-side tolerance has been removed — is dead:
+// stale stamp records never expire tier-side, so counting them live would
+// keep a crashed old host forwardable forever. (The marker is non-numeric,
+// so a stamp can never alias it.)
+func leaseLive(rec []byte) bool {
+	if len(rec) < len(leaseMark) || string(rec[:len(leaseMark)]) != string(leaseMark) {
+		return false
+	}
+	return len(rec) == len(leaseMark) || rec[len(leaseMark)] == '\n'
+}
+
+// maxResidencyAdverts bounds the residency entries piggybacked on one lease
+// record, so a host warm for hundreds of functions cannot bloat the batched
+// lease read every peer refresh performs.
+const maxResidencyAdverts = 64
+
+// leasePayload builds this host's lease record: the liveness marker, plus
+// one "\n<fn> <bytes>" line per advertised function with locally resident
+// state (per the residency provider). Residency rides the lease precisely
+// because peers already MGet lease records on every warm-set refresh —
+// advertising adds zero extra tier operations in steady state.
+func (s *Scheduler) leasePayload() []byte {
+	buf := append([]byte(nil), leaseMark...)
+	if s.residency == nil {
+		return buf
+	}
+	n := 0
+	s.fns.Range(func(k, v any) bool {
+		if n >= maxResidencyAdverts {
+			return false
+		}
+		if !v.(*fnState).advertised.Load() {
+			return true
+		}
+		fn := k.(string)
+		if strings.ContainsAny(fn, " \n") {
+			// Unencodable in the line format; skip rather than corrupt the
+			// record (such a name cannot come from a registered function).
+			return true
+		}
+		b := s.residency(fn)
+		if b <= 0 {
+			return true
+		}
+		buf = append(buf, '\n')
+		buf = append(buf, fn...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, b, 10)
+		n++
+		return true
+	})
+	return buf
+}
+
+// residencyFor extracts fn's advertised resident bytes from a lease record,
+// 0 when the record carries no (parseable) advert for fn.
+func residencyFor(rec []byte, fn string) int64 {
+	for {
+		i := bytes.IndexByte(rec, '\n')
+		if i < 0 {
+			return 0
+		}
+		rec = rec[i+1:]
+		line := rec
+		if j := bytes.IndexByte(line, '\n'); j >= 0 {
+			line = line[:j]
+		}
+		if len(line) > len(fn)+1 && string(line[:len(fn)]) == fn && line[len(fn)] == ' ' {
+			v, err := strconv.ParseInt(string(line[len(fn)+1:]), 10, 64)
+			if err != nil || v < 0 {
+				return 0
+			}
+			return v
+		}
+	}
+}
 
 // Heartbeat re-arms this host's liveness lease for another LeaseTTL on the
 // tier's clock (SetEx — the tier expires the record itself; nothing here
@@ -482,7 +738,7 @@ func leaseLive(rec []byte) bool { return string(rec) == string(leaseMark) }
 // wrongly evicted while the host was unresponsive reappears within one
 // beat.
 func (s *Scheduler) Heartbeat() error {
-	if err := s.store.SetEx(aliveKey(s.host), leaseMark, s.leaseTTL()); err != nil {
+	if err := s.store.SetEx(aliveKey(s.host), s.leasePayload(), s.leaseTTL()); err != nil {
 		return err
 	}
 	s.lastBeat.Store(s.clock.Now().UnixNano())
@@ -509,8 +765,9 @@ func (s *Scheduler) ensureLease() error {
 		return nil
 	}
 	// Write only the lease record here: advertise is on a caller's critical
-	// path and the fns walk belongs to the background beat.
-	if err := s.store.SetEx(aliveKey(s.host), leaseMark, s.leaseTTL()); err != nil {
+	// path and the fns walk belongs to the background beat. (leasePayload
+	// still piggybacks residency for already-advertised functions.)
+	if err := s.store.SetEx(aliveKey(s.host), s.leasePayload(), s.leaseTTL()); err != nil {
 		return err
 	}
 	s.lastBeat.Store(s.clock.Now().UnixNano())
@@ -644,7 +901,7 @@ func (s *Scheduler) WarmHosts(fn string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	alive, _, err := s.filterAlive(hosts)
+	alive, _, _, err := s.filterAlive(hosts)
 	return alive, err
 }
 

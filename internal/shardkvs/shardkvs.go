@@ -360,11 +360,30 @@ func (r *Ring) NodeIDs() []string {
 }
 
 // Owners reports the node ids holding key, primary first (diagnostics and
-// tests).
+// tests). Mid-rebalance it reports the committed ring: the incoming
+// placement owns nothing until the copy phase completes and commits.
 func (r *Ring) Owners(key string) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return ownersOn(r.points, key, r.opts.Replication)
+}
+
+// HealthyOwners is Owners with suspect shards removed: a shard the failure
+// detector currently doubts must not be advertised as data residency, or
+// the scheduler would steer functions toward data that reads are failing
+// over away from. Order is preserved, so index 0 — when present — is the
+// healthy primary.
+func (r *Ring) HealthyOwners(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := ownersOn(r.points, key, r.opts.Replication)
+	out := ids[:0]
+	for _, id := range ids {
+		if n := r.nodes[id]; n != nil && !n.suspect.Load() {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // route snapshots the stores owning key: primary plus replicas. Callers

@@ -118,6 +118,17 @@ func (lt *LocalTier) Lookup(key string) (*Value, bool) {
 	return v, ok
 }
 
+// ResidentBytes reports how many of key's bytes are locally resident
+// (pulled into this host's replica); 0 when the key has no replica here.
+// Feeds the scheduler's residency adverts.
+func (lt *LocalTier) ResidentBytes(key string) int64 {
+	v, ok := lt.Lookup(key)
+	if !ok {
+		return 0
+	}
+	return v.ResidentBytes()
+}
+
 // Evict drops a local replica (its shared segment stays alive for Faaslets
 // that already mapped it, but new accesses re-replicate).
 func (lt *LocalTier) Evict(key string) {
@@ -238,6 +249,22 @@ func (v *Value) chunkRange(off, n int) (int, int) {
 		hi = len(v.chunks)
 	}
 	return lo, hi
+}
+
+// ResidentBytes reports the bytes of this replica already pulled from the
+// global tier (the whole size once fully resident; otherwise pulled chunks
+// × ChunkSize, clipped to the size for the short final chunk).
+func (v *Value) ResidentBytes() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.all {
+		return int64(v.size)
+	}
+	b := int64(v.pulled) * ChunkSize
+	if b > int64(v.size) {
+		b = int64(v.size)
+	}
+	return b
 }
 
 // missing reports whether any chunk in [off, off+n) has not been pulled.

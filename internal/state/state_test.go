@@ -546,3 +546,32 @@ func TestConcurrentValueLookupsShareOneReplica(t *testing.T) {
 		t.Fatalf("registry holds %d values, want 1", n)
 	}
 }
+
+func TestResidentBytes(t *testing.T) {
+	lt, e := newTier()
+	size := 3*ChunkSize + 100 // 4 chunks, short tail
+	e.Set("k", make([]byte, size))
+	if lt.ResidentBytes("k") != 0 {
+		t.Fatal("no replica yet, residency must be 0")
+	}
+	v, err := lt.Value("k", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ResidentBytes(); got != 0 {
+		t.Fatalf("unpulled residency = %d", got)
+	}
+	if _, err := v.EnsurePulledN(0, ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.ResidentBytes("k"); got != ChunkSize {
+		t.Fatalf("one chunk pulled: residency = %d, want %d", got, ChunkSize)
+	}
+	// Pull everything: residency is the logical size, not chunks×ChunkSize.
+	if _, err := v.EnsurePulledN(0, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.ResidentBytes("k"); got != int64(size) {
+		t.Fatalf("full residency = %d, want %d", got, size)
+	}
+}

@@ -62,7 +62,10 @@ for required in \
     faasm_shardkvs_failovers_total \
     faasm_shardkvs_replica_divergence_total \
     faasm_shardkvs_repairs_total \
-    faasm_shardkvs_suspect_shards; do
+    faasm_shardkvs_suspect_shards \
+    faasm_sched_locality_hits_total \
+    faasm_sched_locality_misses_total \
+    faasm_sched_locality_saved_bytes_total; do
     if ! echo "$sites" | grep -q ":$required\$"; then
         echo "FAIL: required metric $required is not registered anywhere"
         fail=1
