@@ -84,6 +84,10 @@ func BenchmarkElasticity(b *testing.B) { benchReport(b, experiments.Elasticity) 
 // (remote state bytes with the locality weight off vs on, sgd + dmatmul).
 func BenchmarkLocality(b *testing.B) { benchReport(b, experiments.Locality) }
 
+// BenchmarkAutoscale regenerates the cluster-autoscaler experiment
+// (host count follows a 10x load ramp; safe drains back to the floor).
+func BenchmarkAutoscale(b *testing.B) { benchReport(b, experiments.Autoscale) }
+
 // BenchmarkBatchedVsSingleOps demonstrates the batch surface's win through
 // the TCP client: one pipelined MGet/MSet/GetRanges exchange against N
 // single round trips for the same data.

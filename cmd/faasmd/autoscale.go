@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"faasm.dev/faasm/internal/autoscale"
+	"faasm.dev/faasm/internal/frt"
+)
+
+// advisoryFleet adapts one faasmd process to autoscale.Fleet. A single
+// binary cannot provision peer machines, so the controller's decisions
+// are advisory: slot 0 is this process's real instance (its in-flight
+// count, pool-miss rate and heartbeat age feed the load signal); AddHost
+// appends a virtual slot standing in for the peer the operator should
+// start, and DrainHost/ReclaimHost retire virtual slots again when the
+// load passes. The desired host count, the hysteresis state and every
+// decision are exposed on /status and as faasm_autoscale_* metrics, so an
+// operator (or an external supervisor scraping /metrics) can follow the
+// controller's advice with real processes. The real instance is never
+// drained — this daemon's job is to keep serving.
+type advisoryFleet struct {
+	inst *frt.Instance
+
+	mu      sync.Mutex
+	virtual []*virtualHost // slots 1.. ; index i here is fleet slot i+1
+}
+
+type virtualHost struct {
+	draining bool
+	removed  bool
+}
+
+func newAdvisoryFleet(inst *frt.Instance) *advisoryFleet {
+	return &advisoryFleet{inst: inst}
+}
+
+// Signals implements autoscale.Fleet.
+func (f *advisoryFleet) Signals() []autoscale.HostSignals {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := []autoscale.HostSignals{{
+		Index:        0,
+		Host:         f.inst.Host(),
+		Inflight:     f.inst.Inflight(),
+		PoolMisses:   f.inst.PoolMisses.Value(),
+		HeartbeatAge: f.inst.Scheduler().HeartbeatAge(),
+		Draining:     f.inst.Draining(),
+	}}
+	for i, v := range f.virtual {
+		out = append(out, autoscale.HostSignals{
+			Index:    i + 1,
+			Host:     fmt.Sprintf("%s/advisory-%d", f.inst.Host(), i+1),
+			Draining: v.draining,
+			Removed:  v.removed,
+		})
+	}
+	return out
+}
+
+// AddHost implements autoscale.Fleet: an advisory slot, not a process.
+func (f *advisoryFleet) AddHost() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.virtual = append(f.virtual, &virtualHost{})
+	return len(f.virtual), nil
+}
+
+func (f *advisoryFleet) slot(h int) (*virtualHost, error) {
+	if h <= 0 || h > len(f.virtual) {
+		return nil, fmt.Errorf("advisory fleet: no virtual slot %d", h)
+	}
+	return f.virtual[h-1], nil
+}
+
+// DrainHost implements autoscale.Fleet. Slot 0 — the serving instance —
+// is refused: a one-process deployment must keep serving.
+func (f *advisoryFleet) DrainHost(h int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h == 0 {
+		return fmt.Errorf("advisory fleet: refusing to drain the serving instance")
+	}
+	v, err := f.slot(h)
+	if err != nil {
+		return err
+	}
+	v.draining = true
+	return nil
+}
+
+// ReclaimHost implements autoscale.Fleet.
+func (f *advisoryFleet) ReclaimHost(h int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h == 0 {
+		return fmt.Errorf("advisory fleet: cannot reclaim the serving instance")
+	}
+	v, err := f.slot(h)
+	if err != nil {
+		return err
+	}
+	if !v.removed && !v.draining {
+		return fmt.Errorf("advisory fleet: virtual slot %d is not draining", h)
+	}
+	v.removed = true
+	return nil
+}

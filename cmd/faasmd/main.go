@@ -9,6 +9,7 @@
 //	faasmd -listen :8090 -state a:6500,b:6500      # sharded global tier (ring)
 //	faasmd -kvs :6500                              # also serve one tier shard
 //	faasmd -elastic-pool -pool-idle-timeout 30s    # autoscale warm pools
+//	faasmd -autoscale -min-hosts 1 -max-hosts 8    # cluster control plane (advisory)
 //	faasmd -trace-sample 1                         # trace every invocation
 //
 // The scheduling and state knobs (-pool-cap, -lease-ttl, -peer-cache-ttl,
@@ -39,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"faasm.dev/faasm/internal/autoscale"
 	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/objstore"
@@ -69,6 +71,10 @@ func main() {
 	expirySweep := flag.Duration("expiry-sweep", 0, "background sweep cadence for tier-side key expiry on engines this process hosts (0 = 1s)")
 	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N invocations (0 = default 64, 1 = all, <0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 0, "finished traces retained for /trace and /traces (0 = default 1024)")
+	autoscaleOn := flag.Bool("autoscale", false, "run the cluster autoscale controller (advisory in a single process: decisions surface on /status and faasm_autoscale_* metrics)")
+	minHosts := flag.Int("min-hosts", 1, "autoscale floor: hosts the controller keeps unconditionally")
+	maxHosts := flag.Int("max-hosts", 8, "autoscale ceiling: hosts the controller never exceeds")
+	scaleCooldown := flag.Duration("scale-cooldown", 0, "minimum gap between voluntary scale actions (0 = 8x the reconcile tick)")
 	flag.Parse()
 
 	endpoints := *stateAddrs
@@ -154,7 +160,19 @@ func main() {
 		ring.Instrument(inst.Registry())
 	}
 
-	mux := newMux(inst, up, objects, ring)
+	var ctrl *autoscale.Controller
+	if *autoscaleOn {
+		ctrl = autoscale.NewController(newAdvisoryFleet(inst), autoscale.Spec{
+			MinHosts: *minHosts,
+			MaxHosts: *maxHosts,
+			Cooldown: *scaleCooldown,
+		}, nil)
+		ctrl.Instrument(inst.Registry())
+		ctrl.Start()
+		log.Printf("autoscale controller on (hosts %d..%d, cooldown %v)", *minHosts, *maxHosts, ctrl.Spec().Cooldown)
+	}
+
+	mux := newMux(inst, up, objects, ring, ctrl)
 	log.Printf("faasmd %s listening on %s", *host, *listen)
 	log.Fatal(http.ListenAndServe(*listen, mux))
 }
@@ -162,8 +180,9 @@ func main() {
 // newMux wires the daemon's HTTP surface over a runtime instance. Factored
 // from main so tests drive the real handlers through httptest. ring is the
 // sharded tier when one is attached (nil otherwise); /status reports its
-// per-shard health.
-func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, ring *shardkvs.Ring) *http.ServeMux {
+// per-shard health. ctrl is the autoscale controller when -autoscale is on
+// (nil otherwise); /status reports its fleet view and hysteresis state.
+func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, ring *shardkvs.Ring, ctrl *autoscale.Controller) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/f/", deployingUploader{up: up, inst: inst, objects: objects})
 	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
@@ -203,6 +222,19 @@ func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, rin
 			for _, fn := range fns {
 				fmt.Fprintf(w, "resident %s: %d bytes\n", fn, res[fn])
 			}
+		}
+		if ctrl != nil {
+			st := ctrl.Status()
+			fmt.Fprintf(w, "autoscale: hosts %d active %d draining %d (spec %d..%d)\n",
+				st.Hosts, st.Active, st.Draining, ctrl.Spec().MinHosts, ctrl.Spec().MaxHosts)
+			fmt.Fprintf(w, "autoscale load: %.2f pressure %d idleness %d cooldown %v\n",
+				st.Load, st.Pressure, st.Idleness, st.CooldownRemaining.Round(time.Millisecond))
+			last := st.LastAction
+			if last == "" {
+				last = "none"
+			}
+			fmt.Fprintf(w, "autoscale actions: ups %d downs %d drains %d restarts %d last %s\n",
+				st.ScaleUps, st.ScaleDowns, st.Drains, st.Restarts, last)
 		}
 		if ring != nil {
 			st := ring.FailureStats()

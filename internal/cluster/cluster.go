@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -111,6 +112,10 @@ type Config struct {
 	// those hosts' residency adverts credit keys whose healthy primary is
 	// their co-located shard. Requires StateShards > 1.
 	CoLocateShards bool
+	// Clock overrides the cluster clock (nil = vtime.NewScaled(TimeScale)).
+	// Deflaked experiments inject a vtime.Virtual so lease expiry and the
+	// measurement share one timeline that wall-clock stalls cannot stretch.
+	Clock vtime.Clock
 }
 
 // Cluster is a live experiment cluster.
@@ -128,12 +133,38 @@ type Cluster struct {
 	Tracer   *obsv.Tracer
 	Registry *obsv.Registry
 
-	faasm []*frt.Instance
-	base  []*baseline.Platform
-	rr    atomic.Uint64
+	// mu orders host-membership mutations (AddHost / DrainHost /
+	// ReclaimHost / Register); faasm is the append-only slot list, so host
+	// indexes stay stable for the cluster's whole life. active is the
+	// copy-on-write ingress snapshot — hosts currently accepting new
+	// round-robin traffic — rebuilt on every membership change so the Call
+	// hot path is one atomic load.
+	mu       sync.Mutex
+	faasm    []*faasmHost
+	active   atomic.Pointer[[]*frt.Instance]
+	nextHost int
+	fns      []clusterFn
+
+	base []*baseline.Platform
+	rr   atomic.Uint64
 
 	ring        *shardkvs.Ring
 	shardFaults []*simnet.FaultShard
+}
+
+// faasmHost is one host slot. A slot is never deleted — a reclaimed host
+// keeps its index with removed set, so Instance(h) and KillHost(h) stay
+// valid across scale-downs and replacement hosts get fresh names.
+type faasmHost struct {
+	inst    *frt.Instance
+	removed atomic.Bool
+}
+
+// clusterFn records a deployed function so hosts added after deployment
+// (autoscaler scale-ups) receive the full function set.
+type clusterFn struct {
+	name string
+	g    hostapi.Guest
 }
 
 // New builds and starts a cluster.
@@ -157,7 +188,11 @@ func New(cfg Config) *Cluster {
 		cfg.ProtoColdStart = 500 * time.Microsecond
 	}
 	c := &Cluster{cfg: cfg}
-	c.Clock = vtime.NewScaled(cfg.TimeScale)
+	if cfg.Clock != nil {
+		c.Clock = cfg.Clock
+	} else {
+		c.Clock = vtime.NewScaled(cfg.TimeScale)
+	}
 	c.Net = simnet.New(cfg.BandwidthBps, cfg.Latency, c.Clock)
 	rate := cfg.TraceSample
 	if rate == 0 {
@@ -202,37 +237,11 @@ func New(cfg Config) *Cluster {
 
 	for h := 0; h < cfg.Hosts; h++ {
 		host := fmt.Sprintf("host-%d", h)
-		store := simnet.NewStore(c.State, c.Net, host)
 		switch cfg.Mode {
 		case ModeFaasm:
-			cold := cfg.FaasmColdStart
-			if cfg.UseProto {
-				cold = cfg.ProtoColdStart
-			}
-			fc := frt.Config{
-				Host:            host,
-				Store:           store,
-				Clock:           c.Clock,
-				Capacity:        cfg.Capacity,
-				Transport:       (*faasmTransport)(c),
-				ColdStartDelay:  cold,
-				LeaseTTL:        cfg.LeaseTTL,
-				PeerCacheTTL:    cfg.PeerCacheTTL,
-				LocalityWeight:  cfg.LocalityWeight,
-				PoolCap:         cfg.PoolCap,
-				ElasticPool:     cfg.ElasticPool,
-				PoolIdleTimeout: cfg.PoolIdleTimeout,
-				ElasticInterval: cfg.ElasticInterval,
-				Tracer:          c.Tracer,
-				Registry:        c.Registry,
-			}
-			if cfg.CoLocateShards && c.ring != nil && h < cfg.StateShards {
-				fc.StateOwners = c.ring.HealthyOwners
-				fc.LocalShard = fmt.Sprintf("shard-%d", h)
-			}
-			inst := frt.New(fc)
-			c.faasm = append(c.faasm, inst)
+			c.faasm = append(c.faasm, &faasmHost{inst: c.newFaasmInstance(h, host)})
 		case ModeBaseline:
+			store := simnet.NewStore(c.State, c.Net, host)
 			p := baseline.New(baseline.Config{
 				Host:              host,
 				Store:             store,
@@ -247,24 +256,195 @@ func New(cfg Config) *Cluster {
 			c.base = append(c.base, p)
 		}
 	}
+	c.nextHost = cfg.Hosts
+	c.refreshActive()
 	return c
+}
+
+// newFaasmInstance builds one FAASM runtime host wired to the cluster's
+// tier, network, clock, tracer, and registry. h is the host's slot index
+// (shard co-location is positional); host its cluster-unique name.
+func (c *Cluster) newFaasmInstance(h int, host string) *frt.Instance {
+	cold := c.cfg.FaasmColdStart
+	if c.cfg.UseProto {
+		cold = c.cfg.ProtoColdStart
+	}
+	fc := frt.Config{
+		Host:            host,
+		Store:           simnet.NewStore(c.State, c.Net, host),
+		Clock:           c.Clock,
+		Capacity:        c.cfg.Capacity,
+		Transport:       (*faasmTransport)(c),
+		ColdStartDelay:  cold,
+		LeaseTTL:        c.cfg.LeaseTTL,
+		PeerCacheTTL:    c.cfg.PeerCacheTTL,
+		LocalityWeight:  c.cfg.LocalityWeight,
+		PoolCap:         c.cfg.PoolCap,
+		ElasticPool:     c.cfg.ElasticPool,
+		PoolIdleTimeout: c.cfg.PoolIdleTimeout,
+		ElasticInterval: c.cfg.ElasticInterval,
+		Tracer:          c.Tracer,
+		Registry:        c.Registry,
+	}
+	if c.cfg.CoLocateShards && c.ring != nil && h < c.cfg.StateShards {
+		fc.StateOwners = c.ring.HealthyOwners
+		fc.LocalShard = fmt.Sprintf("shard-%d", h)
+	}
+	return frt.New(fc)
+}
+
+// refreshActive rebuilds the ingress snapshot: hosts that are neither
+// removed, draining, nor killed. Call with c.mu held (or from New, before
+// the cluster is shared).
+func (c *Cluster) refreshActive() {
+	act := make([]*frt.Instance, 0, len(c.faasm))
+	for _, s := range c.faasm {
+		if s.removed.Load() || s.inst.Draining() || s.inst.Killed() {
+			continue
+		}
+		act = append(act, s.inst)
+	}
+	c.active.Store(&act)
+}
+
+// ingress returns the instances currently accepting front-door traffic,
+// falling back to every non-removed host when the active set is empty (a
+// fully draining cluster still executes rather than failing calls).
+func (c *Cluster) ingress() []*frt.Instance {
+	if act := *c.active.Load(); len(act) > 0 {
+		return act
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var all []*frt.Instance
+	for _, s := range c.faasm {
+		if !s.removed.Load() {
+			all = append(all, s.inst)
+		}
+	}
+	return all
 }
 
 // Mode reports the platform under test.
 func (c *Cluster) Mode() Mode { return c.cfg.Mode }
 
-// Hosts reports the host count.
-func (c *Cluster) Hosts() int { return c.cfg.Hosts }
+// Hosts reports live FAASM hosts — slots not yet reclaimed (draining and
+// killed hosts count until ReclaimHost) — or the configured host count in
+// baseline mode, where membership is static.
+func (c *Cluster) Hosts() int {
+	if c.cfg.Mode != ModeFaasm {
+		return c.cfg.Hosts
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.faasm {
+		if !s.removed.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveHosts reports hosts currently accepting front-door traffic (not
+// removed, draining, or killed) — the autoscaler's host-count signal.
+func (c *Cluster) ActiveHosts() int { return len(*c.active.Load()) }
+
+// slot returns host h's slot.
+func (c *Cluster) slot(h int) *faasmHost {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faasm[h]
+}
 
 // Instance returns host h's FAASM runtime (FAASM mode; tests and
 // experiments reach per-host schedulers and counters through it).
-func (c *Cluster) Instance(h int) *frt.Instance { return c.faasm[h] }
+func (c *Cluster) Instance(h int) *frt.Instance { return c.slot(h).inst }
 
 // KillHost simulates a crash of host h (FAASM mode): the instance stops
 // heartbeating and fails every call, local or forwarded, without retreating
 // from anything — the cluster must notice through lease expiry, exactly as
-// it would a real dead machine.
-func (c *Cluster) KillHost(h int) { c.faasm[h].Kill() }
+// it would a real dead machine. The front door stops routing new calls to
+// the corpse (a load balancer health check converges far faster than lease
+// expiry); peer forwarding still reaches it until the lease goes.
+func (c *Cluster) KillHost(h int) {
+	s := c.slot(h)
+	s.inst.Kill()
+	c.mu.Lock()
+	c.refreshActive()
+	c.mu.Unlock()
+}
+
+// AddHost provisions one new FAASM runtime host (scale-up): a fresh
+// instance under a never-reused name, deployed with every registered
+// function, immediately eligible for ingress and peer forwarding. Returns
+// the new host's index.
+func (c *Cluster) AddHost() (int, error) {
+	if c.cfg.Mode != ModeFaasm {
+		return 0, fmt.Errorf("cluster: AddHost in %s mode", c.cfg.Mode)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := len(c.faasm)
+	name := fmt.Sprintf("host-%d", c.nextHost)
+	c.nextHost++
+	inst := c.newFaasmInstance(h, name)
+	for _, fn := range c.fns {
+		inst.RegisterNative(fn.name, hostapi.WrapGuest(fn.g))
+		if c.cfg.UseProto {
+			if err := inst.FetchProto(fn.name); err != nil {
+				inst.Shutdown()
+				return 0, fmt.Errorf("cluster: proto for %s on new %s: %w", fn.name, name, err)
+			}
+		}
+	}
+	c.faasm = append(c.faasm, &faasmHost{inst: inst})
+	c.refreshActive()
+	return h, nil
+}
+
+// DrainHost gracefully stops host h: it leaves the ingress rotation and
+// every warm set, its liveness lease expires tier-side within one TTL so
+// peers route around it, in-flight calls finish, and new forwarded-in work
+// is refused (callers fall back locally). Reclaim the host with ReclaimHost
+// once its in-flight count reaches zero.
+func (c *Cluster) DrainHost(h int) error {
+	s := c.slot(h)
+	if s.removed.Load() {
+		return fmt.Errorf("cluster: host %d already reclaimed", h)
+	}
+	err := s.inst.Drain()
+	c.mu.Lock()
+	c.refreshActive()
+	c.mu.Unlock()
+	return err
+}
+
+// ReclaimHost releases a drained (or killed) host's resources: its pooled
+// Faaslets close and the slot is marked removed — the index stays valid,
+// the name is never reused. Refuses a live host, or a draining one still
+// running calls.
+func (c *Cluster) ReclaimHost(h int) error {
+	s := c.slot(h)
+	if s.removed.Load() {
+		return nil
+	}
+	if !s.inst.Draining() && !s.inst.Killed() {
+		return fmt.Errorf("cluster: host %d is live; drain it first", h)
+	}
+	if s.inst.Draining() && s.inst.Inflight() > 0 {
+		return fmt.Errorf("cluster: host %d still has %d calls in flight", h, s.inst.Inflight())
+	}
+	s.inst.Shutdown()
+	s.removed.Store(true)
+	c.mu.Lock()
+	c.refreshActive()
+	c.mu.Unlock()
+	return nil
+}
+
+// HostRemoved reports whether host h has been reclaimed.
+func (c *Cluster) HostRemoved(h int) bool { return c.slot(h).removed.Load() }
 
 // StateRing exposes the sharded tier's ring (nil when StateShards <= 1) —
 // chaos experiments read its health and failure counters through it.
@@ -295,17 +475,26 @@ type faasmTransport Cluster
 // along, so the remote half of the invocation joins the same trace.
 func (t *faasmTransport) ExecuteOn(host, fn string, input []byte, trace obsv.TraceID) ([]byte, int32, error) {
 	c := (*Cluster)(t)
-	for _, inst := range c.faasm {
-		if inst.Host() == host {
-			c.Net.Transfer(host, int64(len(input))+64, 64)
-			out, ret, err := inst.ExecuteForwarded(fn, input, trace)
-			if err == nil {
-				c.Net.Transfer(host, 64, int64(len(out))+64)
-			}
-			return out, ret, err
+	c.mu.Lock()
+	var target *frt.Instance
+	for _, s := range c.faasm {
+		// Draining hosts stay reachable (they refuse, the caller falls
+		// back); reclaimed ones are gone from the network.
+		if !s.removed.Load() && s.inst.Host() == host {
+			target = s.inst
+			break
 		}
 	}
-	return nil, -1, fmt.Errorf("cluster: unknown host %q", host)
+	c.mu.Unlock()
+	if target == nil {
+		return nil, -1, fmt.Errorf("cluster: unknown host %q", host)
+	}
+	c.Net.Transfer(host, int64(len(input))+64, 64)
+	out, ret, err := target.ExecuteForwarded(fn, input, trace)
+	if err == nil {
+		c.Net.Transfer(host, 64, int64(len(out))+64)
+	}
+	return out, ret, err
 }
 
 // baselineRouter load-balances chained baseline calls round-robin, as the
@@ -325,14 +514,23 @@ func (r *baselineRouter) Route(fn string, input []byte) ([]byte, int32, error) {
 func (c *Cluster) Register(fn string, g hostapi.Guest) error {
 	switch c.cfg.Mode {
 	case ModeFaasm:
-		for _, inst := range c.faasm {
+		c.mu.Lock()
+		c.fns = append(c.fns, clusterFn{name: fn, g: g})
+		insts := make([]*frt.Instance, 0, len(c.faasm))
+		for _, s := range c.faasm {
+			if !s.removed.Load() {
+				insts = append(insts, s.inst)
+			}
+		}
+		c.mu.Unlock()
+		for _, inst := range insts {
 			inst.RegisterNative(fn, hostapi.WrapGuest(g))
 		}
-		if c.cfg.UseProto {
-			if err := c.faasm[0].GenerateProto(fn, nil); err != nil {
+		if c.cfg.UseProto && len(insts) > 0 {
+			if err := insts[0].GenerateProto(fn, nil); err != nil {
 				return err
 			}
-			for _, inst := range c.faasm[1:] {
+			for _, inst := range insts[1:] {
 				if err := inst.FetchProto(fn); err != nil {
 					return err
 				}
@@ -357,12 +555,18 @@ func (c *Cluster) GetState(key string) ([]byte, error) {
 	return c.State.Get(key)
 }
 
-// Call executes one function synchronously, entering round-robin.
+// Call executes one function synchronously, entering round-robin across
+// the hosts currently in the ingress rotation (draining, killed, and
+// reclaimed hosts are skipped, as a front door's health checks would).
 func (c *Cluster) Call(fn string, input []byte) ([]byte, int32, error) {
 	switch c.cfg.Mode {
 	case ModeFaasm:
-		idx := int(c.rr.Add(1)) % len(c.faasm)
-		return c.faasm[idx].Call(fn, input)
+		hosts := c.ingress()
+		if len(hosts) == 0 {
+			return nil, -1, fmt.Errorf("cluster: no hosts")
+		}
+		idx := int(c.rr.Add(1)) % len(hosts)
+		return hosts[idx].Call(fn, input)
 	default:
 		idx := int(c.rr.Add(1)) % len(c.base)
 		return c.base[idx].Call(fn, input)
@@ -373,15 +577,19 @@ func (c *Cluster) Call(fn string, input []byte) ([]byte, int32, error) {
 // mode) — the failure experiments drive traffic through surviving hosts
 // instead of the round-robin front door.
 func (c *Cluster) CallOn(h int, fn string, input []byte) ([]byte, int32, error) {
-	return c.faasm[h].Call(fn, input)
+	return c.slot(h).inst.Call(fn, input)
 }
 
 // Invoke starts an asynchronous call, returning an awaitable handle.
 func (c *Cluster) Invoke(fn string, input []byte) (*Call, error) {
 	switch c.cfg.Mode {
 	case ModeFaasm:
-		idx := int(c.rr.Add(1)) % len(c.faasm)
-		inst := c.faasm[idx]
+		hosts := c.ingress()
+		if len(hosts) == 0 {
+			return nil, fmt.Errorf("cluster: no hosts")
+		}
+		idx := int(c.rr.Add(1)) % len(hosts)
+		inst := hosts[idx]
 		id, err := inst.Invoke(fn, input)
 		if err != nil {
 			return nil, err
@@ -425,13 +633,25 @@ type Stats struct {
 	OOMFailures  int64
 }
 
+// allInstances snapshots every FAASM instance ever created, reclaimed ones
+// included — their counters still belong to the experiment window.
+func (c *Cluster) allInstances() []*frt.Instance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*frt.Instance, len(c.faasm))
+	for i, s := range c.faasm {
+		out[i] = s.inst
+	}
+	return out
+}
+
 // Stats snapshots the cluster's counters.
 func (c *Cluster) Stats() Stats {
 	var s Stats
 	s.NetworkBytes = c.Net.TotalBytes()
 	switch c.cfg.Mode {
 	case ModeFaasm:
-		for _, inst := range c.faasm {
+		for _, inst := range c.allInstances() {
 			s.GBSeconds += inst.Billable.GBSeconds()
 			s.ColdStarts += inst.ColdStarts.Value()
 			s.WarmStarts += inst.WarmStarts.Value()
@@ -452,7 +672,7 @@ func (c *Cluster) ResetStats() {
 	c.Net.Reset()
 	switch c.cfg.Mode {
 	case ModeFaasm:
-		for _, inst := range c.faasm {
+		for _, inst := range c.allInstances() {
 			inst.Billable.Reset()
 			inst.ColdStarts.Reset()
 			inst.WarmStarts.Reset()
@@ -472,7 +692,7 @@ func (c *Cluster) ExecLatencies() *metrics.Latencies {
 	merged := &metrics.Latencies{}
 	switch c.cfg.Mode {
 	case ModeFaasm:
-		for _, inst := range c.faasm {
+		for _, inst := range c.allInstances() {
 			for _, p := range inst.ExecLatency.CDF(inst.ExecLatency.Count()) {
 				merged.Record(p.Latency)
 			}
@@ -489,7 +709,7 @@ func (c *Cluster) ExecLatencies() *metrics.Latencies {
 
 // Shutdown stops the cluster.
 func (c *Cluster) Shutdown() {
-	for _, inst := range c.faasm {
+	for _, inst := range c.allInstances() {
 		inst.Shutdown()
 	}
 }

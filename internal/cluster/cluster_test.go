@@ -541,3 +541,121 @@ func TestClusterSurvivesShardCrash(t *testing.T) {
 	}
 	call("post-heal")
 }
+
+// --- Dynamic host lifecycle (autoscaler substrate) ---
+
+func TestAddHostJoinsRotationWithAllFunctions(t *testing.T) {
+	c := New(Config{Mode: ModeFaasm, Hosts: 1, TimeScale: 1000})
+	defer c.Shutdown()
+	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hosts() != 1 || c.ActiveHosts() != 1 {
+		t.Fatalf("initial hosts = %d/%d", c.Hosts(), c.ActiveHosts())
+	}
+	h, err := c.AddHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 1 || c.Hosts() != 2 || c.ActiveHosts() != 2 {
+		t.Fatalf("after AddHost: idx=%d hosts=%d active=%d", h, c.Hosts(), c.ActiveHosts())
+	}
+	// The new host carries the full function set and serves calls directly.
+	out, ret, err := c.CallOn(h, "echo", []byte("hi"))
+	if err != nil || ret != 0 || string(out) != "hi" {
+		t.Fatalf("call on new host: %q %d %v", out, ret, err)
+	}
+	// A function registered after the scale-up lands on it too.
+	if err := c.Register("rev", func(api hostapi.API) (int32, error) {
+		in := api.Input()
+		out := make([]byte, len(in))
+		for i := range in {
+			out[len(in)-1-i] = in[i]
+		}
+		api.WriteOutput(out)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out, ret, err := c.CallOn(h, "rev", []byte("ab")); err != nil || ret != 0 || string(out) != "ba" {
+		t.Fatalf("late-registered fn on new host: %q %d %v", out, ret, err)
+	}
+}
+
+func TestDrainHostLeavesRotationThenReclaims(t *testing.T) {
+	c := New(Config{Mode: ModeFaasm, Hosts: 3, TimeScale: 1000, LeaseTTL: 50 * time.Millisecond, PeerCacheTTL: time.Millisecond})
+	defer c.Shutdown()
+	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, ret, err := c.Call("echo", []byte("x")); err != nil || ret != 0 {
+			t.Fatalf("warmup call %d: %d %v", i, ret, err)
+		}
+	}
+	// Reclaiming a live host must be refused.
+	if err := c.ReclaimHost(1); err == nil {
+		t.Fatal("reclaimed a live host")
+	}
+	if err := c.DrainHost(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveHosts() != 2 || c.Hosts() != 3 {
+		t.Fatalf("after drain: active=%d hosts=%d", c.ActiveHosts(), c.Hosts())
+	}
+	// Front-door traffic keeps flowing, none of it to the draining host.
+	before := c.Instance(1).WarmStarts.Value() + c.Instance(1).ColdStarts.Value()
+	for i := 0; i < 12; i++ {
+		if _, ret, err := c.Call("echo", []byte("y")); err != nil || ret != 0 {
+			t.Fatalf("call %d during drain: %d %v", i, ret, err)
+		}
+	}
+	if got := c.Instance(1).WarmStarts.Value() + c.Instance(1).ColdStarts.Value() - before; got != 0 {
+		t.Fatalf("draining host executed %d front-door calls", got)
+	}
+	if err := c.ReclaimHost(1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HostRemoved(1) || c.Hosts() != 2 {
+		t.Fatalf("after reclaim: removed=%v hosts=%d", c.HostRemoved(1), c.Hosts())
+	}
+	// Idempotent.
+	if err := c.ReclaimHost(1); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster still serves calls on the survivors.
+	for i := 0; i < 6; i++ {
+		if _, ret, err := c.Call("echo", []byte("z")); err != nil || ret != 0 {
+			t.Fatalf("post-reclaim call %d: %d %v", i, ret, err)
+		}
+	}
+}
+
+func TestReplacementHostGetsFreshName(t *testing.T) {
+	c := New(Config{Mode: ModeFaasm, Hosts: 2, TimeScale: 1000})
+	defer c.Shutdown()
+	c.KillHost(1)
+	if c.ActiveHosts() != 1 {
+		t.Fatalf("active after kill = %d", c.ActiveHosts())
+	}
+	if err := c.ReclaimHost(1); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.AddHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c.Instance(h).Host()
+	if name == "host-1" {
+		t.Fatalf("replacement host reused the corpse's name %q", name)
+	}
+	if name != "host-2" {
+		t.Fatalf("replacement name = %q, want host-2", name)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"faasm.dev/faasm/internal/core"
 	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/hostapi"
+	"faasm.dev/faasm/internal/vtime"
 )
 
 // Elasticity measures the elastic scheduling layer this repo grows beyond
@@ -82,6 +84,8 @@ func measureRampMisses(ramp []int, elastic bool) (misses, prewarmed, reclaims in
 		return 0, nil
 	})
 	for _, c := range ramp {
+		missesBefore := inst.PoolMisses.Value()
+		prewarmedBefore := inst.Prewarmed.Value()
 		var wg sync.WaitGroup
 		var callErr error
 		var mu sync.Mutex
@@ -106,9 +110,20 @@ func measureRampMisses(ramp []int, elastic bool) (misses, prewarmed, reclaims in
 		if callErr != nil {
 			return 0, 0, 0, callErr
 		}
-		// The gap between ramp steps, identical for both configs; the
-		// elastic controller uses it to grow ahead of the next step.
-		time.Sleep(20 * time.Millisecond)
+		// The gap between ramp steps. The static pool's misses don't depend
+		// on it (the pool only grows organically, so each step's shortfall
+		// is fixed), but the elastic controller needs its ticks to land in
+		// the gap — so rather than a wall-clock sleep a loaded machine can
+		// starve, wait until the grow-ahead this step's misses triggered has
+		// actually happened (bounded by a generous cap).
+		if elastic && inst.PoolMisses.Value() > missesBefore {
+			deadline := time.Now().Add(2 * time.Second)
+			for inst.Prewarmed.Value() == prewarmedBefore && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			// One settled interval so the controller finishes the pass.
+			time.Sleep(4 * time.Millisecond)
+		}
 	}
 	return inst.PoolMisses.Value(), inst.Prewarmed.Value(), inst.IdleReclaims.Value(), nil
 }
@@ -118,59 +133,101 @@ func measureRampMisses(ramp []int, elastic bool) (misses, prewarmed, reclaims in
 // the drain duration, the count of calls that FAILED during it (want 0),
 // the forwards recorded before the kill, and the simulated-network bytes
 // the cluster spent while healing (call payloads + lease reads).
+//
+// The whole measurement runs on a vtime.Virtual clock: every blocking
+// point in the simulation — simnet transfer latency, lease expiry on the
+// tier's engines, heartbeat cadence, the poll interval below — sleeps on
+// the same virtual timeline, and the pump loop in the caller goroutine
+// advances it deadline by deadline. The drain duration is therefore
+// virtual elapsed time: a loaded CI machine or -race overhead stretches
+// wall time but cannot stretch the measurement, which is what used to
+// make this section flake.
 func measureFailoverDrain(leaseTTL time.Duration) (drain time.Duration, failed int, forwarded, ctrlBytes int64, err error) {
-	c := cluster.New(cluster.Config{
-		Mode: cluster.ModeFaasm, Hosts: 3, TimeScale: 1,
-		LeaseTTL:     leaseTTL,
-		PeerCacheTTL: 5 * time.Millisecond,
-	})
-	defer c.Shutdown()
-	if err := c.Register("echo", func(api hostapi.API) (int32, error) {
-		api.WriteOutput(api.Input())
-		return 0, nil
-	}); err != nil {
-		return 0, 0, 0, 0, err
+	clk := vtime.NewVirtual()
+	type result struct {
+		drain                time.Duration
+		failed               int
+		forwarded, ctrlBytes int64
+		err                  error
 	}
-	// Warm host-1 only, then route traffic through host-0 so every call
-	// forwards to the one warm peer.
-	if _, _, err := c.CallOn(1, "echo", []byte("w")); err != nil {
-		return 0, 0, 0, 0, err
-	}
-	for k := 0; k < 10; k++ {
-		if _, _, err := c.CallOn(0, "echo", []byte("x")); err != nil {
-			return 0, 0, 0, 0, err
-		}
-	}
-	forwarded = c.Instance(0).Scheduler().Stats.Forwarded.Load()
-
-	c.KillHost(1)
-	start := time.Now()
-	bytesBefore := c.Net.TotalBytes()
-	hostBytesAtKill := c.Net.HostBytes("host-1")
-	deadline := start.Add(10 * leaseTTL)
-	for {
-		// Traffic keeps flowing through the survivors the whole time.
-		if _, _, err := c.CallOn(0, "echo", []byte("y")); err != nil {
-			failed++
-		}
-		hosts, err := c.Instance(2).Scheduler().WarmHosts("echo")
-		if err != nil {
-			return 0, failed, forwarded, 0, err
-		}
-		dead := false
-		for _, h := range hosts {
-			if h == "host-1" {
-				dead = true
+	resCh := make(chan result, 1)
+	go func() {
+		r := func() result {
+			c := cluster.New(cluster.Config{
+				Mode: cluster.ModeFaasm, Hosts: 3, Clock: clk,
+				LeaseTTL:     leaseTTL,
+				PeerCacheTTL: 5 * time.Millisecond,
+			})
+			defer c.Shutdown()
+			if err := c.Register("echo", func(api hostapi.API) (int32, error) {
+				api.WriteOutput(api.Input())
+				return 0, nil
+			}); err != nil {
+				return result{err: err}
 			}
+			// Warm host-1 only, then route traffic through host-0 so every
+			// call forwards to the one warm peer.
+			if _, _, err := c.CallOn(1, "echo", []byte("w")); err != nil {
+				return result{err: err}
+			}
+			var r result
+			for k := 0; k < 10; k++ {
+				if _, _, err := c.CallOn(0, "echo", []byte("x")); err != nil {
+					return result{err: err}
+				}
+			}
+			r.forwarded = c.Instance(0).Scheduler().Stats.Forwarded.Load()
+
+			c.KillHost(1)
+			start := clk.Now()
+			bytesBefore := c.Net.TotalBytes()
+			hostBytesAtKill := c.Net.HostBytes("host-1")
+			deadline := start.Add(10 * leaseTTL)
+			for {
+				// Traffic keeps flowing through the survivors the whole time.
+				if _, _, err := c.CallOn(0, "echo", []byte("y")); err != nil {
+					r.failed++
+				}
+				hosts, err := c.Instance(2).Scheduler().WarmHosts("echo")
+				if err != nil {
+					r.err = err
+					return r
+				}
+				dead := false
+				for _, h := range hosts {
+					if h == "host-1" {
+						dead = true
+					}
+				}
+				if !dead {
+					// Sanity: the dead host itself moved no bytes since the kill.
+					r.ctrlBytes = c.Net.TotalBytes() - bytesBefore - c.Net.HostBytes("host-1") + hostBytesAtKill
+					r.drain = clk.Now().Sub(start)
+					return r
+				}
+				if clk.Now().After(deadline) {
+					r.err = fmt.Errorf("dead host still listed after %v", clk.Now().Sub(start))
+					return r
+				}
+				clk.Sleep(2 * time.Millisecond)
+			}
+		}()
+		resCh <- r
+	}()
+
+	// The pump: advance virtual time to each next sleeper deadline until
+	// the measurement goroutine reports in. A final advance releases the
+	// survivors' heartbeat loops so they observe the shutdown and exit.
+	for {
+		select {
+		case r := <-resCh:
+			clk.Advance(leaseTTL)
+			return r.drain, r.failed, r.forwarded, r.ctrlBytes, r.err
+		default:
 		}
-		if !dead {
-			// Sanity: the dead host itself moved no bytes since the kill.
-			ctrlBytes = c.Net.TotalBytes() - bytesBefore - c.Net.HostBytes("host-1") + hostBytesAtKill
-			return time.Since(start), failed, forwarded, ctrlBytes, nil
+		if t, ok := clk.NextDeadline(); ok {
+			clk.AdvanceTo(t)
 		}
-		if time.Now().After(deadline) {
-			return 0, failed, forwarded, 0, fmt.Errorf("dead host still listed after %v", time.Since(start))
-		}
-		time.Sleep(2 * time.Millisecond)
+		runtime.Gosched()
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -280,5 +281,77 @@ func TestLocalityGate(t *testing.T) {
 	}
 	if !gates["sgd"] || !gates["dmatmul"] {
 		t.Fatalf("missing passing gate rows: %v (rows %v)", gates, r.Rows)
+	}
+}
+
+func TestAutoscaleGate(t *testing.T) {
+	// The PR 9 autoscale gate: offered load ramps 10x, the controller must
+	// grow the fleet under sustained pressure, drain it back to the floor
+	// when the load passes, complete every drain with zero failed calls,
+	// and a drained host must execute nothing after ~1 lease TTL.
+	r := Autoscale(Options{Quick: true})
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sections := map[string]bool{}
+	for _, row := range r.Rows {
+		sections[row[0]] = true
+		if row[len(row)-1] == "FAILED" {
+			t.Errorf("gate failed: %v", row)
+		}
+	}
+	for _, want := range []string{"ramp", "idle", "drain"} {
+		if !sections[want] {
+			t.Fatalf("missing section %q: %v", want, sections)
+		}
+	}
+}
+
+func TestElasticityGate(t *testing.T) {
+	// Deflake regression gate: the failover drain is timed on a virtual
+	// clock (lease expiry and measurement share one timeline), so these
+	// bounds hold under -race and on loaded machines — see
+	// measureFailoverDrain. Pinned properties: grow-ahead beats the static
+	// pool, no call fails during the drain, and the dead host evicts
+	// within ~1 lease TTL (2 is the generous ceiling).
+	r := Elasticity(Options{Quick: true})
+	cell := func(section, config, metric string) string {
+		t.Helper()
+		for _, row := range r.Rows {
+			if row[0] == section && row[1] == config && row[2] == metric {
+				return row[3]
+			}
+		}
+		t.Fatalf("missing row %s/%s/%s in %v", section, config, metric, r.Rows)
+		return ""
+	}
+	num := func(section, config, metric string) int {
+		t.Helper()
+		n, err := strconv.Atoi(cell(section, config, metric))
+		if err != nil {
+			t.Fatalf("row %s/%s/%s: %v", section, config, metric, err)
+		}
+		return n
+	}
+
+	staticMisses := num("pool", "static pool", "pool-empty misses (critical-path cold starts)")
+	elasticMisses := num("pool", "elastic pool", "pool-empty misses (critical-path cold starts)")
+	if elasticMisses >= staticMisses {
+		t.Errorf("grow-ahead did not beat the static pool: elastic %d vs static %d misses", elasticMisses, staticMisses)
+	}
+	if pre := num("pool", "elastic pool", "pre-provisioned Faaslets"); pre == 0 {
+		t.Error("elastic pool never pre-provisioned")
+	}
+
+	const target = "3 hosts, kill warm target"
+	if failed := num("failover", target, "calls failed during drain"); failed != 0 {
+		t.Errorf("%d calls failed during the failover drain", failed)
+	}
+	var ttls float64
+	if _, err := fmt.Sscanf(cell("failover", target, "dead host evicted after"), "%f lease TTLs", &ttls); err != nil {
+		t.Fatalf("eviction cell: %v", err)
+	}
+	if ttls <= 0 || ttls > 2 {
+		t.Errorf("dead host evicted after %.2f lease TTLs, want (0, 2]", ttls)
 	}
 }

@@ -1,6 +1,7 @@
 package frt
 
 import (
+	"errors"
 	"time"
 
 	"faasm.dev/faasm/internal/core"
@@ -99,7 +100,7 @@ func (i *Instance) prewarm(fn string, n int) {
 			i.clock.Sleep(i.cfg.ColdStartDelay)
 		}
 		i.shutMu.RLock()
-		if i.closed.Load() || i.killed.Load() {
+		if i.closed.Load() || i.killed.Load() || i.draining.Load() {
 			i.shutMu.RUnlock()
 			return
 		}
@@ -191,3 +192,32 @@ func (i *Instance) Kill() {
 
 // Killed reports whether Kill was called.
 func (i *Instance) Killed() bool { return i.killed.Load() }
+
+// ErrDraining marks work refused because the instance is gracefully
+// stopping. Forwarding peers treat it like any transport failure — fall back
+// locally and drop the stale peer-set cache — so a drain never fails a call.
+var ErrDraining = errors.New("draining")
+
+// Drain begins a graceful stop. The instance retreats from every warm set
+// and stops heartbeating (the liveness lease expires tier-side within one
+// TTL, after which no peer forwards here), the elastic controller stops
+// growing pools, and forwarded-in work is refused so callers fall back.
+// Calls already in flight — local or forwarded — run to completion, and
+// calls entered locally during the drain still execute (forwarded away when
+// a warm peer exists). Reclaim the instance with Shutdown once Inflight
+// reaches zero. Idempotent; returns the warm-set retreat error, if any
+// (the expiring lease drains traffic regardless).
+func (i *Instance) Drain() error {
+	if i.draining.Swap(true) {
+		return nil
+	}
+	i.stopElastic()
+	return i.sched.Drain()
+}
+
+// Draining reports whether Drain was called.
+func (i *Instance) Draining() bool { return i.draining.Load() }
+
+// Inflight reports calls currently executing on this host. A draining
+// instance with zero in-flight calls is safe to Shutdown.
+func (i *Instance) Inflight() int { return i.sched.Inflight() }

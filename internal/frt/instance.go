@@ -171,6 +171,11 @@ type Instance struct {
 	// nothing retreats — peers must discover the death via lease expiry.
 	killed atomic.Bool
 
+	// draining marks a graceful stop (Drain): in-flight calls finish, new
+	// forwarded-in work is refused (peers fall back and route around the
+	// expiring lease), and locally entered calls prefer forwarding away.
+	draining atomic.Bool
+
 	// elastic controller lifecycle (nil when ElasticPool is off).
 	elasticStop chan struct{}
 	elasticDone chan struct{}
@@ -646,7 +651,13 @@ func (i *Instance) ExecuteLocal(function string, input []byte) ([]byte, int32, e
 // half of the invocation lands under the same trace id, then executes
 // locally. When the join created a local trace record (per-host tracers),
 // this host owns its lifecycle and finishes it.
+// A draining host refuses forwarded work outright — the caller's route()
+// falls back to local execution, so the refusal costs latency, never a
+// failed call — while calls already executing here run to completion.
 func (i *Instance) ExecuteForwarded(function string, input []byte, trace obsv.TraceID) ([]byte, int32, error) {
+	if i.draining.Load() {
+		return nil, -1, fmt.Errorf("frt: host %s: %w", i.cfg.Host, ErrDraining)
+	}
 	tr, created := i.tracer.Join(trace, i.cfg.Host, function)
 	out, ret, err := i.executeLocal(tr, function, input)
 	if created {

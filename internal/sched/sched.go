@@ -192,6 +192,11 @@ type Scheduler struct {
 	// peerStats maps host → *peerStat (latency/load across all functions).
 	peerStats sync.Map
 
+	// draining marks the scheduler's drain mode (see Drain): the host has
+	// stopped advertising and heartbeating, prefers forwarding over local
+	// execution, and refuses to re-enter the warm set.
+	draining atomic.Bool
+
 	// lastBeat is the unix-nano instant of the last lease write, 0 if never.
 	lastBeat atomic.Int64
 	// hbStop ends the heartbeat loop; hbMu orders Start/Stop.
@@ -292,7 +297,8 @@ func (s *Scheduler) Instrument(reg *obsv.Registry, host string) {
 func (s *Scheduler) Schedule(fn string) (Decision, error) {
 	e := s.fn(fn)
 	warmHere := e.idle.Load() > 0
-	if warmHere && s.inflight.Load() < s.capacity {
+	draining := s.draining.Load()
+	if warmHere && !draining && s.inflight.Load() < s.capacity {
 		s.Stats.LocalWarm.Add(1)
 		return Decision{Placement: PlaceLocalWarm}, nil
 	}
@@ -326,9 +332,18 @@ func (s *Scheduler) Schedule(fn string) (Decision, error) {
 
 	if warmHere {
 		// Warm but at capacity with nowhere to share: still run locally
-		// (queueing), matching the paper's behaviour under saturation.
+		// (queueing), matching the paper's behaviour under saturation. A
+		// draining host takes this path too when it is the only one left
+		// warm — executing is always preferred over failing the call.
 		s.Stats.LocalWarm.Add(1)
 		return Decision{Placement: PlaceLocalWarm}, nil
+	}
+
+	if draining {
+		// No warm peer to hand the call to: execute it here, cold, but do
+		// not advertise — a draining host never re-attracts traffic.
+		s.Stats.ColdStart.Add(1)
+		return Decision{Placement: PlaceLocalCold}, nil
 	}
 
 	// Cold start here and advertise this host as warm for fn. SAdd is the
@@ -345,6 +360,12 @@ func (s *Scheduler) Schedule(fn string) (Decision, error) {
 // this host's liveness lease exists (peers treat a warm entry without a live
 // lease as a dead host), then add it to the function's warm set.
 func (s *Scheduler) advertise(e *fnState, fn string) error {
+	if s.draining.Load() {
+		// A draining host must never (re-)enter the warm set: its lease is
+		// expiring and peers are routing around it. Silently skipping keeps
+		// NoteWarm callers working while the pool winds down.
+		return nil
+	}
 	if !e.advertised.CompareAndSwap(false, true) {
 		return nil
 	}
@@ -738,6 +759,11 @@ func residencyFor(rec []byte, fn string) int64 {
 // wrongly evicted while the host was unresponsive reappears within one
 // beat.
 func (s *Scheduler) Heartbeat() error {
+	if s.draining.Load() {
+		// Draining hosts let the lease run out — re-arming it would keep
+		// peers forwarding here for another TTL.
+		return nil
+	}
 	if err := s.store.SetEx(aliveKey(s.host), s.leasePayload(), s.leaseTTL()); err != nil {
 		return err
 	}
@@ -799,6 +825,53 @@ func (s *Scheduler) StopHeartbeat() {
 		close(s.hbStop)
 		s.hbStop = nil
 	}
+}
+
+// Drain puts the scheduler into drain mode: every advertised function is
+// retreated from the global warm set, the heartbeat stops so the liveness
+// lease expires on the tier's clock within one TTL, and no future advertise
+// or heartbeat can re-attract traffic. In-flight calls are unaffected;
+// Schedule keeps working but prefers warm peers and never advertises. The
+// transition is one-way — a drained host is reclaimed, not revived.
+//
+// The best-effort retreat is belt and braces: even if the SRem writes fail
+// (tier unreachable), the expiring lease alone routes every peer around this
+// host within one lease TTL plus one peer-cache TTL.
+func (s *Scheduler) Drain() error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	s.StopHeartbeat()
+	var firstErr error
+	s.fns.Range(func(k, v any) bool {
+		e := v.(*fnState)
+		e.idle.Store(0)
+		if e.advertised.Swap(false) {
+			if _, err := s.store.SRem(warmSetKey(k.(string)), s.host); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return true
+	})
+	return firstErr
+}
+
+// Draining reports whether Drain was called.
+func (s *Scheduler) Draining() bool { return s.draining.Load() }
+
+// HeartbeatAge reports how long ago this host last wrote its liveness lease
+// (0 if it never has). A supervisor uses it as a crash signal: a healthy
+// advertised host beats every LeaseTTL/3.
+func (s *Scheduler) HeartbeatAge() time.Duration {
+	last := s.lastBeat.Load()
+	if last == 0 {
+		return 0
+	}
+	age := s.clock.Now().UnixNano() - last
+	if age < 0 {
+		age = 0
+	}
+	return time.Duration(age)
 }
 
 func (s *Scheduler) heartbeatLoop(stop chan struct{}) {

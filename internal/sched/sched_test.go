@@ -586,6 +586,127 @@ func TestFastFailureDoesNotScoreDeadPeerBest(t *testing.T) {
 	}
 }
 
+// --- Drain mode (graceful host removal) ---
+
+func TestDrainRetreatsFromWarmSetsAndStopsAdvertising(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	b.Schedule("gn")
+	b.NoteWarm("gn", 1)
+	if err := b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	for _, fn := range []string{"fn", "gn"} {
+		raw, _ := store.SMembers("sched/warm/" + fn)
+		for _, h := range raw {
+			if h == "host-b" {
+				t.Fatalf("draining host still in %s warm set: %v", fn, raw)
+			}
+		}
+	}
+	// Post-drain warm churn must not re-advertise: a draining host never
+	// re-attracts traffic.
+	b.NoteWarm("fn", 1)
+	if b.Advertised("fn") {
+		t.Fatal("NoteWarm re-advertised a draining host")
+	}
+	raw, _ := store.SMembers("sched/warm/fn")
+	if len(raw) != 0 {
+		t.Fatalf("draining host re-entered warm set: %v", raw)
+	}
+	// Drain is idempotent.
+	if err := b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainingHostForwardsNewCallsAway(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+
+	a := New("host-a", store, 10)
+	a.Schedule("fn")
+	a.NoteWarm("fn", 1)
+	a.Drain()
+	// Even with warm Faaslets of its own, the draining host hands new calls
+	// to the live peer.
+	d, err := a.Schedule("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Placement != PlaceForward || d.TargetHost != "host-b" {
+		t.Fatalf("draining host kept the call: %+v", d)
+	}
+}
+
+func TestDrainingHostWithNoPeersStillExecutes(t *testing.T) {
+	store := kvs.NewEngine()
+	a := New("host-a", store, 10)
+	a.Schedule("fn")
+	a.NoteWarm("fn", 1)
+	a.Drain()
+	// Last host standing: executing beats failing the call — but it must
+	// not advertise while doing so.
+	d, err := a.Schedule("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Placement == PlaceForward {
+		t.Fatalf("peerless draining host forwarded: %+v", d)
+	}
+	if raw, _ := store.SMembers("sched/warm/fn"); len(raw) != 0 {
+		t.Fatalf("peerless draining execution advertised: %v", raw)
+	}
+}
+
+func TestDrainedLeaseExpiresWithinOneTTL(t *testing.T) {
+	store := kvs.NewEngine()
+	const ttl = 40 * time.Millisecond
+	b := New("host-b", store, 10)
+	b.LeaseTTL = ttl
+	b.Schedule("fn")
+	b.NoteWarm("fn", 1)
+	b.StartHeartbeat()
+	if rec, _ := store.Get("sched/alive/host-b"); len(rec) == 0 {
+		t.Fatal("no lease before drain")
+	}
+	b.Drain()
+	// Heartbeat is a hard no-op now — even called by hand it must not
+	// re-arm the lease.
+	if err := b.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(ttl + ttl/2)
+	if rec, _ := store.Get("sched/alive/host-b"); len(rec) != 0 {
+		t.Fatalf("drained host's lease still live past 1 TTL: %q", rec)
+	}
+	// And a peer no longer sees it as warm anywhere.
+	a := New("host-a", store, 10)
+	if hosts, _ := a.WarmHosts("fn"); len(hosts) != 0 {
+		t.Fatalf("drained host still warm-visible: %v", hosts)
+	}
+}
+
+func TestHeartbeatAgeTracksBeats(t *testing.T) {
+	store := kvs.NewEngine()
+	b := New("host-b", store, 10)
+	if b.HeartbeatAge() != 0 {
+		t.Fatalf("age before any beat = %v, want 0", b.HeartbeatAge())
+	}
+	b.Schedule("fn") // advertise writes the lease
+	time.Sleep(5 * time.Millisecond)
+	if age := b.HeartbeatAge(); age < 5*time.Millisecond || age > time.Minute {
+		t.Fatalf("age after advertise = %v", age)
+	}
+}
+
 func TestRepeatedFailuresSaturateInsteadOfOverflowing(t *testing.T) {
 	store := kvs.NewEngine()
 	a := New("host-a", store, 10)

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Enforces statement-coverage floors on the control-plane packages: the
+# scheduler (drain mode, leases, forwarding), the runtime instance
+# (graceful stop, pool lifecycle) and the autoscale controller
+# (supervision + load reconciliation). These are the packages whose
+# failure modes only show up under rare interleavings — a coverage
+# regression there means a lifecycle path went untested, which is exactly
+# how drain/stop bugs ship. Floors sit ~5 points under today's numbers:
+# tight enough to catch an untested new subsystem, loose enough that an
+# unrelated refactor doesn't trip them.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+check() {
+    pkg=$1
+    floor=$2
+    line=$(go test -cover "./$pkg" 2>&1 | tail -1)
+    case "$line" in
+        ok*coverage:*) ;;
+        *)
+            echo "FAIL: $pkg: tests did not pass: $line"
+            fail=1
+            return
+            ;;
+    esac
+    pct=$(echo "$line" | sed -E 's/.*coverage: ([0-9.]+)% of statements.*/\1/')
+    # Integer compare on tenths, so the shell needs no float arithmetic.
+    got=$(echo "$pct" | awk '{printf "%d", $1 * 10}')
+    want=$(echo "$floor" | awk '{printf "%d", $1 * 10}')
+    if [ "$got" -lt "$want" ]; then
+        echo "FAIL: $pkg: coverage $pct% is below the $floor% floor"
+        fail=1
+    else
+        echo "ok: $pkg: coverage $pct% (floor $floor%)"
+    fi
+}
+
+check internal/sched 80
+check internal/frt 80
+check internal/autoscale 85
+
+[ "$fail" -eq 0 ] || exit 1

@@ -65,7 +65,12 @@ for required in \
     faasm_shardkvs_suspect_shards \
     faasm_sched_locality_hits_total \
     faasm_sched_locality_misses_total \
-    faasm_sched_locality_saved_bytes_total; do
+    faasm_sched_locality_saved_bytes_total \
+    faasm_autoscale_hosts \
+    faasm_autoscale_scale_ups_total \
+    faasm_autoscale_scale_downs_total \
+    faasm_autoscale_drains_total \
+    faasm_autoscale_restarts_total; do
     if ! echo "$sites" | grep -q ":$required\$"; then
         echo "FAIL: required metric $required is not registered anywhere"
         fail=1
