@@ -52,10 +52,11 @@ func main() {
 		"state-chaos":   experiments.StateChaos,
 		"locality":      experiments.Locality,
 		"autoscale":     experiments.Autoscale,
+		"async-queue":   experiments.AsyncQueue,
 	}
 	order := []string{"table1", "table3", "table3-python", "fig6", "fig6-small",
 		"fig7", "fig7b", "fig8", "fig9a", "fig9b", "fig10", "state-scale", "invoke-scale",
-		"elastic-sched", "state-chaos", "locality", "autoscale"}
+		"elastic-sched", "state-chaos", "locality", "autoscale", "async-queue"}
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
@@ -87,5 +88,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: faasm-bench [-quick] [-csv] [-json] <experiment>...
-experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale invoke-scale elastic-sched state-chaos locality autoscale`)
+experiments: all table1 table3 table3-python fig6 fig6-small fig7 fig7b fig8 fig9a fig9b fig10 state-scale invoke-scale elastic-sched state-chaos locality autoscale async-queue`)
 }

@@ -22,6 +22,8 @@
 //
 //	PUT  /f/<name>?lang=fc|wat   upload source; codegen; deploy
 //	POST /invoke/<name>          body = input, response = output
+//	POST /invoke/<name>?async=1  enqueue durably (-async-queue); 202 + call id
+//	GET  /call/<id>              a queued call's terminal result as JSON
 //	GET  /status                 runtime counters
 //	GET  /metrics                Prometheus text exposition
 //	GET  /trace/<id>             one invocation trace as JSON
@@ -30,6 +32,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +48,7 @@ import (
 	"faasm.dev/faasm/internal/kvs"
 	"faasm.dev/faasm/internal/objstore"
 	"faasm.dev/faasm/internal/obsv"
+	"faasm.dev/faasm/internal/queue"
 	"faasm.dev/faasm/internal/shardkvs"
 	"faasm.dev/faasm/internal/upload"
 )
@@ -71,6 +75,10 @@ func main() {
 	expirySweep := flag.Duration("expiry-sweep", 0, "background sweep cadence for tier-side key expiry on engines this process hosts (0 = 1s)")
 	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N invocations (0 = default 64, 1 = all, <0 = off)")
 	traceBuffer := flag.Int("trace-buffer", 0, "finished traces retained for /trace and /traces (0 = default 1024)")
+	asyncQueue := flag.Bool("async-queue", false, "enable the durable async invocation queue: POST /invoke/<name>?async=1 enqueues and acks with a call id, GET /call/<id> reads the result")
+	queueDepth := flag.Int("queue-depth", 0, "per-function depth cap on queued-plus-in-flight async calls; submits beyond it are rejected 429 (0 = 1024)")
+	queueRetryMax := flag.Int("queue-retry-max", 0, "redeliveries after a failed async execution before the call dead-letters (0 = 3, <0 = none)")
+	queueLeaseTTL := flag.Duration("queue-lease-ttl", 0, "in-flight redelivery lease: a consumer dead this long after claiming has its item reclaimed (0 = 10s)")
 	autoscaleOn := flag.Bool("autoscale", false, "run the cluster autoscale controller (advisory in a single process: decisions surface on /status and faasm_autoscale_* metrics)")
 	minHosts := flag.Int("min-hosts", 1, "autoscale floor: hosts the controller keeps unconditionally")
 	maxHosts := flag.Int("max-hosts", 8, "autoscale ceiling: hosts the controller never exceeds")
@@ -147,6 +155,10 @@ func main() {
 		PoolIdleTimeout: *poolIdleTimeout,
 		TraceSample:     *traceSample,
 		TraceBuffer:     *traceBuffer,
+		AsyncQueue:      *asyncQueue,
+		QueueDepth:      *queueDepth,
+		QueueRetryMax:   *queueRetryMax,
+		QueueLeaseTTL:   *queueLeaseTTL,
 	}
 	if ring != nil && *shardID != "" {
 		fc.StateOwners = ring.HealthyOwners
@@ -192,6 +204,24 @@ func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, rin
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if r.URL.Query().Get("async") == "1" {
+			id, err := inst.InvokeAsync(name, input)
+			switch {
+			case errors.Is(err, queue.ErrQueueFull):
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				return
+			case errors.Is(err, frt.ErrAsyncDisabled):
+				http.Error(w, err.Error(), http.StatusNotImplemented)
+				return
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("X-Faasm-Call-ID", strconv.FormatUint(id, 10))
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, "%d\n", id)
+			return
+		}
 		out, ret, trace, err := inst.CallTraced(name, input)
 		if trace != 0 {
 			w.Header().Set("X-Faasm-Trace", strconv.FormatUint(uint64(trace), 10))
@@ -202,6 +232,29 @@ func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, rin
 		}
 		w.Header().Set("X-Faasm-Return-Code", fmt.Sprintf("%d", ret))
 		w.Write(out)
+	})
+	mux.HandleFunc("/call/", func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/call/")
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad call id %q", idStr), http.StatusBadRequest)
+			return
+		}
+		q := inst.Queue()
+		if q == nil {
+			http.Error(w, frt.ErrAsyncDisabled.Error(), http.StatusNotImplemented)
+			return
+		}
+		rec, ok, err := q.Result(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.Error(w, fmt.Sprintf("call %d has no result yet", id), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rec)
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "host: %s\nfunctions: %v\nfaaslets: %d\ncold: %d warm: %d proto: %d\nmedian exec: %v\n",
@@ -221,6 +274,16 @@ func newMux(inst *frt.Instance, up *upload.Service, objects *objstore.Store, rin
 			sort.Strings(fns)
 			for _, fn := range fns {
 				fmt.Fprintf(w, "resident %s: %d bytes\n", fn, res[fn])
+			}
+		}
+		if q := inst.Queue(); q != nil {
+			st := q.Stats()
+			fmt.Fprintf(w, "queue: enqueued %d redelivered %d dead-lettered %d\n",
+				st.Enqueued, st.Redelivered, st.DeadLettered)
+			for _, fn := range q.Functions() {
+				if d, err := q.Depth(fn); err == nil {
+					fmt.Fprintf(w, "queue depth %s: %d\n", fn, d)
+				}
 			}
 		}
 		if ctrl != nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"faasm.dev/faasm/internal/autoscale"
 	"faasm.dev/faasm/internal/frt"
@@ -312,5 +313,84 @@ func TestStatusAndMetricsReportAutoscale(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+func TestAsyncInvokeEndpoints(t *testing.T) {
+	eng := kvs.NewEngine()
+	inst := frt.New(frt.Config{
+		Host:       "test-0",
+		Store:      eng,
+		AsyncQueue: true,
+		QueuePoll:  time.Millisecond,
+	})
+	t.Cleanup(inst.Shutdown)
+	inst.RegisterNative("echo", hostapi.WrapGuest(func(api hostapi.API) (int32, error) {
+		api.WriteOutput(api.Input())
+		return 0, nil
+	}))
+	objects := objstore.NewMemory()
+	srv := httptest.NewServer(newMux(inst, upload.New(objects), objects, nil, nil))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Post(srv.URL+"/invoke/echo?async=1", "application/octet-stream", strings.NewReader("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async invoke = %d, want 202", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Faasm-Call-ID")
+	if id == "" {
+		t.Fatal("no call id header")
+	}
+
+	// The consumer loop picks the item up; poll /call/<id> for the result.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body, _ := get(t, srv.URL+"/call/"+id)
+		if code == http.StatusOK {
+			var rec struct {
+				Status int    `json:"Status"`
+				Output []byte `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(body), &rec); err != nil {
+				t.Fatalf("decode result: %v\n%s", err, body)
+			}
+			if string(rec.Output) != "ping" {
+				t.Fatalf("result output = %q", rec.Output)
+			}
+			break
+		}
+		if code != http.StatusNotFound {
+			t.Fatalf("GET /call/%s = %d", id, code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async call never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if _, body, _ := get(t, srv.URL+"/status"); !strings.Contains(body, "queue: enqueued 1") {
+		t.Fatalf("/status missing queue line:\n%s", body)
+	}
+	if _, body, _ := get(t, srv.URL+"/metrics"); !strings.Contains(body, "faasm_queue_enqueued_total") {
+		t.Fatalf("/metrics missing faasm_queue_enqueued_total:\n%s", body)
+	}
+}
+
+func TestAsyncDisabledReturns501(t *testing.T) {
+	srv, _ := newTestServer(t, 1) // built without AsyncQueue
+	resp, err := http.Post(srv.URL+"/invoke/echo?async=1", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("async invoke without queue = %d, want 501", resp.StatusCode)
+	}
+	if code, _, _ := get(t, srv.URL+"/call/1"); code != http.StatusNotImplemented {
+		t.Fatalf("GET /call without queue = %d, want 501", code)
 	}
 }

@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,8 +23,10 @@ import (
 	"faasm.dev/faasm/internal/frt"
 	"faasm.dev/faasm/internal/hostapi"
 	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/mbus"
 	"faasm.dev/faasm/internal/metrics"
 	"faasm.dev/faasm/internal/obsv"
+	"faasm.dev/faasm/internal/queue"
 	"faasm.dev/faasm/internal/shardkvs"
 	"faasm.dev/faasm/internal/simnet"
 	"faasm.dev/faasm/internal/vtime"
@@ -116,6 +119,17 @@ type Config struct {
 	// Deflaked experiments inject a vtime.Virtual so lease expiry and the
 	// measurement share one timeline that wall-clock stalls cannot stretch.
 	Clock vtime.Clock
+	// AsyncQueue enables the durable async invocation path on every FAASM
+	// host (frt.Config.AsyncQueue) plus an ingress-side client handle, so
+	// SubmitAsync/AwaitAsync survive the death of any single host. The
+	// Queue* knobs mirror frt.Config's (zero = internal/queue defaults).
+	AsyncQueue        bool
+	QueueDepth        int
+	QueueLeaseTTL     time.Duration
+	QueueRetryMax     int
+	QueueRetryBackoff time.Duration
+	QueuePoll         time.Duration
+	QueueConcurrency  int
 }
 
 // Cluster is a live experiment cluster.
@@ -150,6 +164,11 @@ type Cluster struct {
 
 	ring        *shardkvs.Ring
 	shardFaults []*simnet.FaultShard
+
+	// clientQueue is the ingress-side async handle (nil unless
+	// Config.AsyncQueue): consumer-less, tier-backed, so awaiting a queued
+	// call does not depend on any particular host staying alive.
+	clientQueue *queue.Queue
 }
 
 // faasmHost is one host slot. A slot is never deleted — a reclaimed host
@@ -258,6 +277,17 @@ func New(cfg Config) *Cluster {
 	}
 	c.nextHost = cfg.Hosts
 	c.refreshActive()
+	if cfg.AsyncQueue && cfg.Mode == ModeFaasm {
+		c.clientQueue = queue.New(queue.Config{
+			Store:    simnet.NewStore(c.State, c.Net, "ingress"),
+			Clock:    c.Clock,
+			Host:     "ingress",
+			DepthCap: cfg.QueueDepth,
+			LeaseTTL: cfg.QueueLeaseTTL,
+			RetryMax: cfg.QueueRetryMax,
+			Poll:     cfg.QueuePoll,
+		}, nil)
+	}
 	return c
 }
 
@@ -285,6 +315,14 @@ func (c *Cluster) newFaasmInstance(h int, host string) *frt.Instance {
 		ElasticInterval: c.cfg.ElasticInterval,
 		Tracer:          c.Tracer,
 		Registry:        c.Registry,
+
+		AsyncQueue:        c.cfg.AsyncQueue,
+		QueueDepth:        c.cfg.QueueDepth,
+		QueueLeaseTTL:     c.cfg.QueueLeaseTTL,
+		QueueRetryMax:     c.cfg.QueueRetryMax,
+		QueueRetryBackoff: c.cfg.QueueRetryBackoff,
+		QueuePoll:         c.cfg.QueuePoll,
+		QueueConcurrency:  c.cfg.QueueConcurrency,
 	}
 	if c.cfg.CoLocateShards && c.ring != nil && h < c.cfg.StateShards {
 		fc.StateOwners = c.ring.HealthyOwners
@@ -612,6 +650,68 @@ func (c *Cluster) Invoke(fn string, input []byte) (*Call, error) {
 	}
 }
 
+// SubmitAsync enqueues one call into the durable async queue through a
+// round-robin ingress host and acks with its call id. Once it returns, the
+// call is tier-resident: it completes even if the accepting host dies the
+// next instant. Backpressure (queue.ErrQueueFull) propagates to the caller;
+// a host that is itself down is skipped for the next one.
+func (c *Cluster) SubmitAsync(fn string, input []byte) (uint64, error) {
+	if c.clientQueue == nil {
+		return 0, fmt.Errorf("cluster: async queue disabled")
+	}
+	hosts := c.ingress()
+	if len(hosts) == 0 {
+		return 0, fmt.Errorf("cluster: no hosts")
+	}
+	start := int(c.rr.Add(1))
+	var lastErr error
+	for n := 0; n < len(hosts); n++ {
+		inst := hosts[(start+n)%len(hosts)]
+		id, err := inst.InvokeAsync(fn, input)
+		if err == nil || errors.Is(err, queue.ErrQueueFull) {
+			return id, err
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// AwaitAsync blocks until an async call's terminal result, reading the tier
+// directly (not through any host), so it survives the death of the host
+// that accepted — or was executing — the call. timeout is experiment time;
+// <= 0 waits forever.
+func (c *Cluster) AwaitAsync(id uint64, timeout time.Duration) (mbus.CallRecord, error) {
+	if c.clientQueue == nil {
+		return mbus.CallRecord{}, fmt.Errorf("cluster: async queue disabled")
+	}
+	return c.clientQueue.Await(id, timeout)
+}
+
+// ChainThen records a static chain tier-side: every successful completion
+// of fn enqueues next with fn's output as input.
+func (c *Cluster) ChainThen(fn, next string) error {
+	if c.clientQueue == nil {
+		return fmt.Errorf("cluster: async queue disabled")
+	}
+	return c.clientQueue.Then(fn, next)
+}
+
+// QueueDepth reports fn's tier-side queued-plus-in-flight depth.
+func (c *Cluster) QueueDepth(fn string) (int64, error) {
+	if c.clientQueue == nil {
+		return 0, fmt.Errorf("cluster: async queue disabled")
+	}
+	return c.clientQueue.Depth(fn)
+}
+
+// QueueDeadLetters lists fn's dead-lettered call ids.
+func (c *Cluster) QueueDeadLetters(fn string) ([]uint64, error) {
+	if c.clientQueue == nil {
+		return nil, fmt.Errorf("cluster: async queue disabled")
+	}
+	return c.clientQueue.DeadLetters(fn)
+}
+
 // Call is an awaitable invocation handle.
 type Call struct {
 	await  func() (int32, error)
@@ -709,6 +809,9 @@ func (c *Cluster) ExecLatencies() *metrics.Latencies {
 
 // Shutdown stops the cluster.
 func (c *Cluster) Shutdown() {
+	if c.clientQueue != nil {
+		c.clientQueue.Close()
+	}
 	for _, inst := range c.allInstances() {
 		inst.Shutdown()
 	}

@@ -355,3 +355,27 @@ func TestElasticityGate(t *testing.T) {
 		t.Errorf("dead host evicted after %.2f lease TTLs, want (0, 2]", ttls)
 	}
 }
+
+func TestAsyncQueueGate(t *testing.T) {
+	// The PR 10 async gate: a host killed mid-execution under open-loop
+	// async load must cost nothing from the client's view — every accepted
+	// call reaches exactly one stable terminal completion via lease-expiry
+	// redelivery, nothing dead-letters, the 3-stage chained pipeline
+	// finishes with intact lineage, and the sync warm path stays fast.
+	r := AsyncQueue(Options{Quick: true})
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sections := map[string]bool{}
+	for _, row := range r.Rows {
+		sections[row[0]] = true
+		if row[len(row)-1] == "FAILED" {
+			t.Errorf("gate failed: %v", row)
+		}
+	}
+	for _, want := range []string{"crash", "chain", "sync"} {
+		if !sections[want] {
+			t.Fatalf("missing section %q: %v", want, sections)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"faasm.dev/faasm/internal/mbus"
 	"faasm.dev/faasm/internal/metrics"
 	"faasm.dev/faasm/internal/obsv"
+	"faasm.dev/faasm/internal/queue"
 	"faasm.dev/faasm/internal/sched"
 	"faasm.dev/faasm/internal/state"
 	"faasm.dev/faasm/internal/vfs"
@@ -93,6 +94,30 @@ type Config struct {
 	TraceBuffer int
 	// Registry receives this instance's metrics; nil creates a private one.
 	Registry *obsv.Registry
+
+	// AsyncQueue enables the durable async invocation path: InvokeAsync
+	// enqueues into the global tier (internal/queue) and per-function
+	// consumer loops on this host execute queued work through the normal
+	// scheduling path. Off by default.
+	AsyncQueue bool
+	// QueueDepth bounds each function's queued-plus-in-flight items;
+	// submits beyond it are shed (0 = queue.DefaultDepthCap).
+	QueueDepth int
+	// QueueLeaseTTL is the in-flight redelivery lease: a consumer that dies
+	// mid-execution has its item reclaimed this long after the claim
+	// (0 = queue.DefaultLeaseTTL).
+	QueueLeaseTTL time.Duration
+	// QueueRetryMax bounds redeliveries after a failed execution before the
+	// item dead-letters (0 = queue.DefaultRetryMax, < 0 = no retries).
+	QueueRetryMax int
+	// QueueRetryBackoff is the base redelivery backoff, doubling per
+	// attempt (0 = queue.DefaultRetryBackoff).
+	QueueRetryBackoff time.Duration
+	// QueuePoll is the consumer scan cadence (0 = queue.DefaultPoll).
+	QueuePoll time.Duration
+	// QueueConcurrency bounds concurrent queued executions per function on
+	// this host (0 = queue.DefaultConcurrency).
+	QueueConcurrency int
 }
 
 // Elastic-pool defaults.
@@ -203,6 +228,10 @@ type Instance struct {
 	reg      *obsv.Registry
 	execHist *obsv.Histogram
 	initHist *obsv.Histogram
+
+	// queue is the durable async invocation queue (nil unless
+	// Config.AsyncQueue); see async.go.
+	queue *queue.Queue
 }
 
 // New creates a runtime instance.
@@ -269,6 +298,27 @@ func New(cfg Config) *Instance {
 		inst.elasticStop = make(chan struct{})
 		inst.elasticDone = make(chan struct{})
 		go inst.elasticLoop()
+	}
+	if cfg.AsyncQueue {
+		inst.queue = queue.New(queue.Config{
+			Store:        cfg.Store,
+			Clock:        cfg.Clock,
+			Host:         cfg.Host,
+			DepthCap:     cfg.QueueDepth,
+			LeaseTTL:     cfg.QueueLeaseTTL,
+			RetryMax:     cfg.QueueRetryMax,
+			RetryBackoff: cfg.QueueRetryBackoff,
+			Poll:         cfg.QueuePoll,
+			Concurrency:  cfg.QueueConcurrency,
+			// Claims stop on crash, drain, and shutdown; only a crash
+			// abandons work already executing (drained hosts finish theirs).
+			Gate: func() bool {
+				return !inst.killed.Load() && !inst.draining.Load() && !inst.closed.Load()
+			},
+			Dead:   inst.killed.Load,
+			Tracer: inst.tracer,
+		}, inst)
+		inst.queue.Instrument(inst.reg, cfg.Host)
 	}
 	return inst
 }
@@ -407,6 +457,11 @@ func (i *Instance) RegisterDef(def core.FuncDef) {
 	}
 	m[def.Name] = def
 	i.defs.Store(&m)
+	// Deploying a function also starts its queue consumers on this host, so
+	// every host that can execute fn also drains its queue.
+	if i.queue != nil {
+		i.queue.EnsureConsumer(def.Name)
+	}
 }
 
 // Functions lists deployed function names.
@@ -894,6 +949,11 @@ func (i *Instance) Shutdown() {
 	i.shutMu.Unlock()
 	i.sched.StopHeartbeat()
 	i.stopElastic()
+	if i.queue != nil {
+		// Stop queue consumers before tearing pools down; items this host
+		// held in flight redeliver elsewhere after lease expiry.
+		i.queue.Close()
+	}
 	if i.elasticDone != nil {
 		// Wait the controller out (≤ one tick) so no grow/reclaim pass can
 		// race the pool teardown below.

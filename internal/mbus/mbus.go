@@ -30,10 +30,21 @@ type Message struct {
 	From     string
 }
 
+// endpoint is one inbox plus the bookkeeping that makes closing it safe
+// against concurrent senders: dying is closed first (unblocking any sender
+// parked on a full inbox), and the inbox channel itself is closed only after
+// every in-flight send has drained through wg — a sender can never hit a
+// closed channel.
+type endpoint struct {
+	ch    chan Message
+	dying chan struct{}
+	wg    sync.WaitGroup
+}
+
 // Bus routes messages between named endpoints.
 type Bus struct {
 	mu        sync.Mutex
-	endpoints map[string]chan Message
+	endpoints map[string]*endpoint
 	closed    bool
 }
 
@@ -42,7 +53,7 @@ var ErrClosed = errors.New("mbus: bus closed")
 
 // New creates an empty bus.
 func New() *Bus {
-	return &Bus{endpoints: map[string]chan Message{}}
+	return &Bus{endpoints: map[string]*endpoint{}}
 }
 
 // endpointBuffer bounds each inbox; senders block when a receiver lags,
@@ -56,56 +67,87 @@ func (b *Bus) Register(name string) (<-chan Message, error) {
 	if b.closed {
 		return nil, ErrClosed
 	}
-	ch, ok := b.endpoints[name]
+	ep, ok := b.endpoints[name]
 	if !ok {
-		ch = make(chan Message, endpointBuffer)
-		b.endpoints[name] = ch
+		ep = &endpoint{ch: make(chan Message, endpointBuffer), dying: make(chan struct{})}
+		b.endpoints[name] = ep
 	}
-	return ch, nil
+	return ep.ch, nil
 }
 
-// Unregister removes an endpoint, closing its inbox.
+// Unregister removes an endpoint, closing its inbox. Safe against concurrent
+// Send/TrySend: blocked senders are released (observing ErrClosed) before
+// the inbox channel closes.
 func (b *Bus) Unregister(name string) {
 	b.mu.Lock()
-	ch, ok := b.endpoints[name]
+	ep, ok := b.endpoints[name]
 	delete(b.endpoints, name)
 	b.mu.Unlock()
 	if ok {
-		close(ch)
+		ep.shutdown()
 	}
 }
 
-// Send delivers msg to the named endpoint, blocking if its inbox is full.
-func (b *Bus) Send(to string, msg Message) error {
+// shutdown releases blocked senders, waits out in-flight ones, then closes
+// the inbox so receivers see end-of-stream.
+func (ep *endpoint) shutdown() {
+	close(ep.dying)
+	ep.wg.Wait()
+	close(ep.ch)
+}
+
+// sender looks up the endpoint and registers the caller as an in-flight
+// sender; the caller must ep.wg.Done() when its send attempt finishes.
+func (b *Bus) sender(to string) (*endpoint, error) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.closed {
-		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ep, ok := b.endpoints[to]
+	if !ok {
+		return nil, fmt.Errorf("mbus: no endpoint %q", to)
+	}
+	// Registered under the bus lock, so Unregister cannot observe wg == 0
+	// between our lookup and the send attempt below.
+	ep.wg.Add(1)
+	return ep, nil
+}
+
+// Send delivers msg to the named endpoint, blocking if its inbox is full. A
+// concurrent Unregister/Close unblocks the send with ErrClosed rather than
+// panicking it on a closed channel.
+func (b *Bus) Send(to string, msg Message) error {
+	ep, err := b.sender(to)
+	if err != nil {
+		return err
+	}
+	defer ep.wg.Done()
+	select {
+	case ep.ch <- msg:
+		return nil
+	case <-ep.dying:
 		return ErrClosed
 	}
-	ch, ok := b.endpoints[to]
-	b.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("mbus: no endpoint %q", to)
-	}
-	ch <- msg
-	return nil
 }
 
 // TrySend delivers without blocking, reporting whether it was enqueued.
 func (b *Bus) TrySend(to string, msg Message) (bool, error) {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return false, ErrClosed
+	ep, err := b.sender(to)
+	if err != nil {
+		return false, err
 	}
-	ch, ok := b.endpoints[to]
-	b.mu.Unlock()
-	if !ok {
-		return false, fmt.Errorf("mbus: no endpoint %q", to)
+	defer ep.wg.Done()
+	select {
+	case <-ep.dying:
+		return false, ErrClosed
+	default:
 	}
 	select {
-	case ch <- msg:
+	case ep.ch <- msg:
 		return true, nil
+	case <-ep.dying:
+		return false, ErrClosed
 	default:
 		return false, nil
 	}
@@ -122,7 +164,8 @@ func (b *Bus) Endpoints() []string {
 	return out
 }
 
-// Close shuts the bus; all inboxes are closed.
+// Close shuts the bus; all inboxes are closed after their in-flight senders
+// drain (the senders observe ErrClosed).
 func (b *Bus) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -131,22 +174,27 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	eps := b.endpoints
-	b.endpoints = map[string]chan Message{}
+	b.endpoints = map[string]*endpoint{}
 	b.mu.Unlock()
-	for _, ch := range eps {
-		close(ch)
+	for _, ep := range eps {
+		ep.shutdown()
 	}
 }
 
 // CallStatus is the lifecycle state of a chained call.
 type CallStatus int
 
-// Call states.
+// Call states. The first four are the synchronous lifecycle; CallQueued and
+// CallDeadLettered extend it for the durable async path (internal/queue):
+// a queued call waits in the global tier before any host runs it, and a
+// dead-lettered one exhausted its redeliveries without completing.
 const (
 	CallPending CallStatus = iota
 	CallRunning
 	CallSucceeded
 	CallFailed
+	CallQueued
+	CallDeadLettered
 )
 
 func (s CallStatus) String() string {
@@ -159,11 +207,24 @@ func (s CallStatus) String() string {
 		return "succeeded"
 	case CallFailed:
 		return "failed"
+	case CallQueued:
+		return "queued"
+	case CallDeadLettered:
+		return "dead-lettered"
 	}
 	return "unknown"
 }
 
-// CallRecord is the table entry for one function call.
+// Terminal reports whether the status is final: no later transition may
+// overwrite a terminal result (first writer wins; see Complete).
+func (s CallStatus) Terminal() bool {
+	return s == CallSucceeded || s == CallFailed || s == CallDeadLettered
+}
+
+// CallRecord is the table entry for one function call. It doubles as the
+// durable queue's item/result schema, so a chained async call's lineage
+// (ParentID/ChildID) and its trace id travel with the record through the
+// global tier.
 type CallRecord struct {
 	ID       uint64
 	Function string
@@ -175,6 +236,12 @@ type CallRecord struct {
 	ReturnCode int32
 	// TraceID links the call to its invocation trace (0 = unsampled).
 	TraceID uint64
+	// ParentID is the upstream call whose completion enqueued this one
+	// (0 = externally submitted); ChildID is the downstream call this
+	// one's completion enqueued (0 = none). Traces join across a chain by
+	// following these links.
+	ParentID uint64
+	ChildID  uint64
 }
 
 // callShards is the CallTable's sharding width. Call ids are dense
@@ -278,10 +345,18 @@ func (t *CallTable) Start(id uint64) error {
 }
 
 // terminal reports whether a status is final.
-func terminal(st CallStatus) bool { return st == CallSucceeded || st == CallFailed }
+func terminal(st CallStatus) bool { return st.Terminal() }
+
+// ErrAlreadyCompleted is Complete's sentinel for a call that already reached
+// a terminal state: the first completion won, the new result was dropped.
+// At-least-once redelivery leans on this — a duplicate execution's late
+// completion must never flip a result waiters have already observed.
+var ErrAlreadyCompleted = errors.New("mbus: call already completed")
 
 // Complete finishes a call with output and return code (err non-nil marks
-// failure), waking this call's awaiters (and only them).
+// failure), waking this call's awaiters (and only them). Completion is
+// first-writer-wins: once a call is terminal, further completions mutate
+// nothing and return ErrAlreadyCompleted.
 func (t *CallTable) Complete(id uint64, output []byte, ret int32, err error) error {
 	s := t.shard(id)
 	s.mu.Lock()
@@ -290,7 +365,9 @@ func (t *CallTable) Complete(id uint64, output []byte, ret int32, err error) err
 	if !ok {
 		return fmt.Errorf("mbus: unknown call %d", id)
 	}
-	already := terminal(e.rec.Status)
+	if terminal(e.rec.Status) {
+		return ErrAlreadyCompleted
+	}
 	e.rec.Output = append([]byte(nil), output...)
 	e.rec.ReturnCode = ret
 	if err != nil {
@@ -299,18 +376,20 @@ func (t *CallTable) Complete(id uint64, output []byte, ret int32, err error) err
 	} else {
 		e.rec.Status = CallSucceeded
 	}
-	if !already {
-		close(e.done)
-		t.completed.Add(1)
-		if err != nil {
-			t.failed.Add(1)
-		}
+	close(e.done)
+	t.completed.Add(1)
+	if err != nil {
+		t.failed.Add(1)
 	}
 	return nil
 }
 
 // Await blocks until the call finishes or fails, returning its return code
 // (await_call in Table 2). Failure yields a non-zero code and the error.
+// The result is read from the entry itself, not the table: a Delete racing
+// in after completion discards the map slot but never the completed record,
+// so waiters of a completed call always observe its result. Only a call
+// deleted while still pending reports unknown.
 func (t *CallTable) Await(id uint64) (int32, error) {
 	s := t.shard(id)
 	s.mu.Lock()
@@ -321,14 +400,16 @@ func (t *CallTable) Await(id uint64) (int32, error) {
 	}
 	<-e.done
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.calls[id]; !ok {
+	rec := e.rec
+	s.mu.Unlock()
+	if !terminal(rec.Status) {
+		// done closed by Delete on a still-pending call.
 		return -1, fmt.Errorf("mbus: unknown call %d", id)
 	}
-	if e.rec.Status == CallFailed {
-		return e.rec.ReturnCode, fmt.Errorf("mbus: call %d failed: %s", id, e.rec.Err)
+	if rec.Status == CallFailed {
+		return rec.ReturnCode, fmt.Errorf("mbus: call %d failed: %s", id, rec.Err)
 	}
-	return e.rec.ReturnCode, nil
+	return rec.ReturnCode, nil
 }
 
 // Output returns a finished call's output bytes (get_call_output).

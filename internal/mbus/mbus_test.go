@@ -273,18 +273,124 @@ func TestDeleteWakesPendingAwaiters(t *testing.T) {
 	}
 }
 
-func TestDoubleCompleteIsSafe(t *testing.T) {
+func TestDoubleCompleteFirstWriterWins(t *testing.T) {
 	table := NewCallTable()
 	id := table.Create("fn", nil)
 	if err := table.Complete(id, []byte("a"), 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	// A second completion (e.g. a racing fallback path) must not panic the
-	// per-call channel close.
-	if err := table.Complete(id, []byte("b"), 1, nil); err != nil {
-		t.Fatal(err)
+	// A second completion (a redelivered execution's late result) must be a
+	// no-op: no panic on the per-call channel close, no overwrite of the
+	// output, return code, or status waiters already observed.
+	if err := table.Complete(id, []byte("b"), 1, errors.New("late failure")); !errors.Is(err, ErrAlreadyCompleted) {
+		t.Fatalf("second complete: err = %v, want ErrAlreadyCompleted", err)
 	}
-	if ret, err := table.Await(id); err != nil || ret != 1 {
-		t.Fatalf("await after double complete: %d %v", ret, err)
+	if ret, err := table.Await(id); err != nil || ret != 0 {
+		t.Fatalf("await after double complete: %d %v, want first result 0", ret, err)
+	}
+	rec, ok := table.Get(id)
+	if !ok || rec.Status != CallSucceeded || string(rec.Output) != "a" {
+		t.Fatalf("record after double complete: %+v", rec)
+	}
+	if got := table.completed.Load(); got != 1 {
+		t.Fatalf("completed counter = %d after double complete", got)
+	}
+}
+
+func TestAwaitSurvivesDeleteAfterComplete(t *testing.T) {
+	// A waiter woken by Complete must observe the result even when Delete
+	// discards the record between the wake-up and the waiter's re-lock.
+	// Looped to give the pre-fix race window many chances under -race.
+	table := NewCallTable()
+	for i := 0; i < 100; i++ {
+		id := table.Create("fn", nil)
+		got := make(chan error, 1)
+		go func() {
+			ret, err := table.Await(id)
+			if err == nil && ret != 7 {
+				err = errors.New("wrong return code")
+			}
+			got <- err
+		}()
+		// Let the awaiter park on the completion channel, then complete and
+		// immediately delete: the Delete usually lands before the woken
+		// awaiter re-acquires the shard lock, which is the race window.
+		time.Sleep(time.Millisecond)
+		if err := table.Complete(id, []byte("out"), 7, nil); err != nil {
+			t.Fatal(err)
+		}
+		table.Delete(id)
+		if err := <-got; err != nil {
+			t.Fatalf("iter %d: awaiter of a completed call observed %v", i, err)
+		}
+	}
+}
+
+func TestSendUnregisterRace(t *testing.T) {
+	// Senders hammering Send/TrySend while the endpoint is unregistered (or
+	// the bus closed) must never panic on a closed channel: blocked senders
+	// unblock with ErrClosed, and the inbox closes only after in-flight
+	// sends drain. Run with -race; the pre-fix code panics here.
+	for iter := 0; iter < 50; iter++ {
+		b := New()
+		inbox, _ := b.Register("victim")
+		// Fill the buffer so Send blocks and sits in the race window.
+		for i := 0; i < endpointBuffer; i++ {
+			b.TrySend("victim", Message{})
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 20; j++ {
+					if err := b.Send("victim", Message{}); err != nil {
+						return
+					}
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 20; j++ {
+					if _, err := b.TrySend("victim", Message{}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		if iter%2 == 0 {
+			b.Unregister("victim")
+		} else {
+			b.Close()
+		}
+		wg.Wait()
+		// Receivers still drain whatever landed before the close.
+		for range inbox {
+		}
+	}
+}
+
+func TestSendBlockedThenUnregisterReturnsClosed(t *testing.T) {
+	b := New()
+	b.Register("full")
+	for i := 0; i < endpointBuffer; i++ {
+		if ok, _ := b.TrySend("full", Message{}); !ok {
+			t.Fatal("buffer filled early")
+		}
+	}
+	got := make(chan error, 1)
+	go func() {
+		got <- b.Send("full", Message{CallID: 99})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the sender block on the full inbox
+	b.Unregister("full")
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked send after unregister: %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked sender not released by unregister")
 	}
 }

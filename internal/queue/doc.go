@@ -1,0 +1,38 @@
+// Package queue implements the durable asynchronous invocation path: a
+// per-function queue layered on the global state tier (kvs.Store, usually a
+// shardkvs.Ring), so queued work survives the loss of any host the same way
+// leases and state already do. Submit enqueues an item into the tier and
+// acks immediately with a call id; per-function consumer loops on every host
+// claim items, execute them through the runtime's normal scheduling path
+// (warm pools, locality-aware placement), and write a durable result record
+// awaiters poll for.
+//
+// Delivery is at-least-once with an exactly-once client view: a claimed
+// item is fenced by a tier-side SetEx'd lease, so a consumer that dies
+// mid-execution simply stops renewing it and the item becomes claimable
+// again after lease expiry, judged on the tier's clock. Failed executions
+// retry after a bounded exponential backoff (the lease doubles as the
+// backoff timer) until RetryMax redeliveries, after which the item lands in
+// the function's dead-letter set with a CallDeadLettered result. Result
+// writes are first-writer-wins: a redelivered execution that finds a result
+// already recorded acks without writing, so the client never observes a
+// completed call change its outcome.
+//
+// Chaining is static: Then(fn, next) records in the tier that a successful
+// fn completion enqueues next with fn's output as input. The downstream
+// item records its parent's call id (mbus.CallRecord.ParentID) and the
+// parent's result records the child id, so clients and traces can walk a
+// pipeline end to end.
+//
+// # Concurrency model
+//
+//   - All shared queue state lives in the tier; the Queue struct itself
+//     holds only atomic metric counters and the consumer-goroutine
+//     registry (one mutex, touched at consumer start/stop only).
+//   - Claims are serialized per function through the tier's lease lock
+//     (kvs.Store.Lock on q/claim/<fn>), so two consumers cannot claim the
+//     same item in the same round; the in-flight lease then fences the
+//     claim across lock expiry.
+//   - Consumer loops are plain goroutines sleeping on the runtime clock;
+//     Close stops claims immediately and waits the loops out.
+package queue

@@ -1,0 +1,448 @@
+package queue
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faasm.dev/faasm/internal/kvs"
+	"faasm.dev/faasm/internal/mbus"
+	"faasm.dev/faasm/internal/obsv"
+	"faasm.dev/faasm/internal/vtime"
+)
+
+// execFunc adapts a function to the Executor interface.
+type execFunc func(fn string, input []byte, trace obsv.TraceID) ([]byte, int32, error)
+
+func (f execFunc) ExecuteQueued(fn string, input []byte, trace obsv.TraceID) ([]byte, int32, error) {
+	return f(fn, input, trace)
+}
+
+// newVirtualQueue builds a queue over an engine whose expiry clock is the
+// returned virtual clock, so lease-expiry redelivery is tested
+// deterministically by advancing time instead of sleeping.
+func newVirtualQueue(t *testing.T, cfg Config, exec Executor) (*Queue, *vtime.Virtual) {
+	t.Helper()
+	vc := vtime.NewVirtual()
+	eng := kvs.NewEngine()
+	eng.SetNowFunc(vc.Now)
+	cfg.Store = eng
+	cfg.Clock = vc
+	q := New(cfg, exec)
+	t.Cleanup(q.Close)
+	return q, vc
+}
+
+func echo(fn string, input []byte, _ obsv.TraceID) ([]byte, int32, error) {
+	return append([]byte("echo:"), input...), 0, nil
+}
+
+func TestSubmitClaimExecuteAwait(t *testing.T) {
+	q, _ := newVirtualQueue(t, Config{Host: "h1"}, execFunc(echo))
+	id, err := q.Submit("wc", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero call id")
+	}
+	if d, _ := q.Depth("wc"); d != 1 {
+		t.Fatalf("depth after submit = %d", d)
+	}
+	it, att, ok := q.claim("wc")
+	if !ok || att != 1 || it.Rec.ID != id || it.Rec.Status != mbus.CallQueued {
+		t.Fatalf("claim = %+v att=%d ok=%v", it.Rec, att, ok)
+	}
+	q.runItem("wc", it, att)
+	rec, err := q.Await(id, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != mbus.CallSucceeded || string(rec.Output) != "echo:hello" {
+		t.Fatalf("result = %+v", rec)
+	}
+	if d, _ := q.Depth("wc"); d != 0 {
+		t.Fatalf("depth after ack = %d", d)
+	}
+	if s := q.Stats(); s.Enqueued != 1 || s.Completed != 1 || s.Redelivered != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBackpressureRejectsAtDepthCap(t *testing.T) {
+	q, _ := newVirtualQueue(t, Config{Host: "h1", DepthCap: 3}, execFunc(echo))
+	for i := 0; i < 3; i++ {
+		if _, err := q.Submit("wc", nil); err != nil {
+			t.Fatalf("submit %d under cap: %v", i, err)
+		}
+	}
+	if _, err := q.Submit("wc", nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit at cap: %v, want ErrQueueFull", err)
+	}
+	// Draining one item frees one slot: the depth counter must come back
+	// down when the item is acked, not stay stuck at the cap.
+	it, att, ok := q.claim("wc")
+	if !ok {
+		t.Fatal("claim under full queue failed")
+	}
+	q.runItem("wc", it, att)
+	if _, err := q.Submit("wc", nil); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+func TestCrashedConsumerItemRedeliveredOnce(t *testing.T) {
+	// Host A claims the item and "crashes" mid-execution (its executor
+	// reports ErrConsumerDead and writes nothing). The item must stay
+	// invisible until the lease expires on the tier's clock, then be
+	// redelivered to host B exactly once — and A completing late as a
+	// zombie must not change the result B recorded.
+	vc := vtime.NewVirtual()
+	eng := kvs.NewEngine()
+	eng.SetNowFunc(vc.Now)
+
+	dead := execFunc(func(string, []byte, obsv.TraceID) ([]byte, int32, error) {
+		return nil, 0, ErrConsumerDead
+	})
+	a := New(Config{Store: eng, Clock: vc, Host: "a", LeaseTTL: time.Second}, dead)
+	b := New(Config{Store: eng, Clock: vc, Host: "b", LeaseTTL: time.Second}, execFunc(echo))
+	defer a.Close()
+	defer b.Close()
+
+	id, err := a.Submit("wc", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, att, ok := a.claim("wc")
+	if !ok || att != 1 {
+		t.Fatalf("first claim att=%d ok=%v", att, ok)
+	}
+	a.runItem("wc", it, att) // abandons: consumer dead
+
+	if _, _, ok := b.claim("wc"); ok {
+		t.Fatal("claimed a leased in-flight item")
+	}
+	vc.Advance(2 * time.Second) // lease expires tier-side
+	it2, att2, ok := b.claim("wc")
+	if !ok || att2 != 2 || it2.Rec.ID != id {
+		t.Fatalf("redelivery claim att=%d ok=%v", att2, ok)
+	}
+	if got := b.Stats().Redelivered; got != 1 {
+		t.Fatalf("redelivered counter = %d", got)
+	}
+	b.runItem("wc", it2, att2)
+	rec, err := b.Await(id, time.Second)
+	if err != nil || rec.Status != mbus.CallSucceeded || string(rec.Output) != "echo:x" {
+		t.Fatalf("result after redelivery: %+v %v", rec, err)
+	}
+
+	// Zombie A wakes up and tries to record its own completion: first
+	// writer wins, B's result must be untouched and nothing re-runs.
+	late := it.Rec
+	late.Status = mbus.CallFailed
+	late.Err = "zombie"
+	a.finish("wc", late)
+	rec2, err := b.Await(id, time.Second)
+	if err != nil || rec2.Status != mbus.CallSucceeded || string(rec2.Output) != "echo:x" {
+		t.Fatalf("result after zombie completion: %+v %v", rec2, err)
+	}
+	if got := a.Stats().Completed; got != 0 {
+		t.Fatalf("zombie recorded a completion: %d", got)
+	}
+	// The item is fully retired: nothing left to claim.
+	vc.Advance(time.Minute)
+	if _, _, ok := a.claim("wc"); ok {
+		t.Fatal("retired item claimed again")
+	}
+}
+
+func TestDeadLetterAfterMaxRetries(t *testing.T) {
+	boom := execFunc(func(string, []byte, obsv.TraceID) ([]byte, int32, error) {
+		return nil, 9, errors.New("guest trapped")
+	})
+	q, vc := newVirtualQueue(t, Config{Host: "h1", RetryMax: 2, RetryBackoff: 10 * time.Millisecond}, boom)
+	id, err := q.Submit("wc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for att := 1; att <= 3; att++ {
+		it, got, ok := q.claim("wc")
+		if !ok || got != att {
+			t.Fatalf("claim %d: att=%d ok=%v", att, got, ok)
+		}
+		q.runItem("wc", it, got)
+		if att <= 2 {
+			// Parked in backoff: invisible now, claimable after it elapses.
+			if _, _, ok := q.claim("wc"); ok {
+				t.Fatalf("claimed item during backoff after attempt %d", att)
+			}
+			vc.Advance(time.Second)
+		}
+	}
+	rec, err := q.Await(id, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != mbus.CallDeadLettered || rec.ReturnCode != -1 || rec.Err == "" {
+		t.Fatalf("dead-lettered result = %+v", rec)
+	}
+	dls, err := q.DeadLetters("wc")
+	if err != nil || len(dls) != 1 || dls[0] != id {
+		t.Fatalf("dead letters = %v %v", dls, err)
+	}
+	if s := q.Stats(); s.DeadLettered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if d, _ := q.Depth("wc"); d != 0 {
+		t.Fatalf("depth after dead-letter = %d", d)
+	}
+}
+
+func TestCrashBurnedAttemptsDeadLetterAtClaim(t *testing.T) {
+	// Every delivery went to a consumer that crashed before reporting: the
+	// failure never surfaced through an execution error, so the claim path
+	// itself must dead-letter the poison pill once deliveries run out.
+	dead := execFunc(func(string, []byte, obsv.TraceID) ([]byte, int32, error) {
+		return nil, 0, ErrConsumerDead
+	})
+	q, vc := newVirtualQueue(t, Config{Host: "h1", RetryMax: 1, LeaseTTL: time.Second}, dead)
+	id, err := q.Submit("wc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for att := 1; att <= 2; att++ {
+		it, got, ok := q.claim("wc")
+		if !ok || got != att {
+			t.Fatalf("claim %d: att=%d ok=%v", att, got, ok)
+		}
+		q.runItem("wc", it, got) // crash: lease left to expire
+		vc.Advance(2 * time.Second)
+	}
+	// Third claim sees deliveries exhausted and dead-letters without
+	// executing.
+	if _, _, ok := q.claim("wc"); ok {
+		t.Fatal("exhausted item claimed for execution")
+	}
+	rec, err := q.Await(id, time.Second)
+	if err != nil || rec.Status != mbus.CallDeadLettered {
+		t.Fatalf("result = %+v %v", rec, err)
+	}
+}
+
+func TestThenChainRunsDownstream(t *testing.T) {
+	stamp := execFunc(func(fn string, input []byte, _ obsv.TraceID) ([]byte, int32, error) {
+		return append(append([]byte{}, input...), []byte("|"+fn)...), 0, nil
+	})
+	q, _ := newVirtualQueue(t, Config{Host: "h1"}, stamp)
+	if err := q.Then("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Then("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	root, err := q.Submit("a", []byte("in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain each stage in order; each completion enqueues the next.
+	for _, fn := range []string{"a", "b", "c"} {
+		it, att, ok := q.claim(fn)
+		if !ok {
+			t.Fatalf("no item for stage %s", fn)
+		}
+		q.runItem(fn, it, att)
+	}
+	recA, err := q.Await(root, time.Second)
+	if err != nil || recA.ChildID == 0 || recA.ParentID != 0 {
+		t.Fatalf("stage a result = %+v %v", recA, err)
+	}
+	recB, err := q.Await(recA.ChildID, time.Second)
+	if err != nil || recB.ParentID != root || recB.ChildID == 0 {
+		t.Fatalf("stage b result = %+v %v", recB, err)
+	}
+	recC, err := q.Await(recB.ChildID, time.Second)
+	if err != nil || recC.ParentID != recA.ChildID || recC.ChildID != 0 {
+		t.Fatalf("stage c result = %+v %v", recC, err)
+	}
+	if want := "in|a|b|c"; string(recC.Output) != want {
+		t.Fatalf("pipeline output = %q, want %q", recC.Output, want)
+	}
+}
+
+func TestAwaitUnknownAndTimeout(t *testing.T) {
+	q, vc := newVirtualQueue(t, Config{Host: "h1"}, execFunc(echo))
+	if _, err := q.Await(12345, time.Second); !errors.Is(err, ErrUnknownCall) {
+		t.Fatalf("await unknown: %v", err)
+	}
+	id, err := q.Submit("wc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Await(id, 50*time.Millisecond)
+		done <- err
+	}()
+	// Keep driving the virtual clock: the awaiter may not have registered
+	// its first Sleep yet when we start advancing.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrAwaitTimeout) {
+				t.Fatalf("await pending item: %v, want ErrAwaitTimeout", err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("await never timed out")
+		default:
+			vc.Advance(10 * time.Millisecond)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func TestSubmitAfterCloseRefused(t *testing.T) {
+	q, _ := newVirtualQueue(t, Config{Host: "h1"}, execFunc(echo))
+	q.Close()
+	if _, err := q.Submit("wc", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestGateClosedStopsClaims(t *testing.T) {
+	var open atomic.Bool
+	q, _ := newVirtualQueue(t, Config{Host: "h1", Gate: open.Load}, execFunc(echo))
+	if _, err := q.Submit("wc", nil); err != nil {
+		t.Fatal(err)
+	}
+	// gateOpen guards the consume loop; claim itself is still allowed so
+	// tests drive it directly — assert the loop-level predicate.
+	if q.gateOpen() {
+		t.Fatal("gate reported open while closed")
+	}
+	open.Store(true)
+	if !q.gateOpen() {
+		t.Fatal("gate reported closed while open")
+	}
+}
+
+func TestConsumerLoopsEndToEnd(t *testing.T) {
+	// Black-box run on the wall clock: real consumer loops claim, execute,
+	// and complete concurrent submissions across two hosts sharing a tier.
+	eng := kvs.NewEngine()
+	mk := func(host string) *Queue {
+		q := New(Config{
+			Store:       eng,
+			Host:        host,
+			LeaseTTL:    2 * time.Second,
+			Poll:        time.Millisecond,
+			Concurrency: 2,
+		}, execFunc(echo))
+		q.EnsureConsumer("wc")
+		q.EnsureConsumer("wc") // idempotent
+		return q
+	}
+	a, b := mk("a"), mk("b")
+	defer a.Close()
+	defer b.Close()
+
+	const n = 24
+	ids := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := range ids {
+		id, err := a.Submit("wc", []byte(strconv.Itoa(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id uint64) {
+			defer wg.Done()
+			rec, err := b.Await(id, 10*time.Second)
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			want := fmt.Sprintf("echo:%d", i)
+			if rec.Status != mbus.CallSucceeded || string(rec.Output) != want {
+				t.Errorf("call %d: %+v", i, rec)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	if d, _ := a.Depth("wc"); d != 0 {
+		t.Fatalf("depth after drain = %d", d)
+	}
+	if got := a.Stats().Completed + b.Stats().Completed; got != n {
+		t.Fatalf("completions across hosts = %d, want %d", got, n)
+	}
+}
+
+func TestInstrumentRegistersQueueSeries(t *testing.T) {
+	q, _ := newVirtualQueue(t, Config{Host: "h1"}, execFunc(echo))
+	reg := obsv.NewRegistry()
+	q.Instrument(reg, "h1")
+	if _, err := q.Submit("wc", nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, series := range []string{
+		"faasm_queue_depth",
+		"faasm_queue_enqueued_total",
+		"faasm_queue_redelivered_total",
+		"faasm_queue_dead_lettered_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(series)) {
+			t.Fatalf("series %s missing from exposition:\n%s", series, out)
+		}
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`faasm_queue_depth{host="h1"} 1`)) {
+		t.Fatalf("depth gauge not reading tier:\n%s", out)
+	}
+}
+
+func TestQueueWaitSpanJoinsSubmitTrace(t *testing.T) {
+	tracer := obsv.NewTracer(nil, 1, 16)
+	q, _ := newVirtualQueue(t, Config{Host: "h1", Tracer: tracer}, execFunc(echo))
+	tr := tracer.Start("client", "wc")
+	if tr == nil {
+		t.Fatal("trace not sampled")
+	}
+	id, err := q.SubmitTraced("wc", []byte("x"), uint64(tr.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, att, ok := q.claim("wc")
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	q.runItem("wc", it, att)
+	tracer.Finish(tr)
+	if _, err := q.Await(id, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := tracer.Get(tr.ID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	found := false
+	for _, sp := range snap.Spans {
+		if sp.Name == "queue.wait" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no queue.wait span in trace: %+v", snap.Spans)
+	}
+}

@@ -39,5 +39,6 @@ check() {
 check internal/sched 80
 check internal/frt 80
 check internal/autoscale 85
+check internal/queue 80
 
 [ "$fail" -eq 0 ] || exit 1

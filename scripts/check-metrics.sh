@@ -70,7 +70,11 @@ for required in \
     faasm_autoscale_scale_ups_total \
     faasm_autoscale_scale_downs_total \
     faasm_autoscale_drains_total \
-    faasm_autoscale_restarts_total; do
+    faasm_autoscale_restarts_total \
+    faasm_queue_depth \
+    faasm_queue_enqueued_total \
+    faasm_queue_redelivered_total \
+    faasm_queue_dead_lettered_total; do
     if ! echo "$sites" | grep -q ":$required\$"; then
         echo "FAIL: required metric $required is not registered anywhere"
         fail=1
